@@ -1,0 +1,173 @@
+(* twine — command-line front end.
+
+   twine run app.wat            run a WASI command inside the simulated enclave
+   twine run --no-sgx app.wat   run it outside (plain WAMR-style host)
+   twine validate app.wat       type-check a module
+   twine wat2wasm app.wat       assemble text format to binary
+   twine inspect app.wasm       print module structure *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_module path =
+  let content = read_file path in
+  if Filename.check_suffix path ".wasm"
+     || (String.length content >= 4 && String.sub content 0 4 = "\x00asm")
+  then Twine_wasm.Binary.decode content
+  else Twine_wasm.Wat.parse content
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODULE" ~doc:"Wasm module (.wat or .wasm)")
+
+(* --- run --- *)
+
+let run_cmd =
+  let no_sgx =
+    Arg.(value & flag & info [ "no-sgx" ] ~doc:"Run outside the simulated enclave (plain WASI host).")
+  in
+  let interp =
+    Arg.(value & flag & info [ "interpreter" ] ~doc:"Use the interpreter instead of AoT compilation.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Disable the untrusted POSIX fallback inside the enclave.")
+  in
+  let dir =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Host directory backing the (protected) file system.")
+  in
+  let args =
+    Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"ARG" ~doc:"Argument passed to the guest.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print enclave statistics after the run.") in
+  let run path no_sgx interp strict dir args stats =
+    let module_ = load_module path in
+    if no_sgx then begin
+      let preopens =
+        match dir with
+        | Some d -> [ (".", Twine_wasi.Vfs.os d) ]
+        | None -> [ (".", Twine_wasi.Vfs.memory ()) ]
+      in
+      let ctx = Twine_wasi.Api.create ~args:(Filename.basename path :: args) ~preopens () in
+      exit (Twine_wasi.Api.run_command ctx module_)
+    end
+    else begin
+      let machine = Twine_sgx.Machine.create () in
+      let config =
+        {
+          Twine.Runtime.default_config with
+          engine = (if interp then Twine.Runtime.Interpreter else Twine.Runtime.Aot);
+          strict_wasi = strict;
+        }
+      in
+      let backing =
+        match dir with
+        | Some d -> Twine_ipfs.Backing.directory d
+        | None -> Twine_ipfs.Backing.memory ()
+      in
+      let rt = Twine.Runtime.create ~config ~backing machine in
+      Twine.Runtime.deploy rt module_;
+      let r = Twine.Runtime.run ~args:(Filename.basename path :: args) rt in
+      print_string r.Twine.Runtime.stdout;
+      if stats then begin
+        Printf.eprintf "-- twine stats --\n";
+        Printf.eprintf "exit code:            %d\n" r.Twine.Runtime.exit_code;
+        Printf.eprintf "boundary crossings:   %d\n"
+          (Twine_sgx.Enclave.transitions (Twine.Runtime.enclave rt));
+        Printf.eprintf "EPC faults:           %d\n"
+          (Twine_sgx.Epc.faults machine.Twine_sgx.Machine.epc);
+        Printf.eprintf "simulated time:       %.3f ms\n"
+          (float_of_int (Twine_sgx.Machine.now_ns machine) /. 1e6)
+      end;
+      exit r.Twine.Runtime.exit_code
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a WASI command inside the simulated TWINE enclave.")
+    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats)
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let run path =
+    match Twine_wasm.Validate.check_module (load_module path) with
+    | () ->
+        print_endline "module is valid";
+        exit 0
+    | exception Twine_wasm.Validate.Invalid msg ->
+        Printf.eprintf "invalid: %s\n" msg;
+        exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Type-check a Wasm module.") Term.(const run $ path_arg)
+
+(* --- wat2wasm --- *)
+
+let wat2wasm_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Output path.")
+  in
+  let run path out =
+    let m = load_module path in
+    Twine_wasm.Validate.check_module m;
+    let bin = Twine_wasm.Binary.encode m in
+    let out =
+      match out with Some o -> o | None -> Filename.remove_extension path ^ ".wasm"
+    in
+    let oc = open_out_bin out in
+    output_string oc bin;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes)\n" out (String.length bin)
+  in
+  Cmd.v
+    (Cmd.info "wat2wasm" ~doc:"Assemble WebAssembly text format to binary.")
+    Term.(const run $ path_arg $ out)
+
+(* --- inspect --- *)
+
+let inspect_cmd =
+  let run path =
+    let m = load_module path in
+    let open Twine_wasm.Ast in
+    Printf.printf "types:    %d\n" (Array.length m.types);
+    Printf.printf "imports:  %d\n" (List.length m.imports);
+    List.iter
+      (fun im ->
+        Printf.printf "  %s.%s : %s\n" im.imp_module im.imp_name
+          (match im.imp_desc with
+          | Import_func ti -> Twine_wasm.Types.string_of_functype m.types.(ti)
+          | Import_memory _ -> "memory"
+          | Import_table _ -> "table"
+          | Import_global _ -> "global"))
+      m.imports;
+    Printf.printf "functions: %d\n" (Array.length m.funcs);
+    Printf.printf "memory:   %s\n"
+      (match m.memories with
+      | Some l ->
+          Printf.sprintf "%d page(s)%s" l.min
+            (match l.max with Some mx -> Printf.sprintf " (max %d)" mx | None -> "")
+      | None -> "none");
+    Printf.printf "globals:  %d\n" (Array.length m.globals);
+    Printf.printf "exports:  %d\n" (List.length m.exports);
+    List.iter
+      (fun e ->
+        Printf.printf "  %s : %s\n" e.exp_name
+          (match e.exp_desc with
+          | Export_func i -> "func #" ^ string_of_int i
+          | Export_memory _ -> "memory"
+          | Export_table _ -> "table"
+          | Export_global i -> "global #" ^ string_of_int i))
+      m.exports;
+    Printf.printf "valid:    %b\n" (Twine_wasm.Validate.is_valid m)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print module structure.") Term.(const run $ path_arg)
+
+let () =
+  let info =
+    Cmd.info "twine" ~version:"1.0.0"
+      ~doc:"A trusted WebAssembly runtime for (simulated) Intel SGX enclaves."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; validate_cmd; wat2wasm_cmd; inspect_cmd ]))

@@ -1,0 +1,1 @@
+examples/attested_deploy.ml: Attestation Enclave Machine Printf Runtime String Twine Twine_crypto Twine_sgx Twine_wasm

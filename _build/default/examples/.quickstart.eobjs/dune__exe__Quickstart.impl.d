@@ -1,0 +1,1 @@
+examples/quickstart.ml: Enclave Machine Printf Runtime String Twine Twine_crypto Twine_sgx Twine_wasm

@@ -1,0 +1,1 @@
+examples/secure_db.ml: Backing Bench_db Db List Machine Pager Printf Protected_fs Runtime String Twine Twine_ipfs Twine_sgx Twine_sqldb Value

@@ -1,0 +1,1 @@
+examples/trusted_kv.ml: Backing Bytes Char Enclave Machine Option Printf Protected_fs Seal String Twine_ipfs Twine_sgx

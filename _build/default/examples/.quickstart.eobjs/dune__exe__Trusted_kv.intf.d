@@ -1,0 +1,1 @@
+examples/trusted_kv.mli:

@@ -1,0 +1,57 @@
+(* Figure 1's workflow end to end: an application provider who only
+   releases its (confidential) Wasm module to an enclave that proves,
+   via remote attestation, that it runs the genuine TWINE runtime.
+
+     dune exec examples/attested_deploy.exe *)
+
+open Twine
+open Twine_sgx
+
+let confidential_app =
+  {|(module
+      (import "wasi_snapshot_preview1" "fd_write"
+        (func $fd_write (param i32 i32 i32 i32) (result i32)))
+      (memory (export "memory") 1)
+      (data (i32.const 100) "proprietary model executed in-enclave\n")
+      (func (export "_start")
+        (i32.store (i32.const 8) (i32.const 100))
+        (i32.store (i32.const 12) (i32.const 38))
+        (drop (call $fd_write (i32.const 1) (i32.const 8) (i32.const 1) (i32.const 20)))))|}
+
+let () =
+  (* The provider compiles its app ahead of time (Figure 1, step 1). *)
+  let wasm_binary = Twine_wasm.Binary.encode (Twine_wasm.Wat.parse confidential_app) in
+  Printf.printf "provider: module is %d bytes of confidential Wasm\n"
+    (String.length wasm_binary);
+
+  (* A data-centre machine the provider has never seen, but whose CPU is
+     registered with the attestation service. *)
+  let machine = Machine.create ~seed:"edge-node-17" () in
+  let service = Attestation.service_for machine in
+  let provider = Runtime.Provider.create ~wasm:wasm_binary ~service in
+
+  (* The hosting platform starts a TWINE enclave and asks for the app. *)
+  let rt = Runtime.create machine in
+  Runtime.deploy_from rt provider;
+  print_endline "provider: quote verified, module delivered over protected channel";
+
+  let r = Runtime.run rt in
+  print_string r.Runtime.stdout;
+
+  (* A machine outside the attestation service's registry is refused. *)
+  let rogue = Machine.create ~seed:"rogue-cloud" () in
+  let rogue_rt = Runtime.create rogue in
+  (try
+     Runtime.deploy_from rogue_rt provider;
+     print_endline "BUG: rogue machine obtained the module!"
+   with Runtime.Deploy_error e -> Printf.printf "rogue machine refused: %s\n" e);
+
+  (* An enclave with the right CPU but the wrong code is also refused:
+     the quote carries MRENCLAVE of whatever actually runs. *)
+  let impostor = Enclave.create machine ~code:"impostor runtime" () in
+  let q =
+    Attestation.quote impostor ~data:(Twine_crypto.Sha256.digest (String.make 32 'x'))
+  in
+  (match Runtime.Provider.deliver provider ~quote:q ~runtime_pub:(String.make 32 'x') with
+  | Error e -> Printf.printf "impostor enclave refused: %s\n" e
+  | Ok _ -> print_endline "BUG: impostor obtained the module!")

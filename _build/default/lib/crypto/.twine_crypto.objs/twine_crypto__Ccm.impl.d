@@ -1,0 +1,1 @@
+lib/crypto/ccm.ml: Aes Bytes Char Modes String

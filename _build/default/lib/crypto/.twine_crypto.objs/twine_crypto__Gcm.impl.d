@@ -1,0 +1,1 @@
+lib/crypto/gcm.ml: Aes Array Bytes Char Int64 Modes String

@@ -1,0 +1,1 @@
+lib/crypto/hexcodec.ml: Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/modes.ml: Aes Bytes Char String

@@ -1,0 +1,1 @@
+lib/crypto/modes.mli: Aes Bytes

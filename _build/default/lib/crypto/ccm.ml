@@ -1,0 +1,126 @@
+(* NIST SP 800-38C with the usual RFC 3610 formatting function. The length
+   field width is q = 15 - nonce_len. *)
+
+let check_params ~nonce ~tag_len =
+  let n = String.length nonce in
+  if n < 7 || n > 13 then invalid_arg "Ccm: nonce must be 7..13 bytes";
+  if tag_len < 4 || tag_len > 16 || tag_len mod 2 <> 0 then
+    invalid_arg "Ccm: tag_len must be even, 4..16";
+  15 - n
+
+let cbc_mac key ~nonce ~aad ~tag_len pt =
+  let q = check_params ~nonce ~tag_len in
+  let n = String.length nonce in
+  let plen = String.length pt in
+  let b0 = Bytes.make 16 '\000' in
+  let flags =
+    (if aad <> "" then 0x40 else 0)
+    lor (((tag_len - 2) / 2) lsl 3)
+    lor (q - 1)
+  in
+  Bytes.set b0 0 (Char.chr flags);
+  Bytes.blit_string nonce 0 b0 1 n;
+  for i = 0 to q - 1 do
+    Bytes.set b0 (15 - i) (Char.chr ((plen lsr (8 * i)) land 0xff))
+  done;
+  let mac = Bytes.create 16 in
+  Aes.encrypt_block key b0 ~src_off:0 mac ~dst_off:0;
+  let absorb_block block off len =
+    for i = 0 to len - 1 do
+      Bytes.set mac i
+        (Char.chr (Char.code (Bytes.get mac i) lxor Char.code (Bytes.get block (off + i))))
+    done;
+    Aes.encrypt_block key mac ~src_off:0 mac ~dst_off:0
+  in
+  (* Associated data with its length prefix, zero-padded to blocks. *)
+  if aad <> "" then begin
+    let alen = String.length aad in
+    let header =
+      if alen < 0xff00 then
+        let b = Bytes.create 2 in
+        Bytes.set b 0 (Char.chr (alen lsr 8));
+        Bytes.set b 1 (Char.chr (alen land 0xff));
+        Bytes.to_string b
+      else
+        (* 0xfffe prefix + 32-bit length *)
+        let b = Bytes.create 6 in
+        Bytes.set b 0 '\xff'; Bytes.set b 1 '\xfe';
+        for i = 0 to 3 do
+          Bytes.set b (2 + i) (Char.chr ((alen lsr (8 * (3 - i))) land 0xff))
+        done;
+        Bytes.to_string b
+    in
+    let full = header ^ aad in
+    let padded_len = ((String.length full + 15) / 16) * 16 in
+    let padded = Bytes.make padded_len '\000' in
+    Bytes.blit_string full 0 padded 0 (String.length full);
+    for i = 0 to (padded_len / 16) - 1 do
+      absorb_block padded (16 * i) 16
+    done
+  end;
+  (* Payload, zero-padded. *)
+  if plen > 0 then begin
+    let padded_len = ((plen + 15) / 16) * 16 in
+    let padded = Bytes.make padded_len '\000' in
+    Bytes.blit_string pt 0 padded 0 plen;
+    for i = 0 to (padded_len / 16) - 1 do
+      absorb_block padded (16 * i) 16
+    done
+  end;
+  Bytes.to_string mac
+
+let counter_block ~nonce i =
+  let q = 15 - String.length nonce in
+  let b = Bytes.make 16 '\000' in
+  Bytes.set b 0 (Char.chr (q - 1));
+  Bytes.blit_string nonce 0 b 1 (String.length nonce);
+  for j = 0 to q - 1 do
+    Bytes.set b (15 - j) (Char.chr ((i lsr (8 * j)) land 0xff))
+  done;
+  b
+
+let ctr_stream key ~nonce buf =
+  (* A_1.. blocks encrypt the payload; A_0 encrypts the MAC. *)
+  let len = Bytes.length buf in
+  let ks = Bytes.create 16 in
+  let pos = ref 0 and i = ref 1 in
+  while !pos < len do
+    Aes.encrypt_block key (counter_block ~nonce !i) ~src_off:0 ks ~dst_off:0;
+    let n = min 16 (len - !pos) in
+    for j = 0 to n - 1 do
+      Bytes.set buf (!pos + j)
+        (Char.chr (Char.code (Bytes.get buf (!pos + j)) lxor Char.code (Bytes.get ks j)))
+    done;
+    pos := !pos + 16;
+    incr i
+  done
+
+let mac_mask key ~nonce =
+  let ks = Bytes.create 16 in
+  Aes.encrypt_block key (counter_block ~nonce 0) ~src_off:0 ks ~dst_off:0;
+  Bytes.to_string ks
+
+let encrypt key ~nonce ?(aad = "") ?(tag_len = 16) pt =
+  let mac = cbc_mac key ~nonce ~aad ~tag_len pt in
+  let mask = mac_mask key ~nonce in
+  let tag =
+    String.init tag_len (fun i -> Char.chr (Char.code mac.[i] lxor Char.code mask.[i]))
+  in
+  let buf = Bytes.of_string pt in
+  ctr_stream key ~nonce buf;
+  (Bytes.to_string buf, tag)
+
+let decrypt key ~nonce ?(aad = "") ~tag ciphertext =
+  let tag_len = String.length tag in
+  if tag_len < 4 || tag_len > 16 || tag_len mod 2 <> 0 then None
+  else begin
+    let buf = Bytes.of_string ciphertext in
+    ctr_stream key ~nonce buf;
+    let pt = Bytes.to_string buf in
+    let mac = cbc_mac key ~nonce ~aad ~tag_len pt in
+    let mask = mac_mask key ~nonce in
+    let expected =
+      String.init tag_len (fun i -> Char.chr (Char.code mac.[i] lxor Char.code mask.[i]))
+    in
+    if Modes.ct_equal expected tag then Some pt else None
+  end

@@ -1,0 +1,15 @@
+(** AES-CCM authenticated encryption (NIST SP 800-38C).
+
+    CCM is MAC-then-encrypt: the CBC-MAC is computed over the plaintext, so
+    a decryptor can authenticate data that already sits in trusted memory.
+    This is the property §V-F of the paper exploits for the optimised
+    protected file system (zero-copy reads from untrusted memory). *)
+
+val encrypt :
+  Aes.key -> nonce:string -> ?aad:string -> ?tag_len:int -> string -> string * string
+(** [encrypt k ~nonce ~aad pt] returns [(ciphertext, tag)]. The nonce must
+    be 7–13 bytes; [tag_len] is 4–16 and even (default 16). *)
+
+val decrypt :
+  Aes.key -> nonce:string -> ?aad:string -> tag:string -> string -> string option
+(** Returns [Some plaintext] when the tag verifies. *)

@@ -1,0 +1,42 @@
+type t = { mutable k : string; mutable v : string }
+
+let update t provided =
+  t.k <- Hmac.hmac_sha256 ~key:t.k (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.hmac_sha256 ~key:t.k t.v;
+  if provided <> "" then begin
+    t.k <- Hmac.hmac_sha256 ~key:t.k (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.hmac_sha256 ~key:t.k t.v
+  end
+
+let create ?(personalization = "") ~seed () =
+  let t = { k = String.make 32 '\000'; v = String.make 32 '\001' } in
+  update t (seed ^ personalization);
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate";
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.hmac_sha256 ~key:t.k t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let uint64 t =
+  let s = generate t 8 in
+  let v = ref 0L in
+  String.iter (fun c -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c))) s;
+  !v
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Drbg.int_below";
+  (* Rejection sampling over 62-bit values to avoid modulo bias. *)
+  let rec go () =
+    let v = Int64.to_int (Int64.logand (uint64 t) 0x3fffffffffffffffL) in
+    let limit = 0x3fffffffffffffff - (0x3fffffffffffffff mod bound) in
+    if v >= limit then go () else v mod bound
+  in
+  go ()

@@ -1,0 +1,17 @@
+(** HMAC_DRBG with SHA-256 (NIST SP 800-90A).
+
+    Deterministic random generation: SGX-simulated enclaves use an instance
+    seeded from the enclave identity so experiments are reproducible, and
+    the WASI [random_get] trusted implementation draws from it. *)
+
+type t
+
+val create : ?personalization:string -> seed:string -> unit -> t
+val reseed : t -> string -> unit
+
+val generate : t -> int -> string
+(** [generate t n] produces [n] pseudorandom bytes. *)
+
+val uint64 : t -> int64
+val int_below : t -> int -> int
+(** Uniform in [0, bound); rejection-sampled. @raise Invalid_argument if bound <= 0. *)

@@ -1,0 +1,120 @@
+(* GHASH is computed with a per-key 16x256 table: entry [t.(j).(b)] is the
+   GF(2^128) product of H and the byte value [b] placed at byte position
+   [j] of the input block, so one multiplication is 16 table lookups and
+   xors. The table is built from the 128 "powers" H * alpha^i. *)
+
+type u128 = { hi : int64; lo : int64 }
+
+let zero = { hi = 0L; lo = 0L }
+let ( ^^ ) a b = { hi = Int64.logxor a.hi b.hi; lo = Int64.logxor a.lo b.lo }
+
+(* Multiply by alpha (right shift by one bit with reduction poly R). *)
+let shift_right_reduce v =
+  let lsb = Int64.logand v.lo 1L in
+  let lo = Int64.logor (Int64.shift_right_logical v.lo 1) (Int64.shift_left v.hi 63) in
+  let hi = Int64.shift_right_logical v.hi 1 in
+  if lsb = 1L then { hi = Int64.logxor hi 0xe100000000000000L; lo } else { hi; lo }
+
+type key = { aes : Aes.key; table : u128 array array }
+
+let block_of_string s off =
+  let get i = Int64.of_int (Char.code s.[off + i]) in
+  let word base =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8) (get (base + i))
+    done;
+    !v
+  in
+  { hi = word 0; lo = word 8 }
+
+let string_of_block v =
+  String.init 16 (fun i ->
+      let w = if i < 8 then v.hi else v.lo in
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * (7 - (i mod 8)))) 0xffL)))
+
+let of_aes aes =
+  let h = block_of_string (Aes.encrypt_block_str aes (String.make 16 '\000')) 0 in
+  (* powers.(i) = H * alpha^i for MSB-first bit index i *)
+  let powers = Array.make 128 zero in
+  powers.(0) <- h;
+  for i = 1 to 127 do
+    powers.(i) <- shift_right_reduce powers.(i - 1)
+  done;
+  let table =
+    Array.init 16 (fun j ->
+        Array.init 256 (fun b ->
+            let acc = ref zero in
+            for bit = 0 to 7 do
+              if b land (0x80 lsr bit) <> 0 then acc := !acc ^^ powers.((8 * j) + bit)
+            done;
+            !acc))
+  in
+  { aes; table }
+
+let of_raw raw = of_aes (Aes.expand raw)
+
+let gmul k x =
+  let acc = ref zero in
+  let s = string_of_block x in
+  for j = 0 to 15 do
+    acc := !acc ^^ k.table.(j).(Char.code s.[j])
+  done;
+  !acc
+
+let ghash_update k acc block = gmul k (acc ^^ block)
+
+(* GHASH over a string padded with zeros to a block multiple. *)
+let ghash_string k acc s =
+  let n = String.length s in
+  let acc = ref acc in
+  let full = n / 16 in
+  for i = 0 to full - 1 do
+    acc := ghash_update k !acc (block_of_string s (16 * i))
+  done;
+  let rem = n - (16 * full) in
+  if rem > 0 then begin
+    let last = Bytes.make 16 '\000' in
+    Bytes.blit_string s (16 * full) last 0 rem;
+    acc := ghash_update k !acc (block_of_string (Bytes.to_string last) 0)
+  end;
+  !acc
+
+let len_block aad_len ct_len =
+  { hi = Int64.of_int (8 * aad_len); lo = Int64.of_int (8 * ct_len) }
+
+let j0 iv =
+  if String.length iv <> 12 then invalid_arg "Gcm: IV must be 12 bytes";
+  let b = Bytes.make 16 '\000' in
+  Bytes.blit_string iv 0 b 0 12;
+  Bytes.set b 15 '\001';
+  b
+
+let compute_tag k ~iv ~aad ct =
+  let acc = ghash_string k zero aad in
+  let acc = ghash_string k acc ct in
+  let acc = ghash_update k acc (len_block (String.length aad) (String.length ct)) in
+  let ek_j0 = Bytes.create 16 in
+  Aes.encrypt_block k.aes (j0 iv) ~src_off:0 ek_j0 ~dst_off:0;
+  let tag = Bytes.of_string (string_of_block acc) in
+  Modes.xor_into ~src:(Bytes.to_string ek_j0) tag ~off:0 ~len:16;
+  Bytes.to_string tag
+
+let encrypt k ~iv ?(aad = "") plaintext =
+  let counter = j0 iv in
+  Modes.inc32 counter;
+  let buf = Bytes.of_string plaintext in
+  Modes.ctr_transform k.aes ~counter buf ~off:0 ~len:(Bytes.length buf);
+  let ct = Bytes.to_string buf in
+  (ct, compute_tag k ~iv ~aad ct)
+
+let decrypt k ~iv ?(aad = "") ~tag ciphertext =
+  let expected = compute_tag k ~iv ~aad ciphertext in
+  if not (Modes.ct_equal expected tag) then None
+  else begin
+    let counter = j0 iv in
+    Modes.inc32 counter;
+    let buf = Bytes.of_string ciphertext in
+    Modes.ctr_transform k.aes ~counter buf ~off:0 ~len:(Bytes.length buf);
+    Some (Bytes.to_string buf)
+  end

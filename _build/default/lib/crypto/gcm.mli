@@ -1,0 +1,19 @@
+(** AES-GCM authenticated encryption (NIST SP 800-38D).
+
+    This is the cipher used by the stock Intel Protected File System: each
+    4 KiB node is sealed with AES-GCM (encrypt-then-MAC). Tags are 16
+    bytes; IVs must be 12 bytes (the only length IPFS uses). *)
+
+type key
+
+val of_aes : Aes.key -> key
+(** Derive the GHASH tables from an AES key (one-time per-key cost). *)
+
+val of_raw : string -> key
+(** [of_raw k] = [of_aes (Aes.expand k)]. *)
+
+val encrypt : key -> iv:string -> ?aad:string -> string -> string * string
+(** [encrypt k ~iv ~aad plaintext] returns [(ciphertext, tag)]. *)
+
+val decrypt : key -> iv:string -> ?aad:string -> tag:string -> string -> string option
+(** Returns [Some plaintext] if the tag verifies, [None] otherwise. *)

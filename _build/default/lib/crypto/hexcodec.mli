@@ -1,0 +1,8 @@
+(** Hex encoding/decoding helpers (used pervasively in tests and tools). *)
+
+val encode : string -> string
+(** Lowercase hex of a raw string. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts upper or lower case.
+    @raise Invalid_argument on odd length or non-hex characters. *)

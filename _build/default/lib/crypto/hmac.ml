@@ -1,0 +1,33 @@
+let block_size = 64
+
+let hmac_sha256 ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad fill =
+    let b = Bytes.make block_size fill in
+    String.iteri
+      (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor Char.code fill)))
+      key;
+    Bytes.to_string b
+  in
+  let ipad = pad '\x36' and opad = pad '\x5c' in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let hkdf_extract ?(salt = "") ikm =
+  let salt = if salt = "" then String.make 32 '\000' else salt in
+  hmac_sha256 ~key:salt ikm
+
+let hkdf_expand ~prk ~info ~length =
+  if length < 0 || length > 255 * 32 then invalid_arg "Hmac.hkdf_expand: length";
+  let buf = Buffer.create length in
+  let rec go t i =
+    if Buffer.length buf >= length then ()
+    else begin
+      let t = hmac_sha256 ~key:prk (t ^ info ^ String.make 1 (Char.chr i)) in
+      Buffer.add_string buf t;
+      go t (i + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 length
+
+let derive ~key ~info ~length = hkdf_expand ~prk:(hkdf_extract key) ~info ~length

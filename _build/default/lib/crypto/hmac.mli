@@ -1,0 +1,13 @@
+(** HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). *)
+
+val hmac_sha256 : key:string -> string -> string
+(** 32-byte MAC. *)
+
+val hkdf_extract : ?salt:string -> string -> string
+(** [hkdf_extract ?salt ikm] returns a 32-byte pseudorandom key. *)
+
+val hkdf_expand : prk:string -> info:string -> length:int -> string
+(** Expand a PRK into [length] bytes (max 255*32). *)
+
+val derive : key:string -> info:string -> length:int -> string
+(** One-shot extract-then-expand; used for SGX key derivation. *)

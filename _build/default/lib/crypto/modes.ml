@@ -1,0 +1,39 @@
+let xor_into ~src buf ~off ~len =
+  for i = 0 to len - 1 do
+    Bytes.set buf (off + i)
+      (Char.chr (Char.code (Bytes.get buf (off + i)) lxor Char.code src.[i]))
+  done
+
+let ct_equal a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+       !acc = 0
+     end
+
+let inc32 block =
+  let rec bump i =
+    if i >= 12 then begin
+      let v = (Char.code (Bytes.get block i) + 1) land 0xff in
+      Bytes.set block i (Char.chr v);
+      if v = 0 then bump (i - 1)
+    end
+  in
+  bump 15
+
+let ctr_transform key ~counter buf ~off ~len =
+  let ks = Bytes.create 16 in
+  let pos = ref 0 in
+  while !pos < len do
+    Aes.encrypt_block key counter ~src_off:0 ks ~dst_off:0;
+    inc32 counter;
+    let n = min 16 (len - !pos) in
+    for i = 0 to n - 1 do
+      Bytes.set buf (off + !pos + i)
+        (Char.chr
+           (Char.code (Bytes.get buf (off + !pos + i))
+           lxor Char.code (Bytes.get ks i)))
+    done;
+    pos := !pos + 16
+  done

@@ -1,0 +1,18 @@
+(** Unauthenticated block-cipher modes and shared helpers. *)
+
+val ctr_transform :
+  Aes.key -> counter:Bytes.t -> Bytes.t -> off:int -> len:int -> unit
+(** [ctr_transform k ~counter buf ~off ~len] encrypts (or, identically,
+    decrypts) [len] bytes of [buf] in place with AES-CTR. [counter] is the
+    initial 16-byte counter block and is advanced (big-endian increment of
+    the last 32 bits) as blocks are consumed; it is mutated. *)
+
+val xor_into : src:string -> Bytes.t -> off:int -> len:int -> unit
+(** XOR [len] bytes of [src] into [buf] starting at [off]. *)
+
+val ct_equal : string -> string -> bool
+(** Constant-time equality of equal-length strings (false on length
+    mismatch). Used for MAC verification. *)
+
+val inc32 : Bytes.t -> unit
+(** Big-endian increment of the last 4 bytes of a 16-byte block. *)

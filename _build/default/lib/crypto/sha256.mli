@@ -1,0 +1,16 @@
+(** SHA-256 (FIPS 180-4), incremental and one-shot. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val update_bytes : ctx -> Bytes.t -> off:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** 32-byte digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash of a full string; 32-byte digest. *)
+
+val hex : string -> string
+(** Lowercase hex encoding of an arbitrary string. *)

@@ -1,0 +1,1 @@
+lib/ipfs/backing.ml: Array Buffer Bytes Filename Fun Hashtbl List Option String Sys Unix

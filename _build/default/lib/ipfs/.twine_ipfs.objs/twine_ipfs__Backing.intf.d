@@ -1,0 +1,1 @@
+lib/ipfs/backing.mli:

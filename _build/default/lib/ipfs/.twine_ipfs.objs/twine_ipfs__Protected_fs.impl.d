@@ -1,0 +1,1 @@
+lib/ipfs/protected_fs.ml: Aes Array Backing Buffer Bytes Ccm Char Costs Enclave Gcm Hmac List Machine Printf Seal String Twine_crypto Twine_sgx Twine_sim

@@ -1,0 +1,1 @@
+lib/ipfs/protected_fs.mli: Backing Bytes Twine_sgx

@@ -1,0 +1,23 @@
+(** Untrusted backing store for protected files — the host file system as
+    seen from outside the enclave. Ciphertext only ever lands here. *)
+
+type t
+
+val memory : unit -> t
+(** In-memory store (used by tests and benches for determinism). *)
+
+val directory : string -> t
+(** Store files under a real directory on the host file system. Path
+    separators in keys are encoded, so keys cannot escape the root. *)
+
+val read : t -> string -> pos:int -> len:int -> string
+(** Short reads at EOF return fewer bytes; a missing file reads as empty. *)
+
+val write : t -> string -> pos:int -> string -> unit
+(** Extends the file with zero bytes if [pos] is past its current end. *)
+
+val size : t -> string -> int option
+val exists : t -> string -> bool
+val delete : t -> string -> bool
+val truncate : t -> string -> int -> unit
+val list : t -> string list

@@ -1,0 +1,400 @@
+open Twine_crypto
+open Twine_sgx
+
+type variant = Stock | Optimized
+
+let node_size = 4096
+let iv_len = 12
+let tag_len = 16
+let magic = "PFS1"
+
+(* Per-node sealing material kept in the encrypted header. *)
+type entry = { mutable iv : string; mutable tag : string; mutable present : bool }
+
+type node = { plaintext : Bytes.t; mutable dirty : bool; slot : int }
+
+type t = {
+  enclave : Enclave.t;
+  backing : Backing.t;
+  variant : variant;
+  cache_nodes : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type file = {
+  fs : t;
+  path : string;
+  gcm_key : Gcm.key;  (* stock cipher *)
+  aes_key : Aes.key;  (* optimised (CCM) cipher *)
+  header_key : Gcm.key;
+  mutable size : int;
+  mutable pos : int;
+  mutable entries : entry array;
+  cache : (int, node) Twine_sim.Lru.t;
+  cache_base : int;  (* enclave address of the node cache region *)
+  mutable closed : bool;
+}
+
+exception Integrity_violation of string
+
+let create enclave backing ?(variant = Stock) ?(cache_nodes = 48) () =
+  if cache_nodes < 1 then invalid_arg "Protected_fs.create: cache_nodes < 1";
+  { enclave; backing; variant; cache_nodes; hits = 0; misses = 0 }
+
+let variant t = t.variant
+let enclave t = t.enclave
+
+let meta_path path = path ^ ".pfsmeta"
+
+let machine t = Enclave.machine t.enclave
+
+(* Run [f] inside the enclave, entering via an ECALL when the caller is
+   still outside (standalone library use). *)
+let in_enclave t f =
+  if Enclave.inside t.enclave then f () else Enclave.ecall t.enclave (fun _ -> f ())
+
+let charge_untrusted_io t label n =
+  let m = machine t in
+  Machine.charge m label
+    (m.costs.untrusted_io_base_ns + Costs.bytes_ns m.costs.untrusted_io_ns_per_byte n)
+
+let charge_crypto t n =
+  let m = machine t in
+  Machine.charge m "ipfs.crypto" (Costs.bytes_ns m.costs.aes_ns_per_byte n)
+
+let node_aad idx = "node:" ^ string_of_int idx
+
+(* --- Header (de)serialisation --- *)
+
+let put_u32 b v =
+  for i = 0 to 3 do Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff)) done
+
+let put_u64 b v =
+  for i = 0 to 7 do Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff)) done
+
+let get_u32 s off =
+  let v = ref 0 in
+  for i = 3 downto 0 do v := (!v lsl 8) lor Char.code s.[off + i] done;
+  !v
+
+let get_u64 s off =
+  let v = ref 0 in
+  for i = 7 downto 0 do v := (!v lsl 8) lor Char.code s.[off + i] done;
+  !v
+
+let serialize_header file =
+  let b = Buffer.create (16 + (Array.length file.entries * (iv_len + tag_len + 1))) in
+  put_u64 b file.size;
+  put_u32 b (Array.length file.entries);
+  Array.iter
+    (fun e ->
+      Buffer.add_char b (if e.present then '\001' else '\000');
+      Buffer.add_string b (if e.present then e.iv else String.make iv_len '\000');
+      Buffer.add_string b (if e.present then e.tag else String.make tag_len '\000'))
+    file.entries;
+  Buffer.contents b
+
+let deserialize_header s =
+  if String.length s < 12 then raise (Integrity_violation "header too short");
+  let size = get_u64 s 0 in
+  let count = get_u32 s 8 in
+  let stride = 1 + iv_len + tag_len in
+  if String.length s < 12 + (count * stride) then
+    raise (Integrity_violation "header truncated");
+  let entries =
+    Array.init count (fun i ->
+        let off = 12 + (i * stride) in
+        {
+          present = s.[off] = '\001';
+          iv = String.sub s (off + 1) iv_len;
+          tag = String.sub s (off + 1 + iv_len) tag_len;
+        })
+  in
+  (size, entries)
+
+(* --- Node encryption --- *)
+
+let encrypt_node file idx plaintext =
+  let iv = Enclave.random file.fs.enclave iv_len in
+  let aad = node_aad idx in
+  let ct, tag =
+    match file.fs.variant with
+    | Stock -> Gcm.encrypt file.gcm_key ~iv ~aad plaintext
+    | Optimized -> Ccm.encrypt file.aes_key ~nonce:iv ~aad plaintext
+  in
+  (iv, ct, tag)
+
+let decrypt_node file idx ~iv ~tag ciphertext =
+  let aad = node_aad idx in
+  let res =
+    match file.fs.variant with
+    | Stock -> Gcm.decrypt file.gcm_key ~iv ~aad ~tag ciphertext
+    | Optimized -> Ccm.decrypt file.aes_key ~nonce:iv ~aad ~tag ciphertext
+  in
+  match res with
+  | Some pt -> pt
+  | None ->
+      raise (Integrity_violation (Printf.sprintf "%s: node %d" file.path idx))
+
+(* --- Entries growth --- *)
+
+let ensure_entry file idx =
+  let n = Array.length file.entries in
+  if idx >= n then begin
+    let grown =
+      Array.init (max (idx + 1) (max 4 (2 * n))) (fun i ->
+          if i < n then file.entries.(i)
+          else { iv = ""; tag = ""; present = false })
+    in
+    file.entries <- grown
+  end;
+  file.entries.(idx)
+
+(* --- Cache management with cost accounting --- *)
+
+let slot_addr file slot = file.cache_base + (slot * 2 * node_size)
+
+let write_back file idx (node : node) =
+  let fs = file.fs in
+  let pt = Bytes.to_string node.plaintext in
+  charge_crypto fs node_size;
+  let iv, ct, tag = encrypt_node file idx pt in
+  let e = ensure_entry file idx in
+  e.iv <- iv;
+  e.tag <- tag;
+  e.present <- true;
+  Enclave.copy_out fs.enclave ~label:"ipfs.write" node_size;
+  Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+      charge_untrusted_io fs "ipfs.write" node_size;
+      Backing.write fs.backing file.path ~pos:(idx * node_size) ct);
+  node.dirty <- false
+
+let evict file (idx, node) =
+  if node.dirty then write_back file idx node;
+  (* Stock IPFS clears the plaintext buffer of dropped nodes. *)
+  if file.fs.variant = Stock then
+    Enclave.memset file.fs.enclave ~label:"ipfs.memset" node_size
+
+(* Load node [idx] into the cache, returning it. *)
+let load_node file idx =
+  let fs = file.fs in
+  match Twine_sim.Lru.find file.cache idx with
+  | Some node ->
+      fs.hits <- fs.hits + 1;
+      Enclave.touch fs.enclave ~addr:(slot_addr file node.slot) ~len:node_size;
+      node
+  | None ->
+      fs.misses <- fs.misses + 1;
+      let slot = idx mod fs.cache_nodes in
+      (* Stock IPFS zeroes the whole node structure (two 4 KiB buffers
+         plus metadata) before filling it (§V-F). *)
+      if fs.variant = Stock then
+        Enclave.memset fs.enclave ~label:"ipfs.memset" ((2 * node_size) + 64);
+      let e = if idx < Array.length file.entries then file.entries.(idx) else
+          { iv = ""; tag = ""; present = false } in
+      let plaintext =
+        if e.present then begin
+          let ct =
+            Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+                charge_untrusted_io fs "ipfs.read" node_size;
+                Backing.read fs.backing file.path ~pos:(idx * node_size) ~len:node_size)
+          in
+          if String.length ct <> node_size then
+            raise (Integrity_violation (Printf.sprintf "%s: node %d missing" file.path idx));
+          (* Stock: the edge routine copies the ciphertext into enclave
+             memory before GCM decryption; optimised CCM decrypts straight
+             from the untrusted buffer. *)
+          if fs.variant = Stock then
+            Enclave.copy_in fs.enclave ~label:"ipfs.read" node_size;
+          charge_crypto fs node_size;
+          Bytes.of_string (decrypt_node file idx ~iv:e.iv ~tag:e.tag ct)
+        end
+        else Bytes.make node_size '\000'
+      in
+      let node = { plaintext; dirty = false; slot } in
+      Enclave.touch fs.enclave ~addr:(slot_addr file slot) ~len:node_size;
+      (match Twine_sim.Lru.put file.cache idx node with
+      | Some evicted -> evict file evicted
+      | None -> ());
+      node
+
+(* --- Header I/O --- *)
+
+let write_header file =
+  let fs = file.fs in
+  let pt = serialize_header file in
+  charge_crypto fs (String.length pt);
+  let iv = Enclave.random fs.enclave iv_len in
+  let ct, tag = Gcm.encrypt file.header_key ~iv ~aad:"header" pt in
+  let b = Buffer.create (String.length ct + 40) in
+  Buffer.add_string b magic;
+  Buffer.add_string b iv;
+  put_u32 b (String.length ct);
+  Buffer.add_string b ct;
+  Buffer.add_string b tag;
+  let blob = Buffer.contents b in
+  Enclave.copy_out fs.enclave ~label:"ipfs.write" (String.length blob);
+  Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+      charge_untrusted_io fs "ipfs.write" (String.length blob);
+      Backing.truncate fs.backing (meta_path file.path) 0;
+      Backing.write fs.backing (meta_path file.path) ~pos:0 blob)
+
+let read_header fs ~path ~header_key =
+  let mp = meta_path path in
+  match Backing.size fs.backing mp with
+  | None -> None
+  | Some n ->
+      let blob =
+        Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+            charge_untrusted_io fs "ipfs.read" n;
+            Backing.read fs.backing mp ~pos:0 ~len:n)
+      in
+      if String.length blob < 36 || String.sub blob 0 4 <> magic then
+        raise (Integrity_violation (path ^ ": bad header"));
+      let iv = String.sub blob 4 iv_len in
+      let ct_len = get_u32 blob (4 + iv_len) in
+      if String.length blob < 4 + iv_len + 4 + ct_len + tag_len then
+        raise (Integrity_violation (path ^ ": truncated header"));
+      let ct = String.sub blob (4 + iv_len + 4) ct_len in
+      let tag = String.sub blob (4 + iv_len + 4 + ct_len) tag_len in
+      Enclave.copy_in fs.enclave ~label:"ipfs.read" (String.length blob);
+      charge_crypto fs ct_len;
+      (match Gcm.decrypt header_key ~iv ~aad:"header" ~tag ct with
+      | Some pt -> Some (deserialize_header pt)
+      | None -> raise (Integrity_violation (path ^ ": header authentication failed")))
+
+(* --- Public API --- *)
+
+let derive_keys fs ?key ~path () =
+  let master =
+    match key with
+    | Some k ->
+        if String.length k <> 16 then invalid_arg "Protected_fs: key must be 16 bytes";
+        k
+    | None ->
+        (* Automatic key: derived from the enclave sealing identity and the
+           path, hence unrecoverable on another CPU or enclave (§IV-E). *)
+        Hmac.derive ~key:(Seal.key fs.enclave ~label:"pfs" ())
+          ~info:("pfs-file:" ^ path) ~length:16
+  in
+  let header_raw = Hmac.derive ~key:master ~info:"pfs-header" ~length:16 in
+  (Gcm.of_raw master, Aes.expand master, Gcm.of_raw header_raw)
+
+let open_file t ?key ~mode path =
+  in_enclave t (fun () ->
+      let gcm_key, aes_key, header_key = derive_keys t ?key ~path () in
+      let file =
+        {
+          fs = t;
+          path;
+          gcm_key;
+          aes_key;
+          header_key;
+          size = 0;
+          pos = 0;
+          entries = [||];
+          cache = Twine_sim.Lru.create ~capacity:t.cache_nodes ();
+          cache_base = Enclave.alloc t.enclave (t.cache_nodes * 2 * node_size);
+          closed = false;
+        }
+      in
+      (match mode with
+      | `Trunc ->
+          ignore (Backing.delete t.backing path);
+          ignore (Backing.delete t.backing (meta_path path))
+      | `Rdonly | `Rdwr -> (
+          match read_header t ~path ~header_key with
+          | Some (size, entries) ->
+              file.size <- size;
+              file.entries <- entries
+          | None ->
+              if mode = `Rdonly then
+                raise (Sys_error (path ^ ": no such protected file"))));
+      file)
+
+let check_open file = if file.closed then invalid_arg "Protected_fs: file is closed"
+
+let read file buf ~off ~len =
+  check_open file;
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Protected_fs.read";
+  in_enclave file.fs (fun () ->
+      let remaining = min len (file.size - file.pos) in
+      if remaining <= 0 then 0
+      else begin
+        let copied = ref 0 in
+        while !copied < remaining do
+          let pos = file.pos + !copied in
+          let idx = pos / node_size and in_node = pos mod node_size in
+          let chunk = min (node_size - in_node) (remaining - !copied) in
+          let node = load_node file idx in
+          Bytes.blit node.plaintext in_node buf (off + !copied) chunk;
+          copied := !copied + chunk
+        done;
+        file.pos <- file.pos + remaining;
+        remaining
+      end)
+
+let write file data =
+  check_open file;
+  in_enclave file.fs (fun () ->
+      let len = String.length data in
+      let written = ref 0 in
+      while !written < len do
+        let pos = file.pos + !written in
+        let idx = pos / node_size and in_node = pos mod node_size in
+        let chunk = min (node_size - in_node) (len - !written) in
+        let node = load_node file idx in
+        Bytes.blit_string data !written node.plaintext in_node chunk;
+        node.dirty <- true;
+        ignore (ensure_entry file idx);
+        written := !written + chunk
+      done;
+      file.pos <- file.pos + len;
+      if file.pos > file.size then file.size <- file.pos;
+      len)
+
+let seek file ~offset ~whence =
+  check_open file;
+  let target =
+    match whence with
+    | `Set -> offset
+    | `Cur -> file.pos + offset
+    | `End -> file.size + offset
+  in
+  if target < 0 then Error "negative offset"
+  else if target > file.size then Error "beyond end of file"
+  else begin
+    file.pos <- target;
+    Ok target
+  end
+
+let tell file = file.pos
+let file_size file = file.size
+
+let flush file =
+  check_open file;
+  in_enclave file.fs (fun () ->
+      Twine_sim.Lru.iter
+        (fun idx node -> if node.dirty then write_back file idx node)
+        file.cache;
+      write_header file)
+
+let close file =
+  if not file.closed then begin
+    flush file;
+    in_enclave file.fs (fun () ->
+        List.iter (fun entry -> evict file entry) (Twine_sim.Lru.to_list file.cache);
+        Twine_sim.Lru.clear file.cache);
+    file.closed <- true
+  end
+
+let delete t path =
+  let a = Backing.delete t.backing path in
+  let b = Backing.delete t.backing (meta_path path) in
+  a || b
+
+let exists t path = Backing.exists t.backing (meta_path path)
+
+let cache_stats t = (t.hits, t.misses)

@@ -1,0 +1,1 @@
+lib/polybench/kernel_dsl.ml: Array Builder Float Instance Int64 List Memory Printf Twine_wasm Types

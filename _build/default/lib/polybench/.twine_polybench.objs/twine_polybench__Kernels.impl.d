@@ -1,0 +1,1 @@
+lib/polybench/kernels.ml: Float Kernel_dsl List Stdlib

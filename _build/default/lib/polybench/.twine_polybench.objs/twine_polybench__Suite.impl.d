@@ -1,0 +1,1 @@
+lib/polybench/suite.ml: Aot Array Float Int64 Interp Kernel_dsl List Twine_wasm Unix

@@ -1,0 +1,307 @@
+(* A small loop-nest language in which the PolyBench/C kernels are
+   written once and executed two ways:
+
+   - compiled to OCaml closures over flat float arrays (the "native"
+     baseline of Fig 3), and
+   - compiled to a genuine WebAssembly module through {!Twine_wasm.Builder}
+     (the artifact the Wasm engines execute),
+
+   so the two implementations are derived from the same source and their
+   outputs can be cross-checked element by element. *)
+
+open Twine_wasm
+open Twine_wasm.Ast
+
+type iexp =
+  | Ic of int
+  | Iv of int  (* loop variable *)
+  | Iadd of iexp * iexp
+  | Isub of iexp * iexp
+  | Imul of iexp * iexp
+  | Imod of iexp * iexp
+
+type fexp =
+  | Fc of float
+  | Fload of int * iexp list  (* array id, indices *)
+  | Fof_i of iexp
+  | Fadd of fexp * fexp
+  | Fsub of fexp * fexp
+  | Fmul of fexp * fexp
+  | Fdiv of fexp * fexp
+  | Fneg of fexp
+  | Fsqrt of fexp
+  | Fabs of fexp
+  | Fmax of fexp * fexp
+  | Fmin of fexp * fexp
+
+type bcond =
+  | Ieq of iexp * iexp
+  | Ile of iexp * iexp
+  | Ilt of iexp * iexp
+  | Feq of fexp * fexp
+  | Fgt of fexp * fexp
+
+type stmt =
+  | Store of int * iexp list * fexp
+  | For of int * iexp * iexp * stmt list  (* var, lo, hi (exclusive) *)
+  | Ford of int * iexp * iexp * stmt list  (* var from hi-1 downto lo *)
+  | If of bcond * stmt list * stmt list
+
+type kernel = {
+  name : string;
+  arrays : (int * int list) list;  (* array id -> dimension sizes *)
+  n_vars : int;  (* loop variables, ids 0..n_vars-1 *)
+  body : stmt list;  (* includes data initialisation *)
+  out_arrays : int list;  (* arrays whose content is the kernel's result *)
+}
+
+let array_size dims = List.fold_left ( * ) 1 dims
+
+let dims_of k id =
+  match List.assoc_opt id k.arrays with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "%s: unknown array %d" k.name id)
+
+(* --- native execution: closure compilation over float arrays --- *)
+
+let rec comp_i (e : iexp) : int array -> int =
+  match e with
+  | Ic n -> fun _ -> n
+  | Iv k -> fun vars -> vars.(k)
+  | Iadd (a, b) ->
+      let ca = comp_i a and cb = comp_i b in
+      fun v -> ca v + cb v
+  | Isub (a, b) ->
+      let ca = comp_i a and cb = comp_i b in
+      fun v -> ca v - cb v
+  | Imul (a, b) ->
+      let ca = comp_i a and cb = comp_i b in
+      fun v -> ca v * cb v
+  | Imod (a, b) ->
+      let ca = comp_i a and cb = comp_i b in
+      fun v -> ca v mod cb v
+
+let flat_index dims idx_fns vars =
+  let rec go dims fns acc =
+    match (dims, fns) with
+    | [], [] -> acc
+    | d :: drest, f :: frest -> go drest frest ((acc * d) + f vars)
+    | _ -> invalid_arg "index arity mismatch"
+  in
+  match (dims, idx_fns) with
+  | d0 :: drest, f0 :: frest ->
+      ignore d0;
+      go drest frest (f0 vars)
+  | _ -> invalid_arg "index arity mismatch"
+
+let comp_native k =
+  let arrays =
+    List.map (fun (id, dims) -> (id, Array.make (array_size dims) 0.)) k.arrays
+  in
+  let arr id = List.assoc id arrays in
+  let rec comp_f (e : fexp) : int array -> float =
+    match e with
+    | Fc c -> fun _ -> c
+    | Fload (id, idx) ->
+        let a = arr id and dims = dims_of k id in
+        let fns = List.map comp_i idx in
+        fun v -> a.(flat_index dims fns v)
+    | Fof_i e ->
+        let c = comp_i e in
+        fun v -> float_of_int (c v)
+    | Fadd (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v -> ca v +. cb v
+    | Fsub (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v -> ca v -. cb v
+    | Fmul (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v -> ca v *. cb v
+    | Fdiv (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v -> ca v /. cb v
+    | Fneg a ->
+        let c = comp_f a in
+        fun v -> -.c v
+    | Fsqrt a ->
+        let c = comp_f a in
+        fun v -> Float.sqrt (c v)
+    | Fabs a ->
+        let c = comp_f a in
+        fun v -> Float.abs (c v)
+    | Fmax (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v ->
+          let x = ca v and y = cb v in
+          if x >= y then x else y
+    | Fmin (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v ->
+          let x = ca v and y = cb v in
+          if x <= y then x else y
+  in
+  let comp_b = function
+    | Ieq (a, b) ->
+        let ca = comp_i a and cb = comp_i b in
+        fun v -> ca v = cb v
+    | Ile (a, b) ->
+        let ca = comp_i a and cb = comp_i b in
+        fun v -> ca v <= cb v
+    | Ilt (a, b) ->
+        let ca = comp_i a and cb = comp_i b in
+        fun v -> ca v < cb v
+    | Feq (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v -> ca v = cb v
+    | Fgt (a, b) ->
+        let ca = comp_f a and cb = comp_f b in
+        fun v -> ca v > cb v
+  in
+  let rec comp_stmt (s : stmt) : int array -> unit =
+    match s with
+    | Store (id, idx, e) ->
+        let a = arr id and dims = dims_of k id in
+        let fns = List.map comp_i idx in
+        let ce = comp_f e in
+        fun v -> a.(flat_index dims fns v) <- ce v
+    | For (var, lo, hi, body) ->
+        let clo = comp_i lo and chi = comp_i hi in
+        let cb = comp_seq body in
+        fun v ->
+          let h = chi v in
+          let i = ref (clo v) in
+          while !i < h do
+            v.(var) <- !i;
+            cb v;
+            incr i
+          done
+    | Ford (var, lo, hi, body) ->
+        let clo = comp_i lo and chi = comp_i hi in
+        let cb = comp_seq body in
+        fun v ->
+          let l = clo v in
+          let i = ref (chi v - 1) in
+          while !i >= l do
+            v.(var) <- !i;
+            cb v;
+            decr i
+          done
+    | If (c, t, e) ->
+        let cc = comp_b c and ct = comp_seq t and ce = comp_seq e in
+        fun v -> if cc v then ct v else ce v
+  and comp_seq body =
+    let cs = Array.of_list (List.map comp_stmt body) in
+    fun v -> Array.iter (fun f -> f v) cs
+  in
+  let prog = comp_seq k.body in
+  let run () =
+    List.iter (fun (_, a) -> Array.fill a 0 (Array.length a) 0.) arrays;
+    prog (Array.make (max 1 k.n_vars) 0)
+  in
+  (run, fun id -> arr id)
+
+(* --- Wasm code generation --- *)
+
+type layout = { bases : (int * int) list; total_bytes : int }
+
+let layout_of k =
+  let bases, total =
+    List.fold_left
+      (fun (acc, off) (id, dims) -> ((id, off) :: acc, off + (8 * array_size dims)))
+      ([], 0) k.arrays
+  in
+  { bases = List.rev bases; total_bytes = total }
+
+let comp_wasm k =
+  let lay = layout_of k in
+  let base id = List.assoc id lay.bases in
+  let rec gi (e : iexp) : instr list =
+    match e with
+    | Ic n -> [ Builder.i32 n ]
+    | Iv v -> [ Local_get v ]
+    | Iadd (a, b) -> gi a @ gi b @ [ I32_binop Add ]
+    | Isub (a, b) -> gi a @ gi b @ [ I32_binop Sub ]
+    | Imul (a, b) -> gi a @ gi b @ [ I32_binop Mul ]
+    | Imod (a, b) -> gi a @ gi b @ [ I32_binop Rem_s ]
+  in
+  (* flattened element address: (((i0*d1+i1)*d2+i2)...)*8 + base *)
+  let addr id idx =
+    let dims = dims_of k id in
+    let rec go dims idx acc =
+      match (dims, idx) with
+      | [], [] -> acc
+      | d :: drest, i :: irest ->
+          go drest irest (acc @ [ Builder.i32 d; I32_binop Mul ] @ gi i @ [ I32_binop Add ])
+      | _ -> invalid_arg "index arity mismatch"
+    in
+    let flat =
+      match (dims, idx) with
+      | _ :: drest, i0 :: irest -> go drest irest (gi i0)
+      | _ -> invalid_arg "index arity mismatch"
+    in
+    flat @ [ Builder.i32 8; I32_binop Mul; Builder.i32 (base id); I32_binop Add ]
+  in
+  let rec gf (e : fexp) : instr list =
+    match e with
+    | Fc c -> [ F64_const c ]
+    | Fload (id, idx) -> addr id idx @ [ F64_load { offset = 0; align = 3 } ]
+    | Fof_i e -> gi e @ [ Cvt F64_convert_i32_s ]
+    | Fadd (a, b) -> gf a @ gf b @ [ F64_binop Fadd ]
+    | Fsub (a, b) -> gf a @ gf b @ [ F64_binop Fsub ]
+    | Fmul (a, b) -> gf a @ gf b @ [ F64_binop Fmul ]
+    | Fdiv (a, b) -> gf a @ gf b @ [ F64_binop Fdiv ]
+    | Fneg a -> gf a @ [ F64_unop Neg ]
+    | Fsqrt a -> gf a @ [ F64_unop Sqrt ]
+    | Fabs a -> gf a @ [ F64_unop Abs ]
+    | Fmax (a, b) -> gf a @ gf b @ [ F64_binop Twine_wasm.Ast.Fmax ]
+    | Fmin (a, b) -> gf a @ gf b @ [ F64_binop Twine_wasm.Ast.Fmin ]
+  in
+  let gb = function
+    | Ieq (a, b) -> gi a @ gi b @ [ I32_relop Eq ]
+    | Ile (a, b) -> gi a @ gi b @ [ I32_relop Le_s ]
+    | Ilt (a, b) -> gi a @ gi b @ [ I32_relop Lt_s ]
+    | Feq (a, b) -> gf a @ gf b @ [ F64_relop Twine_wasm.Ast.Feq ]
+    | Fgt (a, b) -> gf a @ gf b @ [ F64_relop Twine_wasm.Ast.Fgt ]
+  in
+  let rec gs (s : stmt) : instr list =
+    match s with
+    | Store (id, idx, e) -> addr id idx @ gf e @ [ F64_store { offset = 0; align = 3 } ]
+    | For (var, lo, hi, body) ->
+        Builder.for_ ~local:var ~start:(gi lo) ~bound:(gi hi) (gseq body)
+    | Ford (var, lo, hi, body) ->
+        (* var = hi-1; loop { if var < lo break; body; var-- } *)
+        gi hi
+        @ [ Builder.i32 1; I32_binop Sub; Local_set var;
+            Block
+              ( None,
+                [ Loop
+                    ( None,
+                      [ Local_get var ] @ gi lo
+                      @ [ I32_relop Lt_s; Br_if 1 ]
+                      @ gseq body
+                      @ [ Local_get var; Builder.i32 1; I32_binop Sub;
+                          Local_set var; Br 0 ] );
+                ] );
+          ]
+    | If (c, t, e) -> gb c @ [ Twine_wasm.Ast.If (None, gseq t, gseq e) ]
+  and gseq body = List.concat_map gs body in
+  let b = Builder.create () in
+  let pages = ((lay.total_bytes + Types.page_size - 1) / Types.page_size) + 1 in
+  Builder.add_memory b ~export:"memory" pages;
+  ignore
+    (Builder.add_func b ~name:"kernel" ~params:[] ~results:[]
+       ~locals:(List.init (max 1 k.n_vars) (fun _ -> Types.I32))
+       (gseq k.body));
+  (Builder.build b, lay)
+
+(* Read an output array back from a Wasm instance's linear memory. *)
+let read_wasm_array inst lay k id =
+  let mem =
+    match Instance.export_memory inst "memory" with
+    | Some m -> m
+    | None -> invalid_arg "kernel module has no memory"
+  in
+  let base = List.assoc id lay.bases in
+  let n = array_size (dims_of k id) in
+  Array.init n (fun i -> Int64.float_of_bits (Memory.load64 mem (base + (8 * i))))

@@ -1,0 +1,850 @@
+(* The 30 PolyBench/C v4.2.1 kernels, written in the loop-nest DSL.
+   Loop structure and operation mix follow the reference C sources; data
+   initialisation uses the PolyBench formulas (modular expressions scaled
+   to the dataset size) so results are deterministic and comparable
+   between the native and Wasm executions. Sizes are scaled down from the
+   paper's datasets to interpreter-friendly values; the bench harness
+   reports the sizes used. *)
+
+open Kernel_dsl
+
+(* shorthands *)
+let i = Iv 0
+let j = Iv 1
+let k = Iv 2
+let l = Iv 3
+let ( +! ) a b = Iadd (a, b)
+let ( -! ) a b = Isub (a, b)
+let ( *! ) a b = Imul (a, b)
+let ( %! ) a b = Imod (a, b)
+let c n = Ic n
+let ( +. ) a b = Fadd (a, b)
+let ( -. ) a b = Fsub (a, b)
+let ( *. ) a b = Fmul (a, b)
+let ( /. ) a b = Fdiv (a, b)
+let fi e = Fof_i e
+let fc v = Fc v
+let ld a idx = Fload (a, idx)
+let st a idx e = Store (a, idx, e)
+let for_ v lo hi body = For (v, lo, hi, body)
+
+(* PolyBench-style init: A[i][j] = ((i*j + shift) mod m) / m *)
+let init2 arr v1 v2 m shift =
+  st arr [ v1; v2 ] (fi (((v1 *! v2) +! c shift) %! c m) /. fi (c m))
+
+let init1 arr v m shift = st arr [ v ] (fi ((v +! c shift) %! c m) /. fi (c m))
+
+(* --- linear algebra: blas --- *)
+
+let gemm n =
+  (* C = alpha*A*B + beta*C *)
+  let a = 0 and b = 1 and cc = 2 in
+  {
+    name = "gemm";
+    arrays = [ (a, [ n; n ]); (b, [ n; n ]); (cc, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ init2 a i j n 1; init2 b i j n 2; init2 cc i j n 3 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st cc [ i; j ] (ld cc [ i; j ] *. fc 1.2);
+                for_ 2 (c 0) (c n)
+                  [ st cc [ i; j ]
+                      (ld cc [ i; j ] +. (fc 1.5 *. ld a [ i; k ] *. ld b [ k; j ])) ] ] ];
+      ];
+    out_arrays = [ cc ];
+  }
+
+let two_mm n =
+  let a = 0 and b = 1 and cc = 2 and d = 3 and tmp = 4 in
+  {
+    name = "2mm";
+    arrays = [ (a, [ n; n ]); (b, [ n; n ]); (cc, [ n; n ]); (d, [ n; n ]); (tmp, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ init2 a i j n 1; init2 b i j n 2; init2 cc i j n 3; init2 d i j n 4 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st tmp [ i; j ] (fc 0.);
+                for_ 2 (c 0) (c n)
+                  [ st tmp [ i; j ]
+                      (ld tmp [ i; j ] +. (fc 1.5 *. ld a [ i; k ] *. ld b [ k; j ])) ] ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st d [ i; j ] (ld d [ i; j ] *. fc 1.2);
+                for_ 2 (c 0) (c n)
+                  [ st d [ i; j ] (ld d [ i; j ] +. (ld tmp [ i; k ] *. ld cc [ k; j ])) ] ] ];
+      ];
+    out_arrays = [ d ];
+  }
+
+let three_mm n =
+  let a = 0 and b = 1 and cc = 2 and d = 3 and e = 4 and f = 5 and g = 6 in
+  let mm dst x y =
+    for_ 0 (c 0) (c n)
+      [ for_ 1 (c 0) (c n)
+          [ st dst [ i; j ] (fc 0.);
+            for_ 2 (c 0) (c n)
+              [ st dst [ i; j ] (ld dst [ i; j ] +. (ld x [ i; k ] *. ld y [ k; j ])) ] ] ]
+  in
+  {
+    name = "3mm";
+    arrays =
+      [ (a, [ n; n ]); (b, [ n; n ]); (cc, [ n; n ]); (d, [ n; n ]);
+        (e, [ n; n ]); (f, [ n; n ]); (g, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ init2 a i j n 1; init2 b i j n 2; init2 cc i j n 3; init2 d i j n 4 ] ];
+        mm e a b; mm f cc d; mm g e f ];
+    out_arrays = [ g ];
+  }
+
+let atax n =
+  let a = 0 and x = 1 and y = 2 and tmp = 3 in
+  {
+    name = "atax";
+    arrays = [ (a, [ n; n ]); (x, [ n ]); (y, [ n ]); (tmp, [ n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n) [ init1 x i n 1; for_ 1 (c 0) (c n) [ init2 a i j n 2 ] ];
+        for_ 0 (c 0) (c n) [ st y [ i ] (fc 0.) ];
+        for_ 0 (c 0) (c n)
+          [ st tmp [ i ] (fc 0.);
+            for_ 1 (c 0) (c n)
+              [ st tmp [ i ] (ld tmp [ i ] +. (ld a [ i; j ] *. ld x [ j ])) ];
+            for_ 1 (c 0) (c n)
+              [ st y [ j ] (ld y [ j ] +. (ld a [ i; j ] *. ld tmp [ i ])) ] ];
+      ];
+    out_arrays = [ y ];
+  }
+
+let bicg n =
+  let a = 0 and s = 1 and q = 2 and p = 3 and r = 4 in
+  {
+    name = "bicg";
+    arrays = [ (a, [ n; n ]); (s, [ n ]); (q, [ n ]); (p, [ n ]); (r, [ n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ init1 p i n 1; init1 r i n 2; st s [ i ] (fc 0.); st q [ i ] (fc 0.);
+            for_ 1 (c 0) (c n) [ init2 a i j n 3 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st s [ j ] (ld s [ j ] +. (ld r [ i ] *. ld a [ i; j ]));
+                st q [ i ] (ld q [ i ] +. (ld a [ i; j ] *. ld p [ j ])) ] ];
+      ];
+    out_arrays = [ s; q ];
+  }
+
+let doitgen n =
+  (* nr = nq = np = n *)
+  let a = 0 and c4 = 1 and sum = 2 in
+  {
+    name = "doitgen";
+    arrays = [ (a, [ n; n; n ]); (c4, [ n; n ]); (sum, [ n ]) ];
+    n_vars = 4;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ for_ 2 (c 0) (c n)
+          [ st a [ i; j; k ] (fi (((i *! j) +! k) %! c n) /. fi (c n)) ] ] ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ init2 c4 i j n 1 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ for_ 2 (c 0) (c n)
+                  [ st sum [ k ] (fc 0.);
+                    for_ 3 (c 0) (c n)
+                      [ st sum [ k ]
+                          (ld sum [ k ] +. (ld a [ i; j; l ] *. ld c4 [ l; k ])) ] ];
+                for_ 2 (c 0) (c n) [ st a [ i; j; k ] (ld sum [ k ]) ] ] ];
+      ];
+    out_arrays = [ a ];
+  }
+
+let mvt n =
+  let a = 0 and x1 = 1 and x2 = 2 and y1 = 3 and y2 = 4 in
+  {
+    name = "mvt";
+    arrays = [ (a, [ n; n ]); (x1, [ n ]); (x2, [ n ]); (y1, [ n ]); (y2, [ n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ init1 x1 i n 1; init1 x2 i n 2; init1 y1 i n 3; init1 y2 i n 4;
+            for_ 1 (c 0) (c n) [ init2 a i j n 5 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st x1 [ i ] (ld x1 [ i ] +. (ld a [ i; j ] *. ld y1 [ j ])) ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st x2 [ i ] (ld x2 [ i ] +. (ld a [ j; i ] *. ld y2 [ j ])) ] ];
+      ];
+    out_arrays = [ x1; x2 ];
+  }
+
+let gemver n =
+  let a = 0 and u1 = 1 and v1 = 2 and u2 = 3 and v2 = 4 and w = 5 and x = 6
+  and y = 7 and z = 8 in
+  {
+    name = "gemver";
+    arrays =
+      [ (a, [ n; n ]); (u1, [ n ]); (v1, [ n ]); (u2, [ n ]); (v2, [ n ]);
+        (w, [ n ]); (x, [ n ]); (y, [ n ]); (z, [ n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ init1 u1 i n 1; init1 v1 i n 2; init1 u2 i n 3; init1 v2 i n 4;
+            init1 y i n 5; init1 z i n 6; st x [ i ] (fc 0.); st w [ i ] (fc 0.);
+            for_ 1 (c 0) (c n) [ init2 a i j n 7 ] ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st a [ i; j ]
+              (ld a [ i; j ] +. (ld u1 [ i ] *. ld v1 [ j ]) +. (ld u2 [ i ] *. ld v2 [ j ])) ] ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st x [ i ] (ld x [ i ] +. (fc 1.2 *. ld a [ j; i ] *. ld y [ j ])) ] ];
+        for_ 0 (c 0) (c n) [ st x [ i ] (ld x [ i ] +. ld z [ i ]) ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st w [ i ] (ld w [ i ] +. (fc 1.5 *. ld a [ i; j ] *. ld x [ j ])) ] ];
+      ];
+    out_arrays = [ w ];
+  }
+
+let gesummv n =
+  let a = 0 and b = 1 and x = 2 and y = 3 and tmp = 4 in
+  {
+    name = "gesummv";
+    arrays = [ (a, [ n; n ]); (b, [ n; n ]); (x, [ n ]); (y, [ n ]); (tmp, [ n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ init1 x i n 1;
+            for_ 1 (c 0) (c n) [ init2 a i j n 2; init2 b i j n 3 ] ];
+        for_ 0 (c 0) (c n)
+          [ st tmp [ i ] (fc 0.); st y [ i ] (fc 0.);
+            for_ 1 (c 0) (c n)
+              [ st tmp [ i ] (ld tmp [ i ] +. (ld a [ i; j ] *. ld x [ j ]));
+                st y [ i ] (ld y [ i ] +. (ld b [ i; j ] *. ld x [ j ])) ];
+            st y [ i ] ((fc 1.5 *. ld tmp [ i ]) +. (fc 1.2 *. ld y [ i ])) ];
+      ];
+    out_arrays = [ y ];
+  }
+
+let symm n =
+  let a = 0 and b = 1 and cc = 2 and temp2 = 3 in
+  {
+    name = "symm";
+    arrays = [ (a, [ n; n ]); (b, [ n; n ]); (cc, [ n; n ]); (temp2, [ 1 ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ init2 a i j n 1; init2 b i j n 2; init2 cc i j n 3 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st temp2 [ c 0 ] (fc 0.);
+                for_ 2 (c 0) i
+                  [ st cc [ k; j ]
+                      (ld cc [ k; j ] +. (fc 1.5 *. ld b [ i; j ] *. ld a [ i; k ]));
+                    st temp2 [ c 0 ]
+                      (ld temp2 [ c 0 ] +. (ld b [ k; j ] *. ld a [ i; k ])) ];
+                st cc [ i; j ]
+                  ((fc 1.2 *. ld cc [ i; j ])
+                  +. (fc 1.5 *. ld b [ i; j ] *. ld a [ i; i ])
+                  +. (fc 1.5 *. ld temp2 [ c 0 ])) ] ];
+      ];
+    out_arrays = [ cc ];
+  }
+
+let syrk n =
+  let a = 0 and cc = 1 in
+  {
+    name = "syrk";
+    arrays = [ (a, [ n; n ]); (cc, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ init2 a i j n 1; init2 cc i j n 2 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (i +! c 1) [ st cc [ i; j ] (ld cc [ i; j ] *. fc 1.2) ];
+            for_ 2 (c 0) (c n)
+              [ for_ 1 (c 0) (i +! c 1)
+                  [ st cc [ i; j ]
+                      (ld cc [ i; j ] +. (fc 1.5 *. ld a [ i; k ] *. ld a [ j; k ])) ] ] ];
+      ];
+    out_arrays = [ cc ];
+  }
+
+let syr2k n =
+  let a = 0 and b = 1 and cc = 2 in
+  {
+    name = "syr2k";
+    arrays = [ (a, [ n; n ]); (b, [ n; n ]); (cc, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ init2 a i j n 1; init2 b i j n 2; init2 cc i j n 3 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (i +! c 1) [ st cc [ i; j ] (ld cc [ i; j ] *. fc 1.2) ];
+            for_ 2 (c 0) (c n)
+              [ for_ 1 (c 0) (i +! c 1)
+                  [ st cc [ i; j ]
+                      (ld cc [ i; j ]
+                      +. (ld a [ j; k ] *. fc 1.5 *. ld b [ i; k ])
+                      +. (ld b [ j; k ] *. fc 1.5 *. ld a [ i; k ])) ] ] ];
+      ];
+    out_arrays = [ cc ];
+  }
+
+let trmm n =
+  let a = 0 and b = 1 in
+  {
+    name = "trmm";
+    arrays = [ (a, [ n; n ]); (b, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ init2 a i j n 1; init2 b i j n 2 ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ for_ 2 (i +! c 1) (c n)
+                  [ st b [ i; j ] (ld b [ i; j ] +. (ld a [ k; i ] *. ld b [ k; j ])) ];
+                st b [ i; j ] (fc 1.5 *. ld b [ i; j ]) ] ];
+      ];
+    out_arrays = [ b ];
+  }
+
+(* --- linear algebra: solvers --- *)
+
+let cholesky n =
+  let a = 0 in
+  {
+    name = "cholesky";
+    arrays = [ (a, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ (* symmetric positive definite-ish init: dominant diagonal *)
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st a [ i; j ] (fi ((((i *! j) +! c 1) %! c n)) /. fi (c (2 * n))) ];
+            st a [ i; i ] (fi (c n)) ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) i
+              [ for_ 2 (c 0) j
+                  [ st a [ i; j ] (ld a [ i; j ] -. (ld a [ i; k ] *. ld a [ j; k ])) ];
+                st a [ i; j ] (ld a [ i; j ] /. ld a [ j; j ]) ];
+            for_ 2 (c 0) i
+              [ st a [ i; i ] (ld a [ i; i ] -. (ld a [ i; k ] *. ld a [ i; k ])) ];
+            st a [ i; i ] (Fsqrt (ld a [ i; i ])) ];
+      ];
+    out_arrays = [ a ];
+  }
+
+let durbin n =
+  let r = 0 and y = 1 and z = 2 and alpha = 3 and beta = 4 and sum = 5 in
+  {
+    name = "durbin";
+    arrays = [ (r, [ n ]); (y, [ n ]); (z, [ n ]); (alpha, [ 1 ]); (beta, [ 1 ]); (sum, [ 1 ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ st r [ i ] (fi ((c (n + 1)) -! i) /. fi (c (2 * n))) ];
+        st y [ c 0 ] (Fneg (ld r [ c 0 ]));
+        st beta [ c 0 ] (fc 1.);
+        st alpha [ c 0 ] (Fneg (ld r [ c 0 ]));
+        for_ 2 (c 1) (c n)
+          [ st beta [ c 0 ]
+              ((fc 1. -. (ld alpha [ c 0 ] *. ld alpha [ c 0 ])) *. ld beta [ c 0 ]);
+            st sum [ c 0 ] (fc 0.);
+            for_ 0 (c 0) k
+              [ st sum [ c 0 ] (ld sum [ c 0 ] +. (ld r [ k -! i -! c 1 ] *. ld y [ i ])) ];
+            st alpha [ c 0 ]
+              (Fneg ((ld r [ k ] +. ld sum [ c 0 ]) /. ld beta [ c 0 ]));
+            for_ 0 (c 0) k
+              [ st z [ i ] (ld y [ i ] +. (ld alpha [ c 0 ] *. ld y [ k -! i -! c 1 ])) ];
+            for_ 0 (c 0) k [ st y [ i ] (ld z [ i ]) ];
+            st y [ k ] (ld alpha [ c 0 ]) ];
+      ];
+    out_arrays = [ y ];
+  }
+
+let gramschmidt n =
+  let a = 0 and q = 1 and r = 2 and nrm = 3 in
+  {
+    name = "gramschmidt";
+    arrays = [ (a, [ n; n ]); (q, [ n; n ]); (r, [ n; n ]) ; (nrm, [ 1 ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st a [ i; j ] ((fi (((i *! j) +! c 1) %! c n) /. fi (c n)) +. fc 0.5);
+            st q [ i; j ] (fc 0.); st r [ i; j ] (fc 0.) ] ];
+        for_ 2 (c 0) (c n)
+          [ st nrm [ c 0 ] (fc 0.);
+            for_ 0 (c 0) (c n)
+              [ st nrm [ c 0 ] (ld nrm [ c 0 ] +. (ld a [ i; k ] *. ld a [ i; k ])) ];
+            st r [ k; k ] (Fsqrt (ld nrm [ c 0 ]));
+            for_ 0 (c 0) (c n) [ st q [ i; k ] (ld a [ i; k ] /. ld r [ k; k ]) ];
+            for_ 1 (k +! c 1) (c n)
+              [ st r [ k; j ] (fc 0.);
+                for_ 0 (c 0) (c n)
+                  [ st r [ k; j ] (ld r [ k; j ] +. (ld q [ i; k ] *. ld a [ i; j ])) ];
+                for_ 0 (c 0) (c n)
+                  [ st a [ i; j ] (ld a [ i; j ] -. (ld q [ i; k ] *. ld r [ k; j ])) ] ] ];
+      ];
+    out_arrays = [ r ];
+  }
+
+let lu n =
+  let a = 0 in
+  {
+    name = "lu";
+    arrays = [ (a, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) (c n)
+              [ st a [ i; j ] (fi (((i *! j) +! c 1) %! c n) /. fi (c (2 * n))) ];
+            st a [ i; i ] (fi (c n)) ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) i
+              [ for_ 2 (c 0) j
+                  [ st a [ i; j ] (ld a [ i; j ] -. (ld a [ i; k ] *. ld a [ k; j ])) ];
+                st a [ i; j ] (ld a [ i; j ] /. ld a [ j; j ]) ];
+            for_ 1 i (c n)
+              [ for_ 2 (c 0) i
+                  [ st a [ i; j ] (ld a [ i; j ] -. (ld a [ i; k ] *. ld a [ k; j ])) ] ] ];
+      ];
+    out_arrays = [ a ];
+  }
+
+let ludcmp n =
+  let a = 0 and b = 1 and x = 2 and y = 3 and w = 4 in
+  {
+    name = "ludcmp";
+    arrays = [ (a, [ n; n ]); (b, [ n ]); (x, [ n ]); (y, [ n ]); (w, [ 1 ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ init1 b i n 1; st x [ i ] (fc 0.); st y [ i ] (fc 0.);
+            for_ 1 (c 0) (c n)
+              [ st a [ i; j ] (fi (((i *! j) +! c 1) %! c n) /. fi (c (2 * n))) ];
+            st a [ i; i ] (fi (c n)) ];
+        (* decompose *)
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 0) i
+              [ st w [ c 0 ] (ld a [ i; j ]);
+                for_ 2 (c 0) j
+                  [ st w [ c 0 ] (ld w [ c 0 ] -. (ld a [ i; k ] *. ld a [ k; j ])) ];
+                st a [ i; j ] (ld w [ c 0 ] /. ld a [ j; j ]) ];
+            for_ 1 i (c n)
+              [ st w [ c 0 ] (ld a [ i; j ]);
+                for_ 2 (c 0) i
+                  [ st w [ c 0 ] (ld w [ c 0 ] -. (ld a [ i; k ] *. ld a [ k; j ])) ];
+                st a [ i; j ] (ld w [ c 0 ]) ] ];
+        (* forward substitution *)
+        for_ 0 (c 0) (c n)
+          [ st w [ c 0 ] (ld b [ i ]);
+            for_ 1 (c 0) i [ st w [ c 0 ] (ld w [ c 0 ] -. (ld a [ i; j ] *. ld y [ j ])) ];
+            st y [ i ] (ld w [ c 0 ]) ];
+        (* back substitution *)
+        Ford (0, c 0, c n,
+          [ st w [ c 0 ] (ld y [ i ]);
+            for_ 1 (i +! c 1) (c n)
+              [ st w [ c 0 ] (ld w [ c 0 ] -. (ld a [ i; j ] *. ld x [ j ])) ];
+            st x [ i ] (ld w [ c 0 ] /. ld a [ i; i ]) ]);
+      ];
+    out_arrays = [ x ];
+  }
+
+let trisolv n =
+  let ll = 0 and x = 1 and b = 2 in
+  {
+    name = "trisolv";
+    arrays = [ (ll, [ n; n ]); (x, [ n ]); (b, [ n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ init1 b i n 1;
+            for_ 1 (c 0) (i +! c 1)
+              [ st ll [ i; j ] (fi (((i *! j) +! c 1) %! c n) /. fi (c (2 * n))) ];
+            st ll [ i; i ] (fi (c n)) ];
+        for_ 0 (c 0) (c n)
+          [ st x [ i ] (ld b [ i ]);
+            for_ 1 (c 0) i [ st x [ i ] (ld x [ i ] -. (ld ll [ i; j ] *. ld x [ j ])) ];
+            st x [ i ] (ld x [ i ] /. ld ll [ i; i ]) ];
+      ];
+    out_arrays = [ x ];
+  }
+
+(* --- data mining --- *)
+
+let correlation n =
+  let data = 0 and corr = 1 and mean = 2 and stddev = 3 in
+  {
+    name = "correlation";
+    arrays = [ (data, [ n; n ]); (corr, [ n; n ]); (mean, [ n ]); (stddev, [ n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ init2 data i j n 1 ] ];
+        for_ 1 (c 0) (c n)
+          [ st mean [ j ] (fc 0.);
+            for_ 0 (c 0) (c n) [ st mean [ j ] (ld mean [ j ] +. ld data [ i; j ]) ];
+            st mean [ j ] (ld mean [ j ] /. fi (c n)) ];
+        for_ 1 (c 0) (c n)
+          [ st stddev [ j ] (fc 0.);
+            for_ 0 (c 0) (c n)
+              [ st stddev [ j ]
+                  (ld stddev [ j ]
+                  +. ((ld data [ i; j ] -. ld mean [ j ])
+                     *. (ld data [ i; j ] -. ld mean [ j ]))) ];
+            st stddev [ j ] (Fsqrt (ld stddev [ j ] /. fi (c n)));
+            (* avoid zero stddev *)
+            st stddev [ j ] (Fmax (ld stddev [ j ], fc 0.1)) ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st data [ i; j ]
+              ((ld data [ i; j ] -. ld mean [ j ])
+              /. (Fsqrt (fi (c n)) *. ld stddev [ j ])) ] ];
+        for_ 0 (c 0) (c n)
+          [ st corr [ i; i ] (fc 1.);
+            for_ 1 (i +! c 1) (c n)
+              [ st corr [ i; j ] (fc 0.);
+                for_ 2 (c 0) (c n)
+                  [ st corr [ i; j ]
+                      (ld corr [ i; j ] +. (ld data [ k; i ] *. ld data [ k; j ])) ];
+                st corr [ j; i ] (ld corr [ i; j ]) ] ];
+      ];
+    out_arrays = [ corr ];
+  }
+
+let covariance n =
+  let data = 0 and cov = 1 and mean = 2 in
+  {
+    name = "covariance";
+    arrays = [ (data, [ n; n ]); (cov, [ n; n ]); (mean, [ n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ init2 data i j n 1 ] ];
+        for_ 1 (c 0) (c n)
+          [ st mean [ j ] (fc 0.);
+            for_ 0 (c 0) (c n) [ st mean [ j ] (ld mean [ j ] +. ld data [ i; j ]) ];
+            st mean [ j ] (ld mean [ j ] /. fi (c n)) ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st data [ i; j ] (ld data [ i; j ] -. ld mean [ j ]) ] ];
+        for_ 0 (c 0) (c n)
+          [ for_ 1 i (c n)
+              [ st cov [ i; j ] (fc 0.);
+                for_ 2 (c 0) (c n)
+                  [ st cov [ i; j ]
+                      (ld cov [ i; j ] +. (ld data [ k; i ] *. ld data [ k; j ])) ];
+                st cov [ i; j ] (ld cov [ i; j ] /. fi (c (n - 1)));
+                st cov [ j; i ] (ld cov [ i; j ]) ] ];
+      ];
+    out_arrays = [ cov ];
+  }
+
+(* --- medley --- *)
+
+let deriche n =
+  (* Edge-detection recursive filters; the exp-derived coefficients are
+     computed on the host and embedded as constants (alpha = 0.25). *)
+  let alpha = 0.25 in
+  let e = Stdlib.exp (Stdlib.( ~-. ) alpha) in
+  let e2 = Stdlib.exp (Stdlib.( *. ) (-2.) alpha) in
+  let kcoef =
+    Stdlib.( /. )
+      (Stdlib.( *. )
+         (Stdlib.( -. ) 1. e)
+         (Stdlib.( -. ) 1. e))
+      (Stdlib.( -. )
+         (Stdlib.( +. ) 1. (Stdlib.( *. ) (Stdlib.( *. ) 2. alpha) e))
+         e2)
+  in
+  let a1 = kcoef and a5 = kcoef in
+  let a2 = Stdlib.( *. ) (Stdlib.( *. ) kcoef e) (Stdlib.( -. ) alpha 1.) in
+  let a6 = a2 in
+  let a3 = Stdlib.( *. ) (Stdlib.( *. ) kcoef e) (Stdlib.( +. ) alpha 1.) in
+  let a7 = a3 in
+  let a4 = Stdlib.( ~-. ) (Stdlib.( *. ) kcoef e2) in
+  let a8 = a4 in
+  let b1 = Stdlib.( *. ) 2. e in
+  let b2 = Stdlib.( ~-. ) e2 in
+  let img_in = 0 and img_out = 1 and y1 = 2 and y2 = 3 in
+  {
+    name = "deriche";
+    arrays = [ (img_in, [ n; n ]); (img_out, [ n; n ]); (y1, [ n; n ]); (y2, [ n; n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st img_in [ i; j ] (fi (((c 313 *! i) +! (c 991 *! j)) %! c 65536) /. fc 65535.);
+            st y1 [ i; j ] (fc 0.); st y2 [ i; j ] (fc 0.) ] ];
+        (* horizontal pass *)
+        for_ 0 (c 0) (c n)
+          [ for_ 1 (c 2) (c n)
+              [ st y1 [ i; j ]
+                  ((fc a1 *. ld img_in [ i; j ])
+                  +. (fc a2 *. ld img_in [ i; j -! c 1 ])
+                  +. (fc b1 *. ld y1 [ i; j -! c 1 ])
+                  +. (fc b2 *. ld y1 [ i; j -! c 2 ])) ] ];
+        for_ 0 (c 0) (c n)
+          [ Ford (1, c 0, c (n - 2),
+              [ st y2 [ i; j ]
+                  ((fc a3 *. ld img_in [ i; j +! c 1 ])
+                  +. (fc a4 *. ld img_in [ i; j +! c 2 ])
+                  +. (fc b1 *. ld y2 [ i; j +! c 1 ])
+                  +. (fc b2 *. ld y2 [ i; j +! c 2 ])) ]) ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st img_out [ i; j ] (ld y1 [ i; j ] +. ld y2 [ i; j ]) ] ];
+        (* vertical pass *)
+        for_ 1 (c 0) (c n)
+          [ for_ 0 (c 2) (c n)
+              [ st y1 [ i; j ]
+                  ((fc a5 *. ld img_out [ i; j ])
+                  +. (fc a6 *. ld img_out [ i -! c 1; j ])
+                  +. (fc b1 *. ld y1 [ i -! c 1; j ])
+                  +. (fc b2 *. ld y1 [ i -! c 2; j ])) ] ];
+        for_ 1 (c 0) (c n)
+          [ Ford (0, c 0, c (n - 2),
+              [ st y2 [ i; j ]
+                  ((fc a7 *. ld img_out [ i +! c 1; j ])
+                  +. (fc a8 *. ld img_out [ i +! c 2; j ])
+                  +. (fc b1 *. ld y2 [ i +! c 1; j ])
+                  +. (fc b2 *. ld y2 [ i +! c 2; j ])) ]) ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st img_out [ i; j ] (fc kcoef *. (ld y1 [ i; j ] +. ld y2 [ i; j ])) ] ];
+      ];
+    out_arrays = [ img_out ];
+  }
+
+let floyd_warshall n =
+  let path = 0 in
+  {
+    name = "floyd-warshall";
+    arrays = [ (path, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st path [ i; j ] (fi (((i *! j) %! c 7) +! c 1));
+            If (Ieq ((i +! j) %! c 13, c 0),
+                [ st path [ i; j ] (fc 999.) ], []) ] ];
+        for_ 2 (c 0) (c n) [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st path [ i; j ]
+              (Fmin (ld path [ i; j ], ld path [ i; k ] +. ld path [ k; j ])) ] ] ];
+      ];
+    out_arrays = [ path ];
+  }
+
+let nussinov n =
+  let seq = 0 and table = 1 in
+  {
+    name = "nussinov";
+    arrays = [ (seq, [ n ]); (table, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ st seq [ i ] (fi ((i +! c 1) %! c 4)) ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ st table [ i; j ] (fc 0.) ] ];
+        Ford (0, c 0, c n,
+          [ for_ 1 (i +! c 1) (c n)
+              [ If (Ile (c 0, j -! c 1),
+                    [ st table [ i; j ] (Fmax (ld table [ i; j ], ld table [ i; j -! c 1 ])) ], []);
+                If (Ile (i +! c 1, c (n - 1)),
+                    [ st table [ i; j ] (Fmax (ld table [ i; j ], ld table [ i +! c 1; j ])) ], []);
+                If (Ile (c 0, j -! c 1),
+                    [ If (Ilt (i, j -! c 1),
+                          [ If (Feq (ld seq [ i ] +. ld seq [ j ], fc 3.),
+                                [ st table [ i; j ]
+                                    (Fmax (ld table [ i; j ],
+                                           ld table [ i +! c 1; j -! c 1 ] +. fc 1.)) ],
+                                [ st table [ i; j ]
+                                    (Fmax (ld table [ i; j ], ld table [ i +! c 1; j -! c 1 ])) ]) ],
+                          [ st table [ i; j ]
+                              (Fmax (ld table [ i; j ], ld table [ i +! c 1; j -! c 1 ])) ]) ], []);
+                for_ 2 (i +! c 1) j
+                  [ st table [ i; j ]
+                      (Fmax (ld table [ i; j ], ld table [ i; k ] +. ld table [ k +! c 1; j ])) ] ] ]);
+      ];
+    out_arrays = [ table ];
+  }
+
+(* --- stencils --- *)
+
+let jacobi_1d ~tsteps n =
+  let a = 0 and b = 1 in
+  {
+    name = "jacobi-1d";
+    arrays = [ (a, [ n ]); (b, [ n ]) ];
+    n_vars = 2;
+    body =
+      [ for_ 0 (c 0) (c n)
+          [ st a [ i ] (fi (i +! c 2) /. fi (c n));
+            st b [ i ] (fi (i +! c 3) /. fi (c n)) ];
+        for_ 1 (c 0) (c tsteps)
+          [ for_ 0 (c 1) (c (n - 1))
+              [ st b [ i ]
+                  (fc 0.33333 *. (ld a [ i -! c 1 ] +. ld a [ i ] +. ld a [ i +! c 1 ])) ];
+            for_ 0 (c 1) (c (n - 1))
+              [ st a [ i ]
+                  (fc 0.33333 *. (ld b [ i -! c 1 ] +. ld b [ i ] +. ld b [ i +! c 1 ])) ] ];
+      ];
+    out_arrays = [ a ];
+  }
+
+let jacobi_2d ~tsteps n =
+  let a = 0 and b = 1 in
+  let stencil src dst =
+    for_ 0 (c 1) (c (n - 1)) [ for_ 1 (c 1) (c (n - 1))
+      [ st dst [ i; j ]
+          (fc 0.2
+          *. (ld src [ i; j ] +. ld src [ i; j -! c 1 ] +. ld src [ i; j +! c 1 ]
+             +. ld src [ i +! c 1; j ] +. ld src [ i -! c 1; j ])) ] ]
+  in
+  {
+    name = "jacobi-2d";
+    arrays = [ (a, [ n; n ]); (b, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st a [ i; j ] (fi ((i *! (j +! c 2)) +! c 2) /. fi (c n));
+            st b [ i; j ] (fi ((i *! (j +! c 3)) +! c 3) /. fi (c n)) ] ];
+        for_ 2 (c 0) (c tsteps) [ stencil a b; stencil b a ];
+      ];
+    out_arrays = [ a ];
+  }
+
+let seidel_2d ~tsteps n =
+  let a = 0 in
+  {
+    name = "seidel-2d";
+    arrays = [ (a, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st a [ i; j ] (fi ((i *! (j +! c 2)) +! c 2) /. fi (c n)) ] ];
+        for_ 2 (c 0) (c tsteps)
+          [ for_ 0 (c 1) (c (n - 1)) [ for_ 1 (c 1) (c (n - 1))
+              [ st a [ i; j ]
+                  ((ld a [ i -! c 1; j -! c 1 ] +. ld a [ i -! c 1; j ]
+                   +. ld a [ i -! c 1; j +! c 1 ] +. ld a [ i; j -! c 1 ]
+                   +. ld a [ i; j ] +. ld a [ i; j +! c 1 ]
+                   +. ld a [ i +! c 1; j -! c 1 ] +. ld a [ i +! c 1; j ]
+                   +. ld a [ i +! c 1; j +! c 1 ])
+                  /. fc 9.) ] ] ];
+      ];
+    out_arrays = [ a ];
+  }
+
+let fdtd_2d ~tsteps n =
+  let ex = 0 and ey = 1 and hz = 2 and fict = 3 in
+  {
+    name = "fdtd-2d";
+    arrays = [ (ex, [ n; n ]); (ey, [ n; n ]); (hz, [ n; n ]); (fict, [ tsteps ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c tsteps) [ st fict [ i ] (fi i) ];
+        for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st ex [ i; j ] (fi (i *! (j +! c 1)) /. fi (c n));
+            st ey [ i; j ] (fi (i *! (j +! c 2)) /. fi (c n));
+            st hz [ i; j ] (fi (i *! (j +! c 3)) /. fi (c n)) ] ];
+        for_ 2 (c 0) (c tsteps)
+          [ for_ 1 (c 0) (c n) [ st ey [ c 0; j ] (ld fict [ k ]) ];
+            for_ 0 (c 1) (c n) [ for_ 1 (c 0) (c n)
+              [ st ey [ i; j ]
+                  (ld ey [ i; j ] -. (fc 0.5 *. (ld hz [ i; j ] -. ld hz [ i -! c 1; j ]))) ] ];
+            for_ 0 (c 0) (c n) [ for_ 1 (c 1) (c n)
+              [ st ex [ i; j ]
+                  (ld ex [ i; j ] -. (fc 0.5 *. (ld hz [ i; j ] -. ld hz [ i; j -! c 1 ]))) ] ];
+            for_ 0 (c 0) (c (n - 1)) [ for_ 1 (c 0) (c (n - 1))
+              [ st hz [ i; j ]
+                  (ld hz [ i; j ]
+                  -. (fc 0.7
+                     *. (ld ex [ i; j +! c 1 ] -. ld ex [ i; j ]
+                        +. ld ey [ i +! c 1; j ] -. ld ey [ i; j ]))) ] ] ];
+      ];
+    out_arrays = [ hz ];
+  }
+
+let heat_3d ~tsteps n =
+  let a = 0 and b = 1 in
+  let stencil src dst =
+    for_ 0 (c 1) (c (n - 1)) [ for_ 1 (c 1) (c (n - 1)) [ for_ 2 (c 1) (c (n - 1))
+      [ st dst [ i; j; k ]
+          ((fc 0.125
+           *. (ld src [ i +! c 1; j; k ] -. (fc 2. *. ld src [ i; j; k ])
+              +. ld src [ i -! c 1; j; k ]))
+          +. (fc 0.125
+             *. (ld src [ i; j +! c 1; k ] -. (fc 2. *. ld src [ i; j; k ])
+                +. ld src [ i; j -! c 1; k ]))
+          +. (fc 0.125
+             *. (ld src [ i; j; k +! c 1 ] -. (fc 2. *. ld src [ i; j; k ])
+                +. ld src [ i; j; k -! c 1 ]))
+          +. ld src [ i; j; k ]) ] ] ]
+  in
+  {
+    name = "heat-3d";
+    arrays = [ (a, [ n; n; n ]); (b, [ n; n; n ]) ];
+    n_vars = 4;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n) [ for_ 2 (c 0) (c n)
+          [ st a [ i; j; k ] (fi ((i +! j) +! ((c n) -! k)) /. fi (c (10 * n)));
+            st b [ i; j; k ] (fi ((i +! j) +! ((c n) -! k)) /. fi (c (10 * n))) ] ] ];
+        for_ 3 (c 0) (c tsteps) [ stencil a b; stencil b a ];
+      ];
+    out_arrays = [ a ];
+  }
+
+let adi ~tsteps n =
+  (* simplified ADI with constant coefficients *)
+  let u = 0 and v = 1 and p = 2 and q = 3 in
+  let a = 0.2 and b_ = 0.4 and c_ = 0.2 and d = 0.4 and e_ = 0.2 and f_ = 0.4 in
+  {
+    name = "adi";
+    arrays = [ (u, [ n; n ]); (v, [ n; n ]); (p, [ n; n ]); (q, [ n; n ]) ];
+    n_vars = 3;
+    body =
+      [ for_ 0 (c 0) (c n) [ for_ 1 (c 0) (c n)
+          [ st u [ i; j ] (fi (i +! ((c n) -! j)) /. fi (c n));
+            st v [ i; j ] (fc 0.); st p [ i; j ] (fc 0.); st q [ i; j ] (fc 0.) ] ];
+        for_ 2 (c 0) (c tsteps)
+          [ (* column sweep *)
+            for_ 0 (c 1) (c (n - 1))
+              [ st v [ c 0; i ] (fc 1.);
+                st p [ i; c 0 ] (fc 0.);
+                st q [ i; c 0 ] (ld v [ c 0; i ]);
+                for_ 1 (c 1) (c (n - 1))
+                  [ st p [ i; j ] (Fneg (fc c_) /. ((fc a *. ld p [ i; j -! c 1 ]) +. fc b_));
+                    st q [ i; j ]
+                      (((Fneg (fc d) *. ld u [ j; i -! c 1 ])
+                       +. ((fc 1. +. (fc 2. *. fc d)) *. ld u [ j; i ])
+                       -. (fc f_ *. ld u [ j; i +! c 1 ])
+                       -. (fc a *. ld q [ i; j -! c 1 ]))
+                      /. ((fc a *. ld p [ i; j -! c 1 ]) +. fc b_)) ];
+                st v [ c (n - 1); i ] (fc 1.);
+                Ford (1, c 1, c (n - 1),
+                  [ st v [ j; i ] ((ld p [ i; j ] *. ld v [ j +! c 1; i ]) +. ld q [ i; j ]) ]) ];
+            (* row sweep *)
+            for_ 0 (c 1) (c (n - 1))
+              [ st u [ i; c 0 ] (fc 1.);
+                st p [ i; c 0 ] (fc 0.);
+                st q [ i; c 0 ] (ld u [ i; c 0 ]);
+                for_ 1 (c 1) (c (n - 1))
+                  [ st p [ i; j ] (Fneg (fc f_) /. ((fc d *. ld p [ i; j -! c 1 ]) +. fc e_));
+                    st q [ i; j ]
+                      (((Fneg (fc a) *. ld v [ i -! c 1; j ])
+                       +. ((fc 1. +. (fc 2. *. fc a)) *. ld v [ i; j ])
+                       -. (fc c_ *. ld v [ i +! c 1; j ])
+                       -. (fc d *. ld q [ i; j -! c 1 ]))
+                      /. ((fc d *. ld p [ i; j -! c 1 ]) +. fc e_)) ];
+                st u [ i; c (n - 1) ] (fc 1.);
+                Ford (1, c 1, c (n - 1),
+                  [ st u [ i; j ] ((ld p [ i; j ] *. ld u [ i; j +! c 1 ]) +. ld q [ i; j ]) ]) ] ];
+      ];
+    out_arrays = [ u ];
+  }
+
+(* The full suite with interpreter-friendly default sizes. *)
+let all ?(scale = 1.0) () =
+  let s n = max 4 (int_of_float (Float.round (Stdlib.( *. ) (float_of_int n) scale))) in
+  [ correlation (s 28); covariance (s 28);
+    two_mm (s 24); three_mm (s 22); atax (s 48); bicg (s 48); doitgen (s 12);
+    mvt (s 48); gemm (s 24); gemver (s 40); gesummv (s 48); symm (s 24);
+    syr2k (s 22); syrk (s 24); trmm (s 24); cholesky (s 28); durbin (s 60);
+    gramschmidt (s 24); lu (s 26); ludcmp (s 26); trisolv (s 60);
+    deriche (s 32); floyd_warshall (s 20); nussinov (s 24);
+    adi ~tsteps:(s 6) (s 20); fdtd_2d ~tsteps:(s 8) (s 20);
+    heat_3d ~tsteps:(s 6) (s 10); jacobi_1d ~tsteps:(s 20) (s 120);
+    jacobi_2d ~tsteps:(s 8) (s 20); seidel_2d ~tsteps:(s 8) (s 20) ]
+
+let find name = List.find_opt (fun k -> k.name = name)

@@ -1,0 +1,50 @@
+(* Running kernels on the three execution tiers of Fig 3 and checking
+   that they compute the same values. *)
+
+open Twine_wasm
+
+type run_result = { wall_ns : int; outputs : (int * float array) list }
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let run_native (k : Kernel_dsl.kernel) =
+  let run, arr = Kernel_dsl.comp_native k in
+  let t0 = now_ns () in
+  run ();
+  let wall_ns = now_ns () - t0 in
+  { wall_ns; outputs = List.map (fun id -> (id, Array.copy (arr id))) k.out_arrays }
+
+let run_wasm ~engine (k : Kernel_dsl.kernel) =
+  let m, lay = Kernel_dsl.comp_wasm k in
+  let inst = Interp.instantiate m in
+  (match engine with
+  | `Aot -> ignore (Aot.compile_instance inst)
+  | `Interp -> ());
+  let t0 = now_ns () in
+  ignore (Interp.invoke inst "kernel" []);
+  let wall_ns = now_ns () - t0 in
+  {
+    wall_ns;
+    outputs =
+      List.map (fun id -> (id, Kernel_dsl.read_wasm_array inst lay k id)) k.out_arrays;
+  }
+
+(* Maximum absolute difference between native and Wasm outputs; both
+   engines implement IEEE f64 so the difference should be exactly zero. *)
+let max_divergence a b =
+  List.fold_left2
+    (fun acc (ida, va) (idb, vb) ->
+      assert (ida = idb);
+      Array.fold_left max acc (Array.mapi (fun i x -> Float.abs (x -. vb.(i))) va))
+    0. a.outputs b.outputs
+
+let validate ?(engine = `Interp) k =
+  let n = run_native k in
+  let w = run_wasm ~engine k in
+  max_divergence n w
+
+let checksum result =
+  List.fold_left
+    (fun acc (_, a) ->
+      Array.fold_left (fun s x -> if Float.is_nan x then s else s +. x) acc a)
+    0. result.outputs

@@ -1,0 +1,1 @@
+lib/sgx/attestation.ml: Enclave Hmac List Machine Modes String Twine_crypto

@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Costs Drbg Epc Fun Machine Sha256 String Twine_crypto

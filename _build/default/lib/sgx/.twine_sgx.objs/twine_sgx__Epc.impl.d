@@ -1,0 +1,1 @@
+lib/sgx/epc.ml: Costs List Lru Twine_sim

@@ -1,0 +1,1 @@
+lib/sgx/machine.ml: Clock Costs Epc Meter Twine_crypto Twine_sim

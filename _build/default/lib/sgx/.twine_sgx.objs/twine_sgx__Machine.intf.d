@@ -1,0 +1,1 @@
+lib/sgx/machine.mli: Costs Epc Twine_sim

@@ -1,0 +1,1 @@
+lib/sgx/seal.ml: Enclave Gcm Hmac Machine String Twine_crypto

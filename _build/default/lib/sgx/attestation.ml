@@ -1,0 +1,73 @@
+open Twine_crypto
+
+type report = {
+  measurement : string;
+  signer : string;
+  report_data : string;
+  mac : string;
+}
+
+let pad_data data =
+  if String.length data > 64 then invalid_arg "Attestation: report data > 64 bytes";
+  data ^ String.make (64 - String.length data) '\000'
+
+let report_key (machine : Machine.t) =
+  Hmac.derive ~key:machine.cpu_key ~info:"report-key" ~length:32
+
+let provisioning_key (machine : Machine.t) =
+  Hmac.derive ~key:machine.cpu_key ~info:"provisioning-key" ~length:32
+
+let body_bytes ~measurement ~signer ~report_data =
+  measurement ^ signer ^ report_data
+
+let report enclave ~data =
+  let report_data = pad_data data in
+  let measurement = Enclave.measurement enclave
+  and signer = Enclave.signer enclave in
+  let machine = Enclave.machine enclave in
+  let mac =
+    Hmac.hmac_sha256 ~key:(report_key machine)
+      (body_bytes ~measurement ~signer ~report_data)
+  in
+  { measurement; signer; report_data; mac }
+
+let verify_report machine r =
+  let expected =
+    Hmac.hmac_sha256 ~key:(report_key machine)
+      (body_bytes ~measurement:r.measurement ~signer:r.signer ~report_data:r.report_data)
+  in
+  Modes.ct_equal expected r.mac
+
+type quote = { body : report; signature : string }
+
+let quote enclave ~data =
+  let body = report enclave ~data in
+  (* The quoting enclave verifies the local report, then signs it with the
+     provisioning key. *)
+  let machine = Enclave.machine enclave in
+  assert (verify_report machine body);
+  let signature =
+    Hmac.hmac_sha256 ~key:(provisioning_key machine)
+      (body_bytes ~measurement:body.measurement ~signer:body.signer
+         ~report_data:body.report_data)
+  in
+  { body; signature }
+
+type service = { keys : string list }
+
+let service_for machine = { keys = [ provisioning_key machine ] }
+
+let verify_quote service ?expected_measurement q =
+  let genuine =
+    List.exists
+      (fun key ->
+        Modes.ct_equal q.signature
+          (Hmac.hmac_sha256 ~key
+             (body_bytes ~measurement:q.body.measurement ~signer:q.body.signer
+                ~report_data:q.body.report_data)))
+      service.keys
+  in
+  genuine
+  && match expected_measurement with
+     | None -> true
+     | Some m -> Modes.ct_equal m q.body.measurement

@@ -1,0 +1,33 @@
+(** Local and remote attestation (paper §III-A).
+
+    Local reports are MACed with a machine report key any enclave on the
+    same CPU can re-derive. Remote quotes are produced by a simulated
+    quoting enclave with a provisioning key known to the (simulated)
+    attestation service, which vouches that a measurement runs on a
+    genuine machine — the mechanism TWINE's trusted code deployment
+    (Figure 1) relies on. *)
+
+type report = {
+  measurement : string;
+  signer : string;
+  report_data : string;  (** 64 bytes of user data, e.g. a channel key hash *)
+  mac : string;
+}
+
+val report : Enclave.t -> data:string -> report
+(** @raise Invalid_argument if [data] exceeds 64 bytes (it is padded). *)
+
+val verify_report : Machine.t -> report -> bool
+
+type quote = { body : report; signature : string }
+
+val quote : Enclave.t -> data:string -> quote
+
+type service
+(** The attestation service endpoint (Intel IAS analogue). *)
+
+val service_for : Machine.t -> service
+(** Registration: the service learns the machine's provisioning secret. *)
+
+val verify_quote :
+  service -> ?expected_measurement:string -> quote -> bool

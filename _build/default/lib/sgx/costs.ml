@@ -1,0 +1,41 @@
+type t = {
+  cycle_ns : float;
+  transition_cycles : int;
+  epc_fault_cycles : int;
+  page_add_cycles : int;
+  memset_ns_per_byte : float;
+  copy_ns_per_byte : float;
+  aes_ns_per_byte : float;
+  untrusted_io_ns_per_byte : float;
+  untrusted_io_base_ns : int;
+  launch_base_ns : int;
+}
+
+let default =
+  {
+    cycle_ns = 1.0 /. 3.8;
+    transition_cycles = 6_550;      (* 13,100-cycle round trip, paper §III-A *)
+    epc_fault_cycles = 40_000;
+    page_add_cycles = 4_000;
+    memset_ns_per_byte = 0.5;
+    copy_ns_per_byte = 0.30;
+    aes_ns_per_byte = 0.20;
+    untrusted_io_ns_per_byte = 0.05;
+    untrusted_io_base_ns = 800;
+    launch_base_ns = 2_000_000;
+  }
+
+let software_mode c =
+  {
+    c with
+    transition_cycles = 150;
+    epc_fault_cycles = 0;
+    page_add_cycles = 200;
+    memset_ns_per_byte = 0.03;
+    launch_base_ns = 200_000;
+  }
+
+let page_size = 4096
+
+let cycles_ns t cycles = int_of_float (Float.round (t.cycle_ns *. float_of_int cycles))
+let bytes_ns per_byte n = int_of_float (Float.round (per_byte *. float_of_int n))

@@ -1,0 +1,41 @@
+(** SGX cost model.
+
+    Constants are calibrated against the paper's own measurements on a
+    Xeon E3-1275 v6 at 3.80 GHz (§V-A): enclave transitions of up to
+    13,100 cycles round-trip, a 128 MiB EPC (93 MiB usable), and the §V-F
+    observation that in-enclave memory clearing and cross-boundary buffer
+    copies dominate protected-file reads. All values are overridable so
+    benches can run ablations (e.g. Fig 6's software mode). *)
+
+type t = {
+  cycle_ns : float;  (** nanoseconds per CPU cycle (3.8 GHz -> 0.263) *)
+  transition_cycles : int;
+      (** cycles per enclave boundary crossing (half a round-trip) *)
+  epc_fault_cycles : int;
+      (** cycles to evict + reload one 4 KiB EPC page (EWB/ELDU + crypto) *)
+  page_add_cycles : int;
+      (** cycles per page for EADD+EEXTEND at enclave build time *)
+  memset_ns_per_byte : float;
+      (** clearing memory through the memory-encryption engine *)
+  copy_ns_per_byte : float;  (** copying across the enclave boundary *)
+  aes_ns_per_byte : float;  (** AES-GCM/CCM with AES-NI, per byte *)
+  untrusted_io_ns_per_byte : float;  (** host-side POSIX read/write *)
+  untrusted_io_base_ns : int;  (** host-side syscall fixed cost *)
+  launch_base_ns : int;  (** ECREATE/EINIT fixed cost *)
+}
+
+val default : t
+(** Hardware-mode model matching the paper's testbed. *)
+
+val software_mode : t -> t
+(** Fig 6's "SGX software mode": memory protection emulated — no EPC
+    fault cost, no MEE surcharge on clears, cheap transitions. *)
+
+val page_size : int
+(** 4096, the SGX (and IPFS node) page granularity. *)
+
+val cycles_ns : t -> int -> int
+(** Convert a cycle count to (rounded) nanoseconds. *)
+
+val bytes_ns : float -> int -> int
+(** [bytes_ns per_byte n] rounds [per_byte *. n] to nanoseconds. *)

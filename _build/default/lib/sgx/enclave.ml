@@ -1,0 +1,153 @@
+open Twine_crypto
+
+type t = {
+  machine : Machine.t;
+  id : int;
+  measurement : string;
+  signer : string;
+  mutable brk : int;  (* next free enclave address *)
+  mutable committed : int;  (* committed bytes *)
+  mutable depth : int;  (* ecall nesting depth *)
+  mutable transition_count : int;
+  mutable destroyed : bool;
+  drbg : Drbg.t;
+}
+
+exception Destroyed
+
+let check t = if t.destroyed then raise Destroyed
+
+let fault_pages (t : t) ~addr ~len =
+  if len > 0 then begin
+    let m = t.machine in
+    let first = addr / Costs.page_size and last = (addr + len - 1) / Costs.page_size in
+    for page_no = first to last do
+      match Epc.touch m.epc (Epc.page_of ~enclave_id:t.id ~page_no) with
+      | `Hit -> ()
+      | `Fault -> Machine.charge_cycles m "sgx.epc_fault" m.costs.epc_fault_cycles
+    done
+  end
+
+let create machine ?(signer = "twine-vendor") ?(heap_bytes = 16 * 1024 * 1024)
+    ~code () =
+  let id = machine.Machine.next_enclave_id in
+  machine.next_enclave_id <- id + 1;
+  let t =
+    {
+      machine;
+      id;
+      measurement = Sha256.digest ("mrenclave:" ^ code);
+      signer = Sha256.digest ("mrsigner:" ^ signer);
+      brk = Costs.page_size;  (* keep address 0 unused *)
+      committed = 0;
+      depth = 0;
+      transition_count = 0;
+      destroyed = false;
+      drbg =
+        Drbg.create ~personalization:"sgx-rdrand"
+          ~seed:(machine.cpu_key ^ Sha256.digest code ^ string_of_int id)
+          ();
+    }
+  in
+  (* ECREATE, then EADD+EEXTEND for every code and heap page. *)
+  let pages = (String.length code + heap_bytes + Costs.page_size - 1) / Costs.page_size in
+  Machine.charge machine "sgx.launch" machine.costs.launch_base_ns;
+  Machine.charge_cycles machine "sgx.launch" (pages * machine.costs.page_add_cycles);
+  t.committed <- String.length code + heap_bytes;
+  t.brk <- t.brk + String.length code;
+  t
+
+let machine t = t.machine
+let id t = t.id
+let measurement t = t.measurement
+let signer t = t.signer
+let size_bytes t = t.committed
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    Epc.release_enclave t.machine.epc t.id
+  end
+
+let crossing t name =
+  t.transition_count <- t.transition_count + 1;
+  Machine.charge_cycles t.machine name t.machine.costs.transition_cycles
+
+let ecall t ?(name = "sgx.ecall") f =
+  check t;
+  if t.depth = 0 then crossing t name;
+  t.depth <- t.depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.depth <- t.depth - 1;
+      if t.depth = 0 && not t.destroyed then crossing t name)
+    (fun () -> f t)
+
+let ocall t ?(name = "sgx.ocall") f =
+  check t;
+  if t.depth = 0 then invalid_arg "Enclave.ocall: not inside an ecall";
+  crossing t name;
+  Fun.protect ~finally:(fun () -> if not t.destroyed then crossing t name) f
+
+let inside t = t.depth > 0
+let transitions t = t.transition_count
+
+(* The in-enclave allocator is costlier than a host malloc and its cost
+   grows with the committed size (§IV-C observed above-linear behaviour
+   when enlarging buffers); we charge a base cost plus a per-committed-MiB
+   surcharge, then fault the fresh pages in. *)
+let alloc t n =
+  check t;
+  if n < 0 then invalid_arg "Enclave.alloc: negative size";
+  let m = t.machine in
+  let committed_mib = t.committed / (1024 * 1024) in
+  Machine.charge m "sgx.alloc" (300 + (20 * committed_mib));
+  let addr = t.brk in
+  t.brk <- t.brk + n;
+  t.committed <- t.committed + n;
+  fault_pages t ~addr ~len:n;
+  addr
+
+(* Reserve address space without committing/faulting pages (used for
+   large virtual regions whose pages fault in on first touch). *)
+let reserve t n =
+  check t;
+  if n < 0 then invalid_arg "Enclave.reserve: negative size";
+  let addr = t.brk in
+  t.brk <- t.brk + n;
+  addr
+
+let touch t ~addr ~len =
+  check t;
+  fault_pages t ~addr ~len
+
+let memset t ?(label = "sgx.memset") n =
+  check t;
+  Machine.charge t.machine label (Costs.bytes_ns t.machine.costs.memset_ns_per_byte n)
+
+let copy_in t ?(label = "sgx.copy_in") n =
+  check t;
+  Machine.charge t.machine label (Costs.bytes_ns t.machine.costs.copy_ns_per_byte n)
+
+let copy_out t ?(label = "sgx.copy_out") n =
+  check t;
+  Machine.charge t.machine label (Costs.bytes_ns t.machine.costs.copy_ns_per_byte n)
+
+let load_reserved t code =
+  check t;
+  let n = String.length code in
+  copy_in t n;
+  (* mprotect-style page permission flips on the reserved region *)
+  Machine.charge t.machine "sgx.reserved"
+    (200 * ((n + Costs.page_size - 1) / Costs.page_size));
+  let addr = t.brk in
+  t.brk <- t.brk + n;
+  t.committed <- t.committed + n;
+  fault_pages t ~addr ~len:n;
+  addr
+
+let random t n =
+  check t;
+  Drbg.generate t.drbg n
+
+let drbg t = t.drbg

@@ -1,0 +1,33 @@
+open Twine_sim
+
+type page = int
+
+type t = {
+  resident : (page, unit) Lru.t;
+  mutable fault_count : int;
+}
+
+let create ~limit_bytes =
+  let pages = limit_bytes / Costs.page_size in
+  if pages < 1 then invalid_arg "Epc.create: limit below one page";
+  { resident = Lru.create ~capacity:pages (); fault_count = 0 }
+
+let limit_pages t = Lru.capacity t.resident
+let resident_pages t = Lru.length t.resident
+
+let touch t page =
+  match Lru.find t.resident page with
+  | Some () -> `Hit
+  | None ->
+      t.fault_count <- t.fault_count + 1;
+      ignore (Lru.put t.resident page ());
+      `Fault
+
+let page_of ~enclave_id ~page_no = (enclave_id lsl 40) lor page_no
+
+let release_enclave t enclave_id =
+  let belongs (page, ()) = page lsr 40 = enclave_id in
+  let doomed = List.filter belongs (Lru.to_list t.resident) in
+  List.iter (fun (page, ()) -> ignore (Lru.remove t.resident page)) doomed
+
+let faults t = t.fault_count

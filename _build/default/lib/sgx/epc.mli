@@ -1,0 +1,30 @@
+(** Enclave Page Cache simulator.
+
+    The EPC is a machine-wide pool of resident 4 KiB pages shared by all
+    enclaves. When a page that is not resident is touched, the kernel
+    evicts the least-recently-used resident page (encrypting it out) and
+    loads the requested one — the dominant cost once an enclave's working
+    set exceeds the EPC (paper §III-A, §V-D). *)
+
+type t
+
+type page = int
+(** Global page identifier: [(enclave_id lsl 40) lor page_number]. *)
+
+val create : limit_bytes:int -> t
+(** @raise Invalid_argument if the limit is below one page. *)
+
+val limit_pages : t -> int
+val resident_pages : t -> int
+
+val touch : t -> page -> [ `Hit | `Fault ]
+(** Access one page, promoting it; [`Fault] means it had to be brought in
+    (and, if the EPC was full, another page evicted). *)
+
+val release_enclave : t -> int -> unit
+(** Drop all resident pages belonging to an enclave id (EREMOVE). *)
+
+val faults : t -> int
+(** Total faults since creation. *)
+
+val page_of : enclave_id:int -> page_no:int -> page

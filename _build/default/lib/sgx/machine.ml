@@ -1,0 +1,33 @@
+open Twine_sim
+
+type t = {
+  clock : Clock.t;
+  meter : Meter.t;
+  mutable costs : Costs.t;
+  epc : Epc.t;
+  cpu_key : string;
+  mutable next_enclave_id : int;
+}
+
+let usable_epc_bytes = 93 * 1024 * 1024 (* paper §V-A: 128 MiB EPC, 93 usable *)
+
+let create ?(costs = Costs.default) ?(epc_bytes = usable_epc_bytes)
+    ?(seed = "twine-machine") () =
+  {
+    clock = Clock.create ();
+    meter = Meter.create ();
+    costs;
+    epc = Epc.create ~limit_bytes:epc_bytes;
+    cpu_key = Twine_crypto.Sha256.digest ("cpu-fuse:" ^ seed);
+    next_enclave_id = 1;
+  }
+
+let charge t component ns =
+  Clock.advance t.clock ns;
+  Meter.charge t.meter component ns
+
+let charge_cycles t component cycles = charge t component (Costs.cycles_ns t.costs cycles)
+
+let now_ns t = Clock.now_ns t.clock
+
+let set_software_mode t = t.costs <- Costs.software_mode t.costs

@@ -1,0 +1,26 @@
+(** A simulated SGX-capable machine: virtual clock, cost model, EPC, the
+    fused CPU secret from which sealing and attestation keys derive, and a
+    machine-wide meter for time-breakdown experiments. *)
+
+type t = {
+  clock : Twine_sim.Clock.t;
+  meter : Twine_sim.Meter.t;
+  mutable costs : Costs.t;
+  epc : Epc.t;
+  cpu_key : string;  (** 32-byte fused secret (never leaves the package) *)
+  mutable next_enclave_id : int;
+}
+
+val create : ?costs:Costs.t -> ?epc_bytes:int -> ?seed:string -> unit -> t
+(** Default EPC is the paper's usable 93 MiB. [seed] makes the fused key
+    (and hence all derived randomness) deterministic. *)
+
+val charge : t -> string -> int -> unit
+(** Advance the clock by [ns] and record it against a meter component. *)
+
+val charge_cycles : t -> string -> int -> unit
+
+val now_ns : t -> int
+
+val set_software_mode : t -> unit
+(** Switch the cost model to Fig 6's SGX software (simulation) mode. *)

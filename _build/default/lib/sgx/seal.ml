@@ -1,0 +1,33 @@
+open Twine_crypto
+
+type policy = Mr_enclave | Mr_signer
+
+let policy_byte = function Mr_enclave -> '\000' | Mr_signer -> '\001'
+
+let identity enclave = function
+  | Mr_enclave -> Enclave.measurement enclave
+  | Mr_signer -> Enclave.signer enclave
+
+let key enclave ?(policy = Mr_enclave) ?(label = "") () =
+  let machine = Enclave.machine enclave in
+  Hmac.derive ~key:machine.Machine.cpu_key
+    ~info:("seal" ^ String.make 1 (policy_byte policy) ^ identity enclave policy ^ label)
+    ~length:16
+
+let seal enclave ?(policy = Mr_enclave) ?(label = "") plaintext =
+  let k = Gcm.of_raw (key enclave ~policy ~label ()) in
+  let iv = Enclave.random enclave 12 in
+  let ct, tag = Gcm.encrypt k ~iv plaintext in
+  String.make 1 (policy_byte policy) ^ iv ^ ct ^ tag
+
+let unseal enclave ?(label = "") blob =
+  let n = String.length blob in
+  if n < 1 + 12 + 16 then None
+  else begin
+    let policy = if blob.[0] = '\000' then Mr_enclave else Mr_signer in
+    let iv = String.sub blob 1 12 in
+    let ct = String.sub blob 13 (n - 13 - 16) in
+    let tag = String.sub blob (n - 16) 16 in
+    let k = Gcm.of_raw (key enclave ~policy ~label ()) in
+    Gcm.decrypt k ~iv ~tag ct
+  end

@@ -1,0 +1,17 @@
+(** SGX sealing: encrypt data so only the same enclave (MRENCLAVE policy)
+    or any enclave from the same signer (MRSIGNER policy) on the same CPU
+    can recover it. Keys derive from the fused CPU secret, so a sealed
+    blob is unrecoverable on another machine — the IPFS key-derivation
+    property §IV-E discusses. *)
+
+type policy = Mr_enclave | Mr_signer
+
+val key : Enclave.t -> ?policy:policy -> ?label:string -> unit -> string
+(** 16-byte sealing key (EGETKEY analogue). *)
+
+val seal : Enclave.t -> ?policy:policy -> ?label:string -> string -> string
+(** Authenticated blob: policy byte || 12-byte IV || ciphertext || tag. *)
+
+val unseal : Enclave.t -> ?label:string -> string -> string option
+(** Recovers the plaintext if this enclave satisfies the blob's policy on
+    this machine; [None] on any mismatch or tampering. *)

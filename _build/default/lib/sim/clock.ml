@@ -1,0 +1,10 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+let now_ns t = t.now
+
+let advance t ns =
+  if ns < 0 then invalid_arg "Clock.advance: negative";
+  t.now <- t.now + ns
+
+let elapsed_since t t0 = t.now - t0

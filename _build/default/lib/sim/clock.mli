@@ -1,0 +1,19 @@
+(** Deterministic virtual clock.
+
+    All simulated costs (SGX transitions, EPC paging, encryption work,
+    cross-boundary copies) advance this clock, so experiment output is a
+    pure function of the workload and the cost model — reproducible across
+    machines, unlike wall-clock measurements of the simulator itself. *)
+
+type t
+
+val create : unit -> t
+
+val now_ns : t -> int
+(** Current virtual time in nanoseconds since [create]. *)
+
+val advance : t -> int -> unit
+(** Advance by a non-negative number of nanoseconds. *)
+
+val elapsed_since : t -> int -> int
+(** [elapsed_since t t0] = [now_ns t - t0]. *)

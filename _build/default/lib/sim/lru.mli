@@ -1,0 +1,37 @@
+(** Generic LRU cache with O(1) find/put/remove.
+
+    Shared by the EPC resident-page set, the protected-file-system node
+    cache, and the database page cache — the three caches whose interplay
+    produces the paper's performance cliffs. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes the entry to most-recently-used on hit. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like {!find} but without promotion. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without promotion. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or update (promoting). Returns the evicted LRU entry if the
+    cache was full and a different key had to make room. *)
+
+val remove : ('k, 'v) t -> 'k -> 'v option
+
+val set_capacity : ('k, 'v) t -> int -> ('k * 'v) list
+(** Shrink or grow; returns entries evicted by a shrink (LRU first). *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Most-recently-used first. *)
+
+val clear : ('k, 'v) t -> unit
+val iter : (('k -> 'v -> unit) -> ('k, 'v) t -> unit)

@@ -1,0 +1,31 @@
+type cell = { mutable ns : int; mutable count : int }
+type t = (string, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some c -> c
+  | None ->
+      let c = { ns = 0; count = 0 } in
+      Hashtbl.add t name c;
+      c
+
+let charge t name ns =
+  let c = cell t name in
+  c.ns <- c.ns + ns;
+  c.count <- c.count + 1
+
+let bump t name =
+  let c = cell t name in
+  c.count <- c.count + 1
+
+let ns t name = match Hashtbl.find_opt t name with Some c -> c.ns | None -> 0
+let count t name = match Hashtbl.find_opt t name with Some c -> c.count | None -> 0
+let reset = Hashtbl.reset
+
+let snapshot t =
+  Hashtbl.fold (fun k c acc -> (k, (c.ns, c.count)) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total_ns t = Hashtbl.fold (fun _ c acc -> acc + c.ns) t 0

@@ -1,0 +1,26 @@
+(** Named accumulators for the time-breakdown analyses (paper §V-F).
+
+    Each component charge records both total nanoseconds and an event
+    count, keyed by a component label such as ["ocall"], ["memset"],
+    ["ipfs.read"] or ["sqlite"]. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> string -> int -> unit
+(** [charge m component ns] adds [ns] to [component] and bumps its count. *)
+
+val bump : t -> string -> unit
+(** Count-only event (zero time). *)
+
+val ns : t -> string -> int
+val count : t -> string -> int
+
+val reset : t -> unit
+
+val snapshot : t -> (string * (int * int)) list
+(** [(component, (total_ns, count))] sorted by component name. *)
+
+val total_ns : t -> int
+(** Sum over all components. *)

@@ -1,0 +1,1 @@
+lib/sqldb/btree.ml: Bytes Int32 Int64 List Option Pager Printf Record String

@@ -1,0 +1,1 @@
+lib/sqldb/db.ml: Array Btree Float Format Hashtbl Int64 List Option Pager Parser Printf Record Sql_ast String Svfs Twine_crypto Value

@@ -1,0 +1,1 @@
+lib/sqldb/db.mli: Pager Svfs Value

@@ -1,0 +1,1 @@
+lib/sqldb/pager.ml: Bytes Hashtbl Int32 List Printf String Svfs Twine_sim

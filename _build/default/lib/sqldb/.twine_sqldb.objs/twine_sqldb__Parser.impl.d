@@ -1,0 +1,1 @@
+lib/sqldb/parser.ml: Int64 List Printf Sql_ast String Token Value

@@ -1,0 +1,1 @@
+lib/sqldb/record.ml: Buffer Char Int64 List Printf String Value

@@ -1,0 +1,1 @@
+lib/sqldb/svfs.ml: Bytes Filename Hashtbl String Sys Unix

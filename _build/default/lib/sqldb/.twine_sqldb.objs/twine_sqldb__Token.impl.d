@@ -1,0 +1,1 @@
+lib/sqldb/token.ml: Buffer Int64 List Printf String Twine_crypto

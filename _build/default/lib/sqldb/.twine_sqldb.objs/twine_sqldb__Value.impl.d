@@ -1,0 +1,1 @@
+lib/sqldb/value.ml: Float Int64 Printf Stdlib String Twine_crypto

@@ -1,0 +1,437 @@
+(* B+trees over the pager: one per table (keyed by 64-bit rowid, payload =
+   encoded record) and one per index (key = encoded column values with the
+   rowid appended, making every key unique).
+
+   Pages decode to a structured node, are modified functionally, and are
+   re-encoded; a node that no longer fits splits, propagating a separator
+   upwards. Roots keep their page number (the catalog stores it), so a
+   root split moves the old root's content to a fresh page. Underfull
+   pages are not rebalanced on delete — like a SQLite database awaiting
+   VACUUM, which we also provide at the Db layer. *)
+
+let page_size = Pager.page_size
+let content_start = 16
+let max_payload = page_size - content_start - 16
+
+exception Too_large of int
+
+type node =
+  | Table_leaf of (int64 * string) list  (* sorted by rowid *)
+  | Table_interior of (int * int64) list * int  (* (child, max key) + right *)
+  | Index_leaf of string list  (* sorted encoded keys *)
+  | Index_interior of (int * string) list * int
+
+(* --- encoding --- *)
+
+let node_type = function
+  | Table_leaf _ -> 1
+  | Table_interior _ -> 2
+  | Index_leaf _ -> 3
+  | Index_interior _ -> 4
+
+let put_i64 b off (v : int64) = Bytes.set_int64_le b off v
+let put_u16 b off v = Bytes.set_uint16_le b off v
+let put_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off)
+
+let encode_node b node =
+  Bytes.fill b 0 page_size '\000';
+  Bytes.set_uint8 b 0 (node_type node);
+  let pos = ref content_start in
+  let count = ref 0 in
+  (match node with
+  | Table_leaf cells ->
+      List.iter
+        (fun (rowid, payload) ->
+          put_i64 b !pos rowid;
+          put_u16 b (!pos + 8) (String.length payload);
+          Bytes.blit_string payload 0 b (!pos + 10) (String.length payload);
+          pos := !pos + 10 + String.length payload;
+          incr count)
+        cells
+  | Table_interior (cells, right) ->
+      put_u32 b 3 right;
+      List.iter
+        (fun (child, key) ->
+          put_u32 b !pos child;
+          put_i64 b (!pos + 4) key;
+          pos := !pos + 12;
+          incr count)
+        cells
+  | Index_leaf keys ->
+      List.iter
+        (fun key ->
+          put_u16 b !pos (String.length key);
+          Bytes.blit_string key 0 b (!pos + 2) (String.length key);
+          pos := !pos + 2 + String.length key;
+          incr count)
+        keys
+  | Index_interior (cells, right) ->
+      put_u32 b 3 right;
+      List.iter
+        (fun (child, key) ->
+          put_u32 b !pos child;
+          put_u16 b (!pos + 4) (String.length key);
+          Bytes.blit_string key 0 b (!pos + 6) (String.length key);
+          pos := !pos + 6 + String.length key;
+          incr count)
+        cells);
+  put_u16 b 1 !count
+
+let node_size node =
+  content_start
+  +
+  match node with
+  | Table_leaf cells ->
+      List.fold_left (fun a (_, p) -> a + 10 + String.length p) 0 cells
+  | Table_interior (cells, _) -> 12 * List.length cells
+  | Index_leaf keys -> List.fold_left (fun a k -> a + 2 + String.length k) 0 keys
+  | Index_interior (cells, _) ->
+      List.fold_left (fun a (_, k) -> a + 6 + String.length k) 0 cells
+
+let decode_node b =
+  let count = Bytes.get_uint16_le b 1 in
+  let pos = ref content_start in
+  match Bytes.get_uint8 b 0 with
+  | 1 ->
+      Table_leaf
+        (List.init count (fun _ ->
+             let rowid = Bytes.get_int64_le b !pos in
+             let len = Bytes.get_uint16_le b (!pos + 8) in
+             let payload = Bytes.sub_string b (!pos + 10) len in
+             pos := !pos + 10 + len;
+             (rowid, payload)))
+  | 2 ->
+      let right = get_u32 b 3 in
+      Table_interior
+        ( List.init count (fun _ ->
+              let child = get_u32 b !pos in
+              let key = Bytes.get_int64_le b (!pos + 4) in
+              pos := !pos + 12;
+              (child, key)),
+          right )
+  | 3 ->
+      Index_leaf
+        (List.init count (fun _ ->
+             let len = Bytes.get_uint16_le b !pos in
+             let key = Bytes.sub_string b (!pos + 2) len in
+             pos := !pos + 2 + len;
+             key))
+  | 4 ->
+      let right = get_u32 b 3 in
+      Index_interior
+        ( List.init count (fun _ ->
+              let child = get_u32 b !pos in
+              let len = Bytes.get_uint16_le b (!pos + 4) in
+              let key = Bytes.sub_string b (!pos + 6) len in
+              pos := !pos + 6 + len;
+              (child, key)),
+          right )
+  | ty -> raise (Pager.Corrupt (Printf.sprintf "bad btree page type %d" ty))
+
+let read_node pager page =
+  Pager.work pager 1;
+  decode_node (Pager.read_page pager page)
+
+let write_node pager page node =
+  Pager.work pager 1;
+  encode_node (Pager.modify pager page) node
+
+(* --- creation --- *)
+
+type kind = Table | Index
+
+let create pager kind =
+  let page = Pager.alloc pager in
+  write_node pager page (match kind with Table -> Table_leaf [] | Index -> Index_leaf []);
+  page
+
+(* --- table trees --- *)
+
+let rec table_insert pager page rowid payload =
+  match read_node pager page with
+  | Table_leaf cells ->
+      let rec place = function
+        | [] -> [ (rowid, payload) ]
+        | (r, p) :: rest ->
+            if r = rowid then (rowid, payload) :: rest
+            else if r > rowid then (rowid, payload) :: (r, p) :: rest
+            else (r, p) :: place rest
+      in
+      let cells = place cells in
+      let node = Table_leaf cells in
+      if node_size node <= page_size then begin
+        write_node pager page node;
+        None
+      end
+      else begin
+        (* split at the midpoint cell *)
+        let n = List.length cells in
+        let mid = n / 2 in
+        let left = List.filteri (fun i _ -> i < mid) cells in
+        let right = List.filteri (fun i _ -> i >= mid) cells in
+        let sep = fst (List.nth cells (mid - 1)) in
+        let right_page = Pager.alloc pager in
+        write_node pager page (Table_leaf left);
+        write_node pager right_page (Table_leaf right);
+        Some (sep, right_page)
+      end
+  | Table_interior (cells, right) -> (
+      let rec choose = function
+        | [] -> (right, `Right)
+        | (child, key) :: rest ->
+            if rowid <= key then (child, `Cell key) else choose rest
+      in
+      let child, which = choose cells in
+      match table_insert pager child rowid payload with
+      | None -> None
+      | Some (sep, new_page) ->
+          let cells, right =
+            match which with
+            | `Cell key ->
+                ( List.concat_map
+                    (fun (c, k) ->
+                      if c = child && k = key then [ (child, sep); (new_page, key) ]
+                      else [ (c, k) ])
+                    cells,
+                  right )
+            | `Right -> (cells @ [ (child, sep) ], new_page)
+          in
+          let node = Table_interior (cells, right) in
+          if node_size node <= page_size then begin
+            write_node pager page node;
+            None
+          end
+          else begin
+            let n = List.length cells in
+            let mid = n / 2 in
+            let lcells = List.filteri (fun i _ -> i < mid) cells in
+            let mchild, mkey = List.nth cells mid in
+            let rcells = List.filteri (fun i _ -> i > mid) cells in
+            let right_page = Pager.alloc pager in
+            write_node pager page (Table_interior (lcells, mchild));
+            write_node pager right_page (Table_interior (rcells, right));
+            Some (mkey, right_page)
+          end)
+  | Index_leaf _ | Index_interior _ ->
+      raise (Pager.Corrupt "table op on index page")
+
+(* Root-preserving split. *)
+let grow_root pager root (sep_key : [ `I of int64 | `S of string ]) right_page =
+  let old = read_node pager root in
+  let left_page = Pager.alloc pager in
+  write_node pager left_page old;
+  match (old, sep_key) with
+  | (Table_leaf _ | Table_interior _), `I k ->
+      write_node pager root (Table_interior ([ (left_page, k) ], right_page))
+  | (Index_leaf _ | Index_interior _), `S k ->
+      write_node pager root (Index_interior ([ (left_page, k) ], right_page))
+  | _ -> raise (Pager.Corrupt "grow_root: kind mismatch")
+
+let insert_table pager ~root ~rowid payload =
+  if String.length payload > max_payload then raise (Too_large (String.length payload));
+  match table_insert pager root rowid payload with
+  | None -> ()
+  | Some (sep, right) -> grow_root pager root (`I sep) right
+
+let rec lookup_table pager ~root rowid =
+  match read_node pager root with
+  | Table_leaf cells ->
+      List.find_map (fun (r, p) -> if r = rowid then Some p else None) cells
+  | Table_interior (cells, right) ->
+      let rec choose = function
+        | [] -> right
+        | (child, key) :: rest -> if rowid <= key then child else choose rest
+      in
+      lookup_table pager ~root:(choose cells) rowid
+  | _ -> raise (Pager.Corrupt "table op on index page")
+
+let rec delete_table pager ~root rowid =
+  match read_node pager root with
+  | Table_leaf cells ->
+      let found = List.mem_assoc rowid cells in
+      if found then
+        write_node pager root (Table_leaf (List.remove_assoc rowid cells));
+      found
+  | Table_interior (cells, right) ->
+      let rec choose = function
+        | [] -> right
+        | (child, key) :: rest -> if rowid <= key then child else choose rest
+      in
+      delete_table pager ~root:(choose cells) rowid
+  | _ -> raise (Pager.Corrupt "table op on index page")
+
+let rec max_rowid pager ~root =
+  match read_node pager root with
+  | Table_leaf cells -> (
+      match List.rev cells with [] -> None | (r, _) :: _ -> Some r)
+  | Table_interior (cells, right) -> (
+      match max_rowid pager ~root:right with
+      | Some r -> Some r
+      | None ->
+          (* right subtree empty (possible after deletes): try others *)
+          List.fold_left
+            (fun acc (child, _) ->
+              match max_rowid pager ~root:child with
+              | Some r -> Some (max r (Option.value acc ~default:Int64.min_int))
+              | None -> acc)
+            None cells)
+  | _ -> raise (Pager.Corrupt "table op on index page")
+
+exception Stop
+
+(* In-order iteration over [min, max]; f returns false to stop. *)
+let iter_table pager ~root ?(min = Int64.min_int) ?(max = Int64.max_int) f =
+  let rec go page lower =
+    match read_node pager page with
+    | Table_leaf cells ->
+        List.iter
+          (fun (r, p) ->
+            if Int64.compare r min >= 0 && Int64.compare r max <= 0 then
+              if not (f r p) then raise Stop)
+          cells
+    | Table_interior (cells, right) ->
+        let prev = ref lower in
+        List.iter
+          (fun (child, key) ->
+            (* child covers (prev, key] *)
+            if Int64.compare key min >= 0 && Int64.compare !prev max < 0 then
+              go child !prev;
+            prev := key)
+          cells;
+        if Int64.compare !prev max < 0 then go right !prev
+    | _ -> raise (Pager.Corrupt "table op on index page")
+  in
+  try go root Int64.min_int with Stop -> ()
+
+let count_table pager ~root =
+  let n = ref 0 in
+  iter_table pager ~root (fun _ _ ->
+      incr n;
+      true);
+  !n
+
+(* --- index trees --- *)
+
+let kcmp = Record.compare_encoded
+
+let rec index_insert pager page key =
+  match read_node pager page with
+  | Index_leaf keys ->
+      let rec place = function
+        | [] -> [ key ]
+        | k :: rest ->
+            let c = kcmp k key in
+            if c = 0 then k :: rest  (* duplicate composite key: no-op *)
+            else if c > 0 then key :: k :: rest
+            else k :: place rest
+      in
+      let keys = place keys in
+      let node = Index_leaf keys in
+      if node_size node <= page_size then begin
+        write_node pager page node;
+        None
+      end
+      else begin
+        let n = List.length keys in
+        let mid = n / 2 in
+        let left = List.filteri (fun i _ -> i < mid) keys in
+        let right = List.filteri (fun i _ -> i >= mid) keys in
+        let sep = List.nth keys (mid - 1) in
+        let right_page = Pager.alloc pager in
+        write_node pager page (Index_leaf left);
+        write_node pager right_page (Index_leaf right);
+        Some (sep, right_page)
+      end
+  | Index_interior (cells, right) -> (
+      let rec choose = function
+        | [] -> (right, `Right)
+        | (child, k) :: rest -> if kcmp key k <= 0 then (child, `Cell k) else choose rest
+      in
+      let child, which = choose cells in
+      match index_insert pager child key with
+      | None -> None
+      | Some (sep, new_page) ->
+          let cells, right =
+            match which with
+            | `Cell k ->
+                ( List.concat_map
+                    (fun (c, ck) ->
+                      if c = child && ck = k then [ (child, sep); (new_page, k) ]
+                      else [ (c, ck) ])
+                    cells,
+                  right )
+            | `Right -> (cells @ [ (child, sep) ], new_page)
+          in
+          let node = Index_interior (cells, right) in
+          if node_size node <= page_size then begin
+            write_node pager page node;
+            None
+          end
+          else begin
+            let n = List.length cells in
+            let mid = n / 2 in
+            let lcells = List.filteri (fun i _ -> i < mid) cells in
+            let mchild, mkey = List.nth cells mid in
+            let rcells = List.filteri (fun i _ -> i > mid) cells in
+            let right_page = Pager.alloc pager in
+            write_node pager page (Index_interior (lcells, mchild));
+            write_node pager right_page (Index_interior (rcells, right));
+            Some (mkey, right_page)
+          end)
+  | Table_leaf _ | Table_interior _ ->
+      raise (Pager.Corrupt "index op on table page")
+
+let insert_index pager ~root key =
+  if String.length key > max_payload then raise (Too_large (String.length key));
+  match index_insert pager root key with
+  | None -> ()
+  | Some (sep, right) -> grow_root pager root (`S sep) right
+
+let rec delete_index pager ~root key =
+  match read_node pager root with
+  | Index_leaf keys ->
+      let found = List.exists (fun k -> k = key) keys in
+      if found then
+        write_node pager root (Index_leaf (List.filter (fun k -> k <> key) keys));
+      found
+  | Index_interior (cells, right) ->
+      let rec choose = function
+        | [] -> right
+        | (child, k) :: rest -> if kcmp key k <= 0 then child else choose rest
+      in
+      delete_index pager ~root:(choose cells) key
+  | _ -> raise (Pager.Corrupt "index op on table page")
+
+(* Iterate keys >= start (or all when [start] is None) in order; f returns
+   false to stop. *)
+let iter_index pager ~root ?start f =
+  let rec go page =
+    match read_node pager page with
+    | Index_leaf keys ->
+        List.iter
+          (fun k ->
+            let skip = match start with Some s -> kcmp k s < 0 | None -> false in
+            if not skip then if not (f k) then raise Stop)
+          keys
+    | Index_interior (cells, right) ->
+        List.iter
+          (fun (child, key) ->
+            let prune = match start with Some s -> kcmp key s < 0 | None -> false in
+            if not prune then go child)
+          cells;
+        go right
+    | _ -> raise (Pager.Corrupt "index op on table page")
+  in
+  try go root with Stop -> ()
+
+(* Collect every page of a tree (for DROP and VACUUM). *)
+let rec pages pager ~root =
+  match read_node pager root with
+  | Table_leaf _ | Index_leaf _ -> [ root ]
+  | Table_interior (cells, right) ->
+      root :: List.concat_map (fun (c, _) -> pages pager ~root:c) cells
+      @ pages pager ~root:right
+  | Index_interior (cells, right) ->
+      root :: List.concat_map (fun (c, _) -> pages pager ~root:c) cells
+      @ pages pager ~root:right

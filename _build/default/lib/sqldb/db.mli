@@ -1,0 +1,63 @@
+(** The embeddable SQL database — public API.
+
+    This is the repository's SQLite stand-in (paper §V-C): an embedded
+    engine with dynamic typing, rowid tables, secondary indexes, ACID
+    transactions via a rollback journal, and a VFS seam ({!Svfs}) that
+    lets the same engine run over host files, memory, WASI files, or
+    encrypted protected files.
+
+    {2 Supported SQL}
+
+    [CREATE TABLE] (column types INTEGER/TEXT/REAL/BLOB, INTEGER PRIMARY
+    KEY as rowid alias, NOT NULL, DEFAULT), [CREATE [UNIQUE] INDEX],
+    [DROP TABLE/INDEX], [INSERT] (multi-row, column lists), [SELECT]
+    (WHERE, inner JOIN, GROUP BY + HAVING, aggregates
+    count/sum/avg/total/min/max, ORDER BY, DISTINCT, LIMIT/OFFSET),
+    [UPDATE], [DELETE], [BEGIN/COMMIT/ROLLBACK], [PRAGMA cache_size],
+    [ANALYZE] (stats into the [stat1] table), [VACUUM].
+
+    Point and range queries on the rowid / INTEGER PRIMARY KEY and
+    equality/range lookups on a single-column index prefix use the
+    B-trees; everything else scans. *)
+
+exception Sql_error of string
+
+type t
+
+type result = { columns : string list; rows : Value.t list list; affected : int }
+
+val open_db :
+  ?vfs:Svfs.t -> ?cache_pages:int -> ?hooks:Pager.hooks -> string -> t
+(** [open_db path] opens (creating if needed) a database. [":memory:"]
+    uses a private in-memory VFS. [cache_pages] is the page-cache
+    capacity in 4 KiB pages (default 2048, i.e. SQLite's 8 MiB).
+    [hooks] observe page reads/writes/accesses for cost accounting. *)
+
+val close : t -> unit
+(** Rolls back any open transaction and releases the file. *)
+
+val exec : t -> string -> result
+(** Execute one or more ;-separated statements; returns the last
+    statement's result. Modifications outside an explicit transaction
+    are wrapped in an automatic one.
+    @raise Sql_error on semantic errors (missing table, constraint
+    violation, ...); @raise Parser.Error on syntax errors. *)
+
+val query : t -> string -> Value.t list list
+(** [query t sql] = [(exec t sql).rows]. *)
+
+val query_one : t -> string -> Value.t
+(** First column of the single result row.
+    @raise Sql_error if the query does not yield exactly one row. *)
+
+val last_insert_rowid : t -> int64
+
+val work : t -> int
+(** Abstract CPU work units accumulated since the last {!reset_work} —
+    the quantity TWINE's benchmark variants charge at the calibrated
+    Wasm slowdown factor. *)
+
+val reset_work : t -> unit
+
+val pager : t -> Pager.t
+(** The underlying pager (statistics, cache-size control). *)

@@ -1,0 +1,87 @@
+(* Row (de)serialisation: a one-byte type tag per value followed by a
+   fixed- or length-prefixed payload. Keys for index B-trees reuse the
+   same encoding; ordering is defined by decoding and comparing values. *)
+
+let put_u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff))
+
+let put_i64 b (v : int64) =
+  for k = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff))
+  done
+
+let get_u16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+
+let get_i64 s off =
+  let v = ref 0L in
+  for k = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + k]))
+  done;
+  !v
+
+let encode (values : Value.t list) =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun (v : Value.t) ->
+      match v with
+      | Value.Null -> Buffer.add_char b '\x00'
+      | Value.Int x ->
+          Buffer.add_char b '\x01';
+          put_i64 b x
+      | Value.Real x ->
+          Buffer.add_char b '\x02';
+          put_i64 b (Int64.bits_of_float x)
+      | Value.Text s ->
+          Buffer.add_char b '\x03';
+          put_u16 b (String.length s);
+          Buffer.add_string b s
+      | Value.Blob s ->
+          Buffer.add_char b '\x04';
+          put_u16 b (String.length s);
+          Buffer.add_string b s)
+    values;
+  Buffer.contents b
+
+exception Corrupt of string
+
+let decode s : Value.t list =
+  let n = String.length s in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else
+      match s.[off] with
+      | '\x00' -> go (off + 1) (Value.Null :: acc)
+      | '\x01' ->
+          if off + 9 > n then raise (Corrupt "int truncated");
+          go (off + 9) (Value.Int (get_i64 s (off + 1)) :: acc)
+      | '\x02' ->
+          if off + 9 > n then raise (Corrupt "real truncated");
+          go (off + 9) (Value.Real (Int64.float_of_bits (get_i64 s (off + 1))) :: acc)
+      | '\x03' | '\x04' ->
+          if off + 3 > n then raise (Corrupt "string header truncated");
+          let len = get_u16 s (off + 1) in
+          if off + 3 + len > n then raise (Corrupt "string truncated");
+          let body = String.sub s (off + 3) len in
+          let v =
+            if s.[off] = '\x03' then Value.Text body else Value.Blob body
+          in
+          go (off + 3 + len) (v :: acc)
+      | c -> raise (Corrupt (Printf.sprintf "bad tag 0x%02x" (Char.code c)))
+  in
+  go 0 []
+
+(* Ordering of encoded records, used by index B-trees: decode and compare
+   value lists lexicographically. *)
+let compare_encoded a b =
+  let rec cmp xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs, y :: ys ->
+        let c = Value.compare x y in
+        if c <> 0 then c else cmp xs ys
+  in
+  cmp (decode a) (decode b)

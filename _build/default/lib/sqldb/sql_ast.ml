@@ -1,0 +1,80 @@
+(* SQL abstract syntax. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod | Concat
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Lit of Value.t
+  | Column of string option * string  (* table qualifier, name *)
+  | Star  (* the star argument of count, and select lists *)
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Neg of expr
+  | Is_null of expr * bool  (* IS NULL / IS NOT NULL *)
+  | Between of expr * expr * expr
+  | In_list of expr * expr list
+  | Like of expr * expr
+  | Call of string * expr list  (* functions and aggregates *)
+  | Case of (expr * expr) list * expr option  (* WHEN cond THEN v ..., ELSE *)
+  | Cast of expr * string
+
+type order_item = { ord_expr : expr; ord_desc : bool }
+
+type column_def = {
+  col_name : string;
+  col_type : string;  (* INTEGER | TEXT | REAL | BLOB | "" *)
+  col_pk : bool;
+  col_not_null : bool;
+  col_default : expr option;
+}
+
+type join = { jt_table : string; jt_alias : string option; jt_on : expr option }
+
+type select = {
+  sel_exprs : (expr * string option) list;  (* expr, alias *)
+  sel_distinct : bool;
+  sel_from : (string * string option) option;  (* table, alias *)
+  sel_joins : join list;
+  sel_where : expr option;
+  sel_group : expr list;
+  sel_having : expr option;
+  sel_order : order_item list;
+  sel_limit : expr option;
+  sel_offset : expr option;
+}
+
+type stmt =
+  | Select of select
+  | Insert of {
+      ins_table : string;
+      ins_columns : string list;  (* empty = all *)
+      ins_rows : expr list list;
+    }
+  | Update of {
+      upd_table : string;
+      upd_sets : (string * expr) list;
+      upd_where : expr option;
+    }
+  | Delete of { del_table : string; del_where : expr option }
+  | Create_table of {
+      ct_name : string;
+      ct_if_not_exists : bool;
+      ct_columns : column_def list;
+    }
+  | Create_index of {
+      ci_name : string;
+      ci_table : string;
+      ci_columns : string list;
+      ci_unique : bool;
+      ci_if_not_exists : bool;
+    }
+  | Drop_table of { dt_name : string; dt_if_exists : bool }
+  | Drop_index of { di_name : string; di_if_exists : bool }
+  | Begin
+  | Commit
+  | Rollback
+  | Pragma of string * Value.t option
+  | Analyze
+  | Vacuum

@@ -1,0 +1,1 @@
+lib/twine/bench_db.ml: Backing Bytes Costs Db Enclave Float List Machine Option Pager Protected_fs Runtime String Svfs Twine_ipfs Twine_polybench Twine_sgx Twine_sqldb

@@ -1,0 +1,1 @@
+lib/twine/microbench.ml: Bench_db Float List Printf Twine_crypto Twine_ipfs Twine_sgx Twine_sim

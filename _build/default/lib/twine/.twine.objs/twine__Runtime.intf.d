@@ -1,0 +1,1 @@
+lib/twine/runtime.mli: Twine_ipfs Twine_sgx Twine_wasm

@@ -1,0 +1,1 @@
+lib/twine/sgx_host.ml: Api Bytes Enclave Errno Hashtbl Int64 Machine Protected_fs String Twine_ipfs Twine_sgx Twine_wasi Vfs

@@ -1,0 +1,1 @@
+lib/twine/speedtest.ml: Array Bench_db List Printf String Twine_crypto Twine_sqldb

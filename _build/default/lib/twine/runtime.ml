@@ -1,0 +1,204 @@
+(* The TWINE runtime (paper §IV): a Wasm engine hosted inside an SGX
+   enclave behind a single ECALL, with the SGX-tailored WASI host and
+   code confidentiality via deployment into reserved memory.
+
+   Workflow (Figure 1): the application provider attests the enclave,
+   then ships the (AoT-compiled) Wasm module over a protected channel;
+   the module never exists in plaintext outside enclave memory. *)
+
+open Twine_sgx
+open Twine_ipfs
+open Twine_wasm
+open Twine_wasi
+
+type engine = Interpreter | Aot
+
+type config = {
+  engine : engine;
+  strict_wasi : bool;  (* disable the untrusted POSIX layer (§IV-C) *)
+  cache_nodes : int;  (* IPFS node cache *)
+  ipfs_variant : Protected_fs.variant;
+  heap_bytes : int;
+}
+
+let default_config =
+  {
+    engine = Aot;
+    strict_wasi = false;
+    cache_nodes = 48;
+    ipfs_variant = Protected_fs.Stock;
+    heap_bytes = 16 * 1024 * 1024;
+  }
+
+(* The enclave's measured code identity: runtime, not application (the
+   application arrives later over the secure channel). *)
+let runtime_code = "twine-runtime: wamr-aot + wasi-sgx + ipfs, v1"
+
+type t = {
+  config : config;
+  machine : Machine.t;
+  enclave : Enclave.t;
+  fs : Protected_fs.t;
+  mutable deployed : (Ast.module_ * int) option;  (* module, reserved addr *)
+}
+
+let create ?(config = default_config) ?backing machine =
+  let enclave =
+    Enclave.create machine ~signer:"twine" ~heap_bytes:config.heap_bytes
+      ~code:runtime_code ()
+  in
+  let backing = match backing with Some b -> b | None -> Backing.memory () in
+  let fs =
+    Protected_fs.create enclave backing ~variant:config.ipfs_variant
+      ~cache_nodes:config.cache_nodes ()
+  in
+  { config; machine; enclave; fs; deployed = None }
+
+let enclave t = t.enclave
+let machine t = t.machine
+let fs t = t.fs
+
+let quote t ~data = Attestation.quote t.enclave ~data
+
+(* --- secure deployment (Figure 1) --- *)
+
+exception Deploy_error of string
+
+(* An application provider: holds the Wasm module, verifies the enclave's
+   quote against the attestation service and the expected measurement,
+   and releases the module encrypted under a fresh channel key. *)
+module Provider = struct
+  type provider = {
+    wasm : string;  (* binary module, confidential *)
+    service : Attestation.service;
+    expected_measurement : string;
+  }
+
+  let create ~wasm ~service =
+    {
+      wasm;
+      service;
+      expected_measurement = Twine_crypto.Sha256.digest ("mrenclave:" ^ runtime_code);
+    }
+
+  (* The runtime's half of the channel key is bound into the quote's
+     report data; the provider returns its half plus the ciphertext. *)
+  let deliver p ~(quote : Attestation.quote) ~runtime_pub =
+    if not (Attestation.verify_quote p.service ~expected_measurement:p.expected_measurement quote)
+    then Error "attestation failed: enclave not trusted"
+    else if String.sub quote.body.report_data 0 32 <> Twine_crypto.Sha256.digest runtime_pub
+    then Error "channel binding mismatch"
+    else begin
+      let provider_secret = Twine_crypto.Sha256.digest ("provider-ephemeral:" ^ p.wasm) in
+      let shared =
+        Twine_crypto.Hmac.derive ~key:(runtime_pub ^ provider_secret)
+          ~info:"twine-channel" ~length:16
+      in
+      let key = Twine_crypto.Gcm.of_raw shared in
+      let iv = String.sub (Twine_crypto.Sha256.digest provider_secret) 0 12 in
+      let ct, tag = Twine_crypto.Gcm.encrypt key ~iv p.wasm in
+      Ok (provider_secret, iv, ct, tag)
+    end
+end
+
+(* Deploy a module through the attested channel. In the simulation the
+   "Diffie-Hellman" is a hash-combined shared secret; what matters for
+   the model is the flow: quote -> verify -> encrypted delivery ->
+   decrypt inside the enclave -> reserved memory. *)
+let deploy_from t (p : Provider.provider) =
+  Enclave.ecall t.enclave ~name:"twine.deploy" (fun _ ->
+      let runtime_pub = Enclave.random t.enclave 32 in
+      let q = quote t ~data:(Twine_crypto.Sha256.digest runtime_pub) in
+      match Provider.deliver p ~quote:q ~runtime_pub with
+      | Error e -> raise (Deploy_error e)
+      | Ok (provider_secret, iv, ct, tag) ->
+          let shared =
+            Twine_crypto.Hmac.derive ~key:(runtime_pub ^ provider_secret)
+              ~info:"twine-channel" ~length:16
+          in
+          let key = Twine_crypto.Gcm.of_raw shared in
+          (match Twine_crypto.Gcm.decrypt key ~iv ~tag ct with
+          | None -> raise (Deploy_error "module ciphertext failed authentication")
+          | Some wasm_binary ->
+              (* into reserved memory: never in untrusted memory in clear *)
+              let addr = Enclave.load_reserved t.enclave wasm_binary in
+              let module_ =
+                try Binary.decode wasm_binary
+                with Binary.Decode_error m -> raise (Deploy_error ("bad module: " ^ m))
+              in
+              Validate.check_module module_;
+              t.deployed <- Some (module_, addr)))
+
+(* Deploy a module directly (no provider); still validated and loaded
+   into reserved memory. *)
+let deploy t (module_ : Ast.module_) =
+  Validate.check_module module_;
+  Enclave.ecall t.enclave ~name:"twine.deploy" (fun _ ->
+      let addr = Enclave.load_reserved t.enclave (Binary.encode module_) in
+      t.deployed <- Some (module_, addr))
+
+(* --- execution --- *)
+
+(* Track Wasm linear-memory accesses in the EPC. Consecutive accesses to
+   the same 4 KiB page are filtered out before reaching the simulator:
+   they would be EPC hits anyway, and the filter keeps the instrumentation
+   overhead negligible for loop-local access patterns. *)
+let install_memory_hook enclave ~base mem =
+  let last_page = ref (-1) in
+  (Memory.on_access mem) :=
+    Some
+      (fun ~addr ~len ->
+        let page = (base + addr) lsr 12 in
+        if page <> !last_page || len > 4096 then begin
+          last_page := page;
+          Enclave.touch enclave ~addr:(base + addr) ~len
+        end)
+
+type run_outcome = {
+  exit_code : int;
+  stdout : string;
+  fuel : int;  (* instructions executed (interpreter metering) *)
+}
+
+let run ?(args = [ "app" ]) ?env t =
+  match t.deployed with
+  | None -> raise (Deploy_error "no module deployed")
+  | Some (module_, _addr) ->
+      (* The single ECALL of §IV-C: enter the enclave, start the runtime,
+         execute the WASI start routine. *)
+      Enclave.ecall t.enclave ~name:"twine.main" (fun _ ->
+          let out = Buffer.create 64 in
+          let base = Sgx_host.providers ~strict:t.config.strict_wasi t.enclave in
+          let providers =
+            {
+              base with
+              Api.stdout =
+                (fun s ->
+                  base.Api.stdout s;
+                  Buffer.add_string out s);
+            }
+          in
+          let preopens = [ (".", Sgx_host.protected_dir t.fs) ] in
+          let ctx = Api.create ~args ?env ~preopens ~providers () in
+          let inst = Interp.instantiate ~imports:(Api.imports ctx) module_ in
+          (* charge AoT code generation or set up interpretation *)
+          (match t.config.engine with
+          | Aot ->
+              let n = Aot.compile_instance inst in
+              Machine.charge t.machine "twine.aot" (n * 1500)
+          | Interpreter -> ());
+          Api.bind_memory ctx inst;
+          (* in-enclave Wasm linear memory participates in EPC pressure *)
+          let mem = Api.memory ctx in
+          let mem_base = Enclave.alloc t.enclave (Memory.size_bytes mem) in
+          install_memory_hook t.enclave ~base:mem_base mem;
+          let exit_code =
+            match Instance.export_func inst "_start" with
+            | None -> raise (Deploy_error "module has no _start")
+            | Some _ -> (
+                try
+                  ignore (Interp.invoke inst "_start" []);
+                  0
+                with Api.Proc_exit code -> code)
+          in
+          { exit_code; stdout = Buffer.contents out; fuel = Interp.fuel_used inst })

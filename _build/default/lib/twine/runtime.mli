@@ -1,0 +1,81 @@
+(** The TWINE runtime (paper §IV): a Wasm engine hosted inside an SGX
+    enclave behind a single ECALL, with the SGX-tailored WASI host,
+    protected-file persistence, and code confidentiality via attested
+    deployment into enclave reserved memory. *)
+
+type engine = Interpreter | Aot
+
+type config = {
+  engine : engine;
+  strict_wasi : bool;
+      (** disable the untrusted POSIX layer entirely (paper §IV-C) *)
+  cache_nodes : int;  (** protected-FS node-cache capacity *)
+  ipfs_variant : Twine_ipfs.Protected_fs.variant;
+  heap_bytes : int;
+}
+
+val default_config : config
+(** AoT engine, permissive WASI, stock IPFS, 48-node cache, 16 MiB heap. *)
+
+val runtime_code : string
+(** The runtime's code identity; its hash is the enclave measurement a
+    provider pins during attestation. *)
+
+type t
+
+val create : ?config:config -> ?backing:Twine_ipfs.Backing.t -> Twine_sgx.Machine.t -> t
+(** Launch a TWINE enclave on the machine. [backing] is the untrusted
+    store behind the protected file system (default: in-memory). *)
+
+val enclave : t -> Twine_sgx.Enclave.t
+val machine : t -> Twine_sgx.Machine.t
+val fs : t -> Twine_ipfs.Protected_fs.t
+
+val quote : t -> data:string -> Twine_sgx.Attestation.quote
+
+exception Deploy_error of string
+
+(** An application provider (Figure 1): releases its confidential Wasm
+    module only to an enclave whose quote proves it runs the genuine
+    TWINE runtime on a registered CPU. *)
+module Provider : sig
+  type provider
+
+  val create : wasm:string -> service:Twine_sgx.Attestation.service -> provider
+  (** [wasm] is the binary module; the expected measurement is pinned to
+      {!runtime_code}. *)
+
+  val deliver :
+    provider ->
+    quote:Twine_sgx.Attestation.quote ->
+    runtime_pub:string ->
+    (string * string * string * string, string) result
+  (** Provider-side protocol step: verify the quote and channel binding,
+      then return [(provider_secret, iv, ciphertext, tag)] of the module
+      under the derived channel key. Exposed for testing impostor
+      scenarios; normal use goes through {!deploy_from}. *)
+end
+
+val deploy_from : t -> Provider.provider -> unit
+(** Full attested deployment: quote, verification, encrypted delivery,
+    in-enclave decryption, validation, loading into reserved memory.
+    @raise Deploy_error if attestation or authentication fails. *)
+
+val deploy : t -> Twine_wasm.Ast.module_ -> unit
+(** Local deployment (no provider); still validated and loaded into
+    reserved memory.
+    @raise Twine_wasm.Validate.Invalid on an ill-typed module. *)
+
+val install_memory_hook : Twine_sgx.Enclave.t -> base:int -> Twine_wasm.Memory.t -> unit
+(** Account guest linear-memory accesses as EPC page touches (with a
+    same-page filter so instrumentation cost stays negligible). *)
+
+type run_outcome = {
+  exit_code : int;
+  stdout : string;
+  fuel : int;  (** instructions executed (interpreter metering; 0 for AoT) *)
+}
+
+val run : ?args:string list -> ?env:(string * string) list -> t -> run_outcome
+(** Execute the deployed module's WASI start routine inside one ECALL.
+    @raise Deploy_error if nothing is deployed or [_start] is missing. *)

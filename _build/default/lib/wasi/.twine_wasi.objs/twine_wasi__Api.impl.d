@@ -1,0 +1,1 @@
+lib/wasi/api.ml: Bytes Char Errno Hashtbl Instance Int32 Int64 Interp List Memory Random String Twine_wasm Types Unix Vfs

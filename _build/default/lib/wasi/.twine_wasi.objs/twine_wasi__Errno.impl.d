@@ -1,0 +1,1 @@
+lib/wasi/errno.ml: Printf

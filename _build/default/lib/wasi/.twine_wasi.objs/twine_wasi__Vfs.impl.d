@@ -1,0 +1,1 @@
+lib/wasi/vfs.ml: Array Buffer Bytes Errno Filename Hashtbl List String Sys Unix

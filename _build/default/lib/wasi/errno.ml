@@ -1,0 +1,40 @@
+(* WASI preview1 errno values (wire encoding). *)
+
+let success = 0
+let e2big = 1
+let eacces = 2
+let eagain = 6
+let ebadf = 8
+let ebusy = 10
+let eexist = 20
+let efault = 21
+let efbig = 22
+let einval = 28
+let eio = 29
+let eisdir = 31
+let emfile = 33
+let enoent = 44
+let enomem = 48
+let enospc = 51
+let enosys = 52
+let enotdir = 54
+let enotempty = 55
+let enotsup = 58
+let eperm = 63
+let epipe = 64
+let erange = 68
+let espipe = 70
+let enotcapable = 76
+
+let to_string = function
+  | 0 -> "ESUCCESS"
+  | 2 -> "EACCES"
+  | 8 -> "EBADF"
+  | 20 -> "EEXIST"
+  | 28 -> "EINVAL"
+  | 29 -> "EIO"
+  | 44 -> "ENOENT"
+  | 52 -> "ENOSYS"
+  | 58 -> "ENOTSUP"
+  | 76 -> "ENOTCAPABLE"
+  | n -> Printf.sprintf "errno(%d)" n

@@ -1,0 +1,381 @@
+(* Host file-system abstraction behind the WASI layer.
+
+   A WASI context is wired to one or more preopened [dir]s. The records of
+   functions below are the seam where TWINE swaps implementations: tests
+   use [memory ()], plain WAMR-style runs use [os root], and the trusted
+   runtime plugs in an IPFS-backed implementation (see Twine.Sgx_host) so
+   the same application code transparently gets encrypted persistence. *)
+
+type filetype = Regular | Directory | Char_device | Unknown
+
+type filestat = { st_size : int; st_filetype : filetype }
+
+type file = {
+  f_read : Bytes.t -> off:int -> len:int -> (int, int) result;
+  f_pread : Bytes.t -> off:int -> len:int -> pos:int -> (int, int) result;
+  f_write : string -> (int, int) result;
+  f_pwrite : string -> pos:int -> (int, int) result;
+  f_seek : offset:int -> whence:[ `Set | `Cur | `End ] -> (int, int) result;
+  f_tell : unit -> int;
+  f_size : unit -> int;
+  f_set_size : int -> (unit, int) result;
+  f_sync : unit -> unit;
+  f_close : unit -> unit;
+}
+
+type dir = {
+  d_open :
+    string -> create:bool -> trunc:bool -> excl:bool -> append:bool ->
+    (file, int) result;
+  d_unlink : string -> (unit, int) result;
+  d_create_dir : string -> (unit, int) result;
+  d_remove_dir : string -> (unit, int) result;
+  d_rename : string -> string -> (unit, int) result;
+  d_stat : string -> (filestat, int) result;
+  d_list : string -> ((string * filetype) list, int) result;
+}
+
+(* Reject absolute paths and any traversal that could escape the preopen
+   (the WASI capability model; cf. the paper's chroot comparison). *)
+let sanitize path =
+  if path = "" then Error Errno.einval
+  else if path.[0] = '/' then Error Errno.enotcapable
+  else begin
+    let parts = String.split_on_char '/' path in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | "" :: rest | "." :: rest -> resolve acc rest
+      | ".." :: rest -> (
+          match acc with
+          | [] -> Error Errno.enotcapable
+          | _ :: up -> resolve up rest)
+      | seg :: rest -> resolve (seg :: acc) rest
+    in
+    match resolve [] parts with
+    | Ok [] -> Error Errno.einval
+    | Ok segs -> Ok (String.concat "/" segs)
+    | Error e -> Error e
+  end
+
+(* --- In-memory filesystem --- *)
+
+type mem_node = Mem_file of Buffer.t | Mem_dir
+
+let memory () =
+  let tbl : (string, mem_node) Hashtbl.t = Hashtbl.create 16 in
+  let rec make_dir () =
+    {
+      d_open =
+        (fun path ~create ~trunc ~excl ~append ->
+          match sanitize path with
+          | Error e -> Error e
+          | Ok path -> (
+              match Hashtbl.find_opt tbl path with
+              | Some Mem_dir -> Error Errno.eisdir
+              | Some (Mem_file _) when excl -> Error Errno.eexist
+              | Some (Mem_file buf) ->
+                  if trunc then Buffer.clear buf;
+                  Ok (mem_file buf ~append)
+              | None ->
+                  if not create then Error Errno.enoent
+                  else begin
+                    let buf = Buffer.create 64 in
+                    Hashtbl.replace tbl path (Mem_file buf);
+                    Ok (mem_file buf ~append)
+                  end));
+      d_unlink =
+        (fun path ->
+          match sanitize path with
+          | Error e -> Error e
+          | Ok path -> (
+              match Hashtbl.find_opt tbl path with
+              | Some (Mem_file _) ->
+                  Hashtbl.remove tbl path;
+                  Ok ()
+              | Some Mem_dir -> Error Errno.eisdir
+              | None -> Error Errno.enoent));
+      d_create_dir =
+        (fun path ->
+          match sanitize path with
+          | Error e -> Error e
+          | Ok path ->
+              if Hashtbl.mem tbl path then Error Errno.eexist
+              else begin
+                Hashtbl.replace tbl path Mem_dir;
+                Ok ()
+              end);
+      d_remove_dir =
+        (fun path ->
+          match sanitize path with
+          | Error e -> Error e
+          | Ok path -> (
+              match Hashtbl.find_opt tbl path with
+              | Some Mem_dir ->
+                  let prefix = path ^ "/" in
+                  let occupied =
+                    Hashtbl.fold
+                      (fun k _ acc ->
+                        acc || String.length k > String.length prefix
+                               && String.sub k 0 (String.length prefix) = prefix)
+                      tbl false
+                  in
+                  if occupied then Error Errno.enotempty
+                  else begin
+                    Hashtbl.remove tbl path;
+                    Ok ()
+                  end
+              | Some (Mem_file _) -> Error Errno.enotdir
+              | None -> Error Errno.enoent));
+      d_rename =
+        (fun from to_ ->
+          match (sanitize from, sanitize to_) with
+          | Error e, _ | _, Error e -> Error e
+          | Ok from, Ok to_ -> (
+              match Hashtbl.find_opt tbl from with
+              | None -> Error Errno.enoent
+              | Some node ->
+                  Hashtbl.remove tbl from;
+                  Hashtbl.replace tbl to_ node;
+                  Ok ()));
+      d_stat =
+        (fun path ->
+          match sanitize path with
+          | Error e -> Error e
+          | Ok path -> (
+              match Hashtbl.find_opt tbl path with
+              | Some (Mem_file b) ->
+                  Ok { st_size = Buffer.length b; st_filetype = Regular }
+              | Some Mem_dir -> Ok { st_size = 0; st_filetype = Directory }
+              | None -> Error Errno.enoent));
+      d_list =
+        (fun prefix ->
+          let prefix = if prefix = "" || prefix = "." then "" else prefix ^ "/" in
+          let entries =
+            Hashtbl.fold
+              (fun k node acc ->
+                if String.length k >= String.length prefix
+                   && String.sub k 0 (String.length prefix) = prefix
+                then begin
+                  let rest = String.sub k (String.length prefix)
+                               (String.length k - String.length prefix) in
+                  if rest <> "" && not (String.contains rest '/') then
+                    (rest, match node with Mem_file _ -> Regular | Mem_dir -> Directory)
+                    :: acc
+                  else acc
+                end
+                else acc)
+              tbl []
+          in
+          Ok (List.sort compare entries));
+    }
+  and mem_file buf ~append =
+    let pos = ref (if append then Buffer.length buf else 0) in
+    {
+      f_read =
+        (fun dst ~off ~len ->
+          let n = Buffer.length buf in
+          if !pos >= n then Ok 0
+          else begin
+            let take = min len (n - !pos) in
+            Bytes.blit_string (Buffer.contents buf) !pos dst off take;
+            pos := !pos + take;
+            Ok take
+          end);
+      f_pread =
+        (fun dst ~off ~len ~pos:p ->
+          let n = Buffer.length buf in
+          if p >= n then Ok 0
+          else begin
+            let take = min len (n - p) in
+            Bytes.blit_string (Buffer.contents buf) p dst off take;
+            Ok take
+          end);
+      f_write =
+        (fun data ->
+          let n = Buffer.length buf in
+          if !pos = n then Buffer.add_string buf data
+          else begin
+            (* overwrite in the middle: rebuild *)
+            let current = Buffer.contents buf in
+            let endpos = !pos + String.length data in
+            let out = Bytes.make (max n endpos) '\000' in
+            Bytes.blit_string current 0 out 0 n;
+            Bytes.blit_string data 0 out !pos (String.length data);
+            Buffer.clear buf;
+            Buffer.add_bytes buf out
+          end;
+          pos := !pos + String.length data;
+          Ok (String.length data));
+      f_pwrite =
+        (fun data ~pos:p ->
+          let n = Buffer.length buf in
+          let endpos = p + String.length data in
+          let out = Bytes.make (max n endpos) '\000' in
+          Bytes.blit_string (Buffer.contents buf) 0 out 0 n;
+          Bytes.blit_string data 0 out p (String.length data);
+          Buffer.clear buf;
+          Buffer.add_bytes buf out;
+          Ok (String.length data));
+      f_seek =
+        (fun ~offset ~whence ->
+          let base =
+            match whence with `Set -> 0 | `Cur -> !pos | `End -> Buffer.length buf
+          in
+          let target = base + offset in
+          if target < 0 then Error Errno.einval
+          else begin
+            pos := target;
+            Ok target
+          end);
+      f_tell = (fun () -> !pos);
+      f_size = (fun () -> Buffer.length buf);
+      f_set_size =
+        (fun n ->
+          let current = Buffer.contents buf in
+          Buffer.clear buf;
+          if n <= String.length current then Buffer.add_string buf (String.sub current 0 n)
+          else begin
+            Buffer.add_string buf current;
+            Buffer.add_string buf (String.make (n - String.length current) '\000')
+          end;
+          Ok ());
+      f_sync = (fun () -> ());
+      f_close = (fun () -> ());
+    }
+  in
+  make_dir ()
+
+(* --- OS-rooted filesystem --- *)
+
+let errno_of_unix = function
+  | Unix.ENOENT -> Errno.enoent
+  | Unix.EACCES -> Errno.eacces
+  | Unix.EEXIST -> Errno.eexist
+  | Unix.EISDIR -> Errno.eisdir
+  | Unix.ENOTDIR -> Errno.enotdir
+  | Unix.ENOTEMPTY -> Errno.enotempty
+  | Unix.EINVAL -> Errno.einval
+  | Unix.EMFILE -> Errno.emfile
+  | Unix.ENOSPC -> Errno.enospc
+  | Unix.EPERM -> Errno.eperm
+  | _ -> Errno.eio
+
+let catch_unix f = try f () with Unix.Unix_error (e, _, _) -> Error (errno_of_unix e)
+
+let os root =
+  if not (Sys.file_exists root) then Unix.mkdir root 0o755;
+  let resolve path =
+    match sanitize path with
+    | Error e -> Error e
+    | Ok p -> Ok (Filename.concat root p)
+  in
+  let os_file fd =
+    let closed = ref false in
+    {
+      f_read =
+        (fun dst ~off ~len ->
+          catch_unix (fun () -> Ok (Unix.read fd dst off len)));
+      f_pread =
+        (fun dst ~off ~len ~pos ->
+          catch_unix (fun () ->
+              let saved = Unix.lseek fd 0 Unix.SEEK_CUR in
+              ignore (Unix.lseek fd pos Unix.SEEK_SET);
+              let n = Unix.read fd dst off len in
+              ignore (Unix.lseek fd saved Unix.SEEK_SET);
+              Ok n));
+      f_write =
+        (fun data ->
+          catch_unix (fun () ->
+              Ok (Unix.write_substring fd data 0 (String.length data))));
+      f_pwrite =
+        (fun data ~pos ->
+          catch_unix (fun () ->
+              let saved = Unix.lseek fd 0 Unix.SEEK_CUR in
+              ignore (Unix.lseek fd pos Unix.SEEK_SET);
+              let n = Unix.write_substring fd data 0 (String.length data) in
+              ignore (Unix.lseek fd saved Unix.SEEK_SET);
+              Ok n));
+      f_seek =
+        (fun ~offset ~whence ->
+          let w =
+            match whence with
+            | `Set -> Unix.SEEK_SET
+            | `Cur -> Unix.SEEK_CUR
+            | `End -> Unix.SEEK_END
+          in
+          catch_unix (fun () -> Ok (Unix.lseek fd offset w)));
+      f_tell = (fun () -> Unix.lseek fd 0 Unix.SEEK_CUR);
+      f_size = (fun () -> (Unix.fstat fd).Unix.st_size);
+      f_set_size = (fun n -> catch_unix (fun () -> Unix.ftruncate fd n; Ok ()));
+      f_sync = (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ());
+      f_close =
+        (fun () ->
+          if not !closed then begin
+            closed := true;
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end);
+    }
+  in
+  {
+    d_open =
+      (fun path ~create ~trunc ~excl ~append ->
+        match resolve path with
+        | Error e -> Error e
+        | Ok p ->
+            catch_unix (fun () ->
+                let flags =
+                  [ Unix.O_RDWR ]
+                  @ (if create then [ Unix.O_CREAT ] else [])
+                  @ (if trunc then [ Unix.O_TRUNC ] else [])
+                  @ (if excl then [ Unix.O_EXCL ] else [])
+                  @ if append then [ Unix.O_APPEND ] else []
+                in
+                Ok (os_file (Unix.openfile p flags 0o644))));
+    d_unlink =
+      (fun path ->
+        match resolve path with
+        | Error e -> Error e
+        | Ok p -> catch_unix (fun () -> Unix.unlink p; Ok ()));
+    d_create_dir =
+      (fun path ->
+        match resolve path with
+        | Error e -> Error e
+        | Ok p -> catch_unix (fun () -> Unix.mkdir p 0o755; Ok ()));
+    d_remove_dir =
+      (fun path ->
+        match resolve path with
+        | Error e -> Error e
+        | Ok p -> catch_unix (fun () -> Unix.rmdir p; Ok ()));
+    d_rename =
+      (fun from to_ ->
+        match (resolve from, resolve to_) with
+        | Error e, _ | _, Error e -> Error e
+        | Ok f, Ok t -> catch_unix (fun () -> Unix.rename f t; Ok ()));
+    d_stat =
+      (fun path ->
+        match resolve path with
+        | Error e -> Error e
+        | Ok p ->
+            catch_unix (fun () ->
+                let st = Unix.stat p in
+                let ft =
+                  match st.Unix.st_kind with
+                  | Unix.S_REG -> Regular
+                  | Unix.S_DIR -> Directory
+                  | Unix.S_CHR -> Char_device
+                  | _ -> Unknown
+                in
+                Ok { st_size = st.Unix.st_size; st_filetype = ft }));
+    d_list =
+      (fun path ->
+        let dirp = if path = "" || path = "." then root else Filename.concat root path in
+        catch_unix (fun () ->
+            let entries = Sys.readdir dirp in
+            Ok
+              (Array.to_list entries
+              |> List.map (fun name ->
+                     let full = Filename.concat dirp name in
+                     let ft = if Sys.is_directory full then Directory else Regular in
+                     (name, ft))
+              |> List.sort compare)));
+  }

@@ -1,0 +1,1 @@
+lib/wasm/aot.ml: Array Ast Instance Int32 Int64 Interp List Memory Types Values

@@ -1,0 +1,1 @@
+lib/wasm/instance.ml: Array Ast Hashtbl Int32 List Memory Printf String Types Values

@@ -1,0 +1,1 @@
+lib/wasm/interp.ml: Array Ast Instance Int32 Int64 List Memory Types Values

@@ -1,0 +1,1 @@
+lib/wasm/validate.ml: Array Ast Hashtbl List Printf Types

@@ -1,0 +1,1 @@
+lib/wasm/values.ml: Ast Float Int32 Int64 Printf Types

@@ -1,0 +1,1 @@
+lib/wasm/wat.ml: Ast Buffer Builder Char Float Int32 Int64 List Printf String Types Values

@@ -1,0 +1,468 @@
+(* Ahead-of-time compilation of function bodies into OCaml closures.
+
+   This mirrors the role of wamrc in the paper's pipeline: immediates,
+   function references and branch structure are resolved once at compile
+   time, so execution avoids per-instruction AST dispatch. Each
+   instruction compiles to a closure [value array -> value list ->
+   value list] (locals, operand stack in, operand stack out): threading
+   the stack functionally keeps it in registers and avoids the write
+   barrier that a mutable-stack representation would pay on every push.
+   The compiled form is installed into [w_compiled]; [Interp.call_func]
+   then uses it transparently (including for calls from interpreted
+   code). *)
+
+open Values
+open Ast
+open Instance
+
+type step = value array -> value list -> value list
+
+exception Br_exn of int * value list
+
+let underflow () = trap "aot: stack underflow"
+
+let eff base (m : memarg) =
+  (Int32.to_int (Int32.logand base 0xffffffffl) land 0xffffffff) + m.offset
+
+(* Compile a sequence into a single step. *)
+let rec compile_seq inst instrs : step =
+  match List.map (compile_instr inst) instrs with
+  | [] -> fun _ stack -> stack
+  | [ s ] -> s
+  | [ s1; s2 ] -> fun l stack -> s2 l (s1 l stack)
+  | [ s1; s2; s3 ] -> fun l stack -> s3 l (s2 l (s1 l stack))
+  | steps ->
+      let arr = Array.of_list steps in
+      let n = Array.length arr in
+      fun l stack ->
+        let acc = ref stack in
+        for i = 0 to n - 1 do
+          acc := (Array.unsafe_get arr i) l !acc
+        done;
+        !acc
+
+and compile_block inst bt body ~is_loop : step =
+  let compiled = compile_seq inst body in
+  if is_loop then
+    fun l stack ->
+      let rec run () =
+        try compiled l stack with
+        | Br_exn (0, _) -> run ()
+        | Br_exn (k, vs) -> raise (Br_exn (k - 1, vs))
+      in
+      run ()
+  else
+    fun l stack ->
+      try compiled l stack with
+      | Br_exn (0, vs) -> (
+          match bt with
+          | None -> stack
+          | Some _ -> (
+              match vs with
+              | v :: _ -> v :: stack
+              | [] -> trap "aot: branch carried no value"))
+      | Br_exn (k, vs) -> raise (Br_exn (k - 1, vs))
+
+and compile_call f : step =
+  let ft = func_type f in
+  let n_args = List.length ft.params in
+  fun _ stack ->
+    let rec split n acc stack =
+      if n = 0 then (acc, stack)
+      else
+        match stack with
+        | v :: rest -> split (n - 1) (v :: acc) rest
+        | [] -> underflow ()
+    in
+    let args, stack = split n_args [] stack in
+    List.rev_append (List.rev (Interp.call_func f args)) stack
+
+and compile_instr inst (i : instr) : step =
+  match i with
+  | Unreachable -> fun _ _ -> trap "unreachable executed"
+  | Nop -> fun _ stack -> stack
+  | Block (bt, body) -> compile_block inst bt body ~is_loop:false
+  | Loop (bt, body) -> compile_block inst bt body ~is_loop:true
+  | If (bt, then_, else_) ->
+      let ct = compile_block inst bt then_ ~is_loop:false in
+      let ce = compile_block inst bt else_ ~is_loop:false in
+      fun l stack -> (
+        match stack with
+        | I32 c :: rest -> if c <> 0l then ct l rest else ce l rest
+        | _ -> underflow ())
+  | Br k -> fun _ stack -> raise (Br_exn (k, stack))
+  | Br_if k ->
+      fun _ stack -> (
+        match stack with
+        | I32 c :: rest -> if c <> 0l then raise (Br_exn (k, rest)) else rest
+        | _ -> underflow ())
+  | Br_table (targets, default) ->
+      let tbl = Array.of_list targets in
+      fun _ stack -> (
+        match stack with
+        | I32 c :: rest ->
+            let idx = Int32.to_int c in
+            let k = if idx >= 0 && idx < Array.length tbl then tbl.(idx) else default in
+            raise (Br_exn (k, rest))
+        | _ -> underflow ())
+  | Return -> fun _ stack -> raise (Interp.Return_values stack)
+  | Call fidx -> compile_call inst.funcs.(fidx)
+  | Call_indirect type_idx ->
+      let expected = inst.module_.types.(type_idx) in
+      fun l stack -> (
+        match stack with
+        | I32 i :: rest -> (
+            match inst.table with
+            | None -> trap "call_indirect without table"
+            | Some tbl ->
+                let i = Int32.to_int i in
+                if i < 0 || i >= Array.length tbl then trap "undefined element";
+                (match tbl.(i) with
+                | None -> trap "uninitialized element"
+                | Some fidx ->
+                    let f = inst.funcs.(fidx) in
+                    if func_type f <> expected then trap "indirect call type mismatch";
+                    (compile_call f) l rest))
+        | _ -> underflow ())
+  | Drop ->
+      fun _ stack -> (
+        match stack with _ :: rest -> rest | [] -> underflow ())
+  | Select ->
+      fun _ stack -> (
+        match stack with
+        | I32 c :: b :: a :: rest -> (if c <> 0l then a else b) :: rest
+        | _ -> underflow ())
+  | Local_get n -> fun l stack -> Array.unsafe_get l n :: stack
+  | Local_set n ->
+      fun l stack -> (
+        match stack with
+        | v :: rest ->
+            l.(n) <- v;
+            rest
+        | [] -> underflow ())
+  | Local_tee n ->
+      fun l stack -> (
+        match stack with
+        | v :: _ ->
+            l.(n) <- v;
+            stack
+        | [] -> underflow ())
+  | Global_get n ->
+      let g = inst.globals.(n) in
+      fun _ stack -> g.g_value :: stack
+  | Global_set n ->
+      let g = inst.globals.(n) in
+      if g.g_mut = Types.Const then fun _ _ -> trap "assignment to immutable global"
+      else
+        fun _ stack -> (
+          match stack with
+          | v :: rest ->
+              g.g_value <- v;
+              rest
+          | [] -> underflow ())
+  | I32_load m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I32 (Memory.load32 mem (eff a m)) :: rest
+        | _ -> underflow ())
+  | I64_load m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I64 (Memory.load64 mem (eff a m)) :: rest
+        | _ -> underflow ())
+  | F32_load m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> F32 (Int32.float_of_bits (Memory.load32 mem (eff a m))) :: rest
+        | _ -> underflow ())
+  | F64_load m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> F64 (Int64.float_of_bits (Memory.load64 mem (eff a m))) :: rest
+        | _ -> underflow ())
+  | I32_load8_s m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I32 (Memory.load8_s mem (eff a m)) :: rest
+        | _ -> underflow ())
+  | I32_load8_u m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I32 (Memory.load8_u mem (eff a m)) :: rest
+        | _ -> underflow ())
+  | I32_load16_s m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I32 (Memory.load16_s mem (eff a m)) :: rest
+        | _ -> underflow ())
+  | I32_load16_u m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I32 (Memory.load16_u mem (eff a m)) :: rest
+        | _ -> underflow ())
+  | I64_load8_s m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I64 (Int64.of_int32 (Memory.load8_s mem (eff a m))) :: rest
+        | _ -> underflow ())
+  | I64_load8_u m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I64 (Int64.of_int32 (Memory.load8_u mem (eff a m))) :: rest
+        | _ -> underflow ())
+  | I64_load16_s m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I64 (Int64.of_int32 (Memory.load16_s mem (eff a m))) :: rest
+        | _ -> underflow ())
+  | I64_load16_u m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I64 (Int64.of_int32 (Memory.load16_u mem (eff a m))) :: rest
+        | _ -> underflow ())
+  | I64_load32_s m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest -> I64 (Int64.of_int32 (Memory.load32 mem (eff a m))) :: rest
+        | _ -> underflow ())
+  | I64_load32_u m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 a :: rest ->
+            I64 (Int64.logand (Int64.of_int32 (Memory.load32 mem (eff a m))) 0xffffffffL)
+            :: rest
+        | _ -> underflow ())
+  | I32_store m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 v :: I32 a :: rest ->
+            Memory.store32 mem (eff a m) v;
+            rest
+        | _ -> underflow ())
+  | I64_store m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I64 v :: I32 a :: rest ->
+            Memory.store64 mem (eff a m) v;
+            rest
+        | _ -> underflow ())
+  | F32_store m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | F32 v :: I32 a :: rest ->
+            Memory.store32 mem (eff a m) (Int32.bits_of_float v);
+            rest
+        | _ -> underflow ())
+  | F64_store m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | F64 v :: I32 a :: rest ->
+            Memory.store64 mem (eff a m) (Int64.bits_of_float v);
+            rest
+        | _ -> underflow ())
+  | I32_store8 m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 v :: I32 a :: rest ->
+            Memory.store8 mem (eff a m) v;
+            rest
+        | _ -> underflow ())
+  | I32_store16 m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 v :: I32 a :: rest ->
+            Memory.store16 mem (eff a m) v;
+            rest
+        | _ -> underflow ())
+  | I64_store8 m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I64 v :: I32 a :: rest ->
+            Memory.store8 mem (eff a m) (Int64.to_int32 v);
+            rest
+        | _ -> underflow ())
+  | I64_store16 m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I64 v :: I32 a :: rest ->
+            Memory.store16 mem (eff a m) (Int64.to_int32 v);
+            rest
+        | _ -> underflow ())
+  | I64_store32 m ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I64 v :: I32 a :: rest ->
+            Memory.store32 mem (eff a m) (Int64.to_int32 v);
+            rest
+        | _ -> underflow ())
+  | Memory_size ->
+      let mem = memory_exn inst in
+      fun _ stack -> I32 (Int32.of_int (Memory.size_pages mem)) :: stack
+  | Memory_grow ->
+      let mem = memory_exn inst in
+      fun _ stack -> (
+        match stack with
+        | I32 d :: rest -> I32 (Memory.grow mem (Int32.to_int d)) :: rest
+        | _ -> underflow ())
+  | I32_const v ->
+      let boxed = I32 v in
+      fun _ stack -> boxed :: stack
+  | I64_const v ->
+      let boxed = I64 v in
+      fun _ stack -> boxed :: stack
+  | F32_const v ->
+      let boxed = F32 v in
+      fun _ stack -> boxed :: stack
+  | F64_const v ->
+      let boxed = F64 v in
+      fun _ stack -> boxed :: stack
+  | I32_unop op ->
+      fun _ stack -> (
+        match stack with
+        | I32 v :: rest -> I32 (eval_i32_unop op v) :: rest
+        | _ -> underflow ())
+  | I64_unop op ->
+      fun _ stack -> (
+        match stack with
+        | I64 v :: rest -> I64 (eval_i64_unop op v) :: rest
+        | _ -> underflow ())
+  | I32_binop Add ->
+      fun _ stack -> (
+        match stack with
+        | I32 b :: I32 a :: rest -> I32 (Int32.add a b) :: rest
+        | _ -> underflow ())
+  | I32_binop Sub ->
+      fun _ stack -> (
+        match stack with
+        | I32 b :: I32 a :: rest -> I32 (Int32.sub a b) :: rest
+        | _ -> underflow ())
+  | I32_binop Mul ->
+      fun _ stack -> (
+        match stack with
+        | I32 b :: I32 a :: rest -> I32 (Int32.mul a b) :: rest
+        | _ -> underflow ())
+  | I32_binop op ->
+      fun _ stack -> (
+        match stack with
+        | I32 b :: I32 a :: rest -> I32 (eval_i32_binop op a b) :: rest
+        | _ -> underflow ())
+  | I64_binop op ->
+      fun _ stack -> (
+        match stack with
+        | I64 b :: I64 a :: rest -> I64 (eval_i64_binop op a b) :: rest
+        | _ -> underflow ())
+  | I32_eqz ->
+      fun _ stack -> (
+        match stack with
+        | I32 v :: rest -> I32 (i32_of_bool (v = 0l)) :: rest
+        | _ -> underflow ())
+  | I64_eqz ->
+      fun _ stack -> (
+        match stack with
+        | I64 v :: rest -> I32 (i32_of_bool (v = 0L)) :: rest
+        | _ -> underflow ())
+  | I32_relop op ->
+      fun _ stack -> (
+        match stack with
+        | I32 b :: I32 a :: rest -> I32 (eval_i32_relop op a b) :: rest
+        | _ -> underflow ())
+  | I64_relop op ->
+      fun _ stack -> (
+        match stack with
+        | I64 b :: I64 a :: rest -> I32 (eval_i64_relop op a b) :: rest
+        | _ -> underflow ())
+  | F32_unop op ->
+      fun _ stack -> (
+        match stack with
+        | F32 v :: rest -> F32 (f32_round (eval_f_unop op v)) :: rest
+        | _ -> underflow ())
+  | F64_unop op ->
+      fun _ stack -> (
+        match stack with
+        | F64 v :: rest -> F64 (eval_f_unop op v) :: rest
+        | _ -> underflow ())
+  | F32_binop op ->
+      fun _ stack -> (
+        match stack with
+        | F32 b :: F32 a :: rest -> F32 (f32_round (eval_f_binop op a b)) :: rest
+        | _ -> underflow ())
+  | F64_binop Fadd ->
+      fun _ stack -> (
+        match stack with
+        | F64 b :: F64 a :: rest -> F64 (a +. b) :: rest
+        | _ -> underflow ())
+  | F64_binop Fmul ->
+      fun _ stack -> (
+        match stack with
+        | F64 b :: F64 a :: rest -> F64 (a *. b) :: rest
+        | _ -> underflow ())
+  | F64_binop op ->
+      fun _ stack -> (
+        match stack with
+        | F64 b :: F64 a :: rest -> F64 (eval_f_binop op a b) :: rest
+        | _ -> underflow ())
+  | F32_relop op ->
+      fun _ stack -> (
+        match stack with
+        | F32 b :: F32 a :: rest -> I32 (eval_f_relop op a b) :: rest
+        | _ -> underflow ())
+  | F64_relop op ->
+      fun _ stack -> (
+        match stack with
+        | F64 b :: F64 a :: rest -> I32 (eval_f_relop op a b) :: rest
+        | _ -> underflow ())
+  | Cvt op ->
+      fun _ stack -> (
+        match stack with
+        | v :: rest -> eval_cvt op v :: rest
+        | [] -> underflow ())
+
+let compile_func inst (w : wasm_func) =
+  let compiled_body = compile_seq inst w.w_body in
+  let results = w.w_type.results in
+  let run locals =
+    let final_stack =
+      try compiled_body locals []
+      with
+      | Interp.Return_values s -> s
+      | Br_exn (_, vs) -> vs
+    in
+    Interp.take_results results final_stack
+  in
+  w.w_compiled <- Some run
+
+(* Compile every local function of an instance. Returns the number of
+   functions compiled (the cost model uses it for Table III). *)
+let compile_instance inst =
+  let count = ref 0 in
+  Array.iter
+    (function
+      | Wasm w when w.w_owner == inst ->
+          compile_func inst w;
+          incr count
+      | Wasm _ | Host _ -> ())
+    inst.funcs;
+  !count

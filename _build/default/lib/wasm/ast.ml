@@ -1,0 +1,145 @@
+(* Abstract syntax of WebAssembly modules (MVP + sign-extension ops).
+   Instructions are structured (nested blocks), as in the spec's abstract
+   syntax; the binary codec flattens/rebuilds them. *)
+
+open Types
+
+type memarg = { offset : int; align : int }
+
+type iunop = Clz | Ctz | Popcnt
+type ibinop =
+  | Add | Sub | Mul | Div_s | Div_u | Rem_s | Rem_u
+  | And | Or | Xor | Shl | Shr_s | Shr_u | Rotl | Rotr
+type irelop = Eq | Ne | Lt_s | Lt_u | Gt_s | Gt_u | Le_s | Le_u | Ge_s | Ge_u
+type funop = Abs | Neg | Sqrt | Ceil | Floor | Trunc | Nearest
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Copysign
+type frelop = Feq | Fne | Flt | Fgt | Fle | Fge
+
+(* Conversions; the first type is the destination. *)
+type cvtop =
+  | I32_wrap_i64
+  | I64_extend_i32_s | I64_extend_i32_u
+  | I32_trunc_f32_s | I32_trunc_f32_u | I32_trunc_f64_s | I32_trunc_f64_u
+  | I64_trunc_f32_s | I64_trunc_f32_u | I64_trunc_f64_s | I64_trunc_f64_u
+  | F32_convert_i32_s | F32_convert_i32_u | F32_convert_i64_s | F32_convert_i64_u
+  | F64_convert_i32_s | F64_convert_i32_u | F64_convert_i64_s | F64_convert_i64_u
+  | F32_demote_f64 | F64_promote_f32
+  | I32_reinterpret_f32 | I64_reinterpret_f64
+  | F32_reinterpret_i32 | F64_reinterpret_i64
+  | I32_extend8_s | I32_extend16_s | I64_extend8_s | I64_extend16_s | I64_extend32_s
+
+type blocktype = valtype option
+(* MVP block types: at most one result. *)
+
+type instr =
+  | Unreachable
+  | Nop
+  | Block of blocktype * instr list
+  | Loop of blocktype * instr list
+  | If of blocktype * instr list * instr list
+  | Br of int
+  | Br_if of int
+  | Br_table of int list * int
+  | Return
+  | Call of int
+  | Call_indirect of int  (* type index *)
+  | Drop
+  | Select
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Global_get of int
+  | Global_set of int
+  | I32_load of memarg | I64_load of memarg | F32_load of memarg | F64_load of memarg
+  | I32_load8_s of memarg | I32_load8_u of memarg
+  | I32_load16_s of memarg | I32_load16_u of memarg
+  | I64_load8_s of memarg | I64_load8_u of memarg
+  | I64_load16_s of memarg | I64_load16_u of memarg
+  | I64_load32_s of memarg | I64_load32_u of memarg
+  | I32_store of memarg | I64_store of memarg | F32_store of memarg | F64_store of memarg
+  | I32_store8 of memarg | I32_store16 of memarg
+  | I64_store8 of memarg | I64_store16 of memarg | I64_store32 of memarg
+  | Memory_size
+  | Memory_grow
+  | I32_const of int32
+  | I64_const of int64
+  | F32_const of float
+  | F64_const of float
+  | I32_unop of iunop | I64_unop of iunop
+  | I32_binop of ibinop | I64_binop of ibinop
+  | I32_eqz | I64_eqz
+  | I32_relop of irelop | I64_relop of irelop
+  | F32_unop of funop | F64_unop of funop
+  | F32_binop of fbinop | F64_binop of fbinop
+  | F32_relop of frelop | F64_relop of frelop
+  | Cvt of cvtop
+
+type func = { ftype : int; locals : valtype list; body : instr list }
+
+type import_desc =
+  | Import_func of int  (* type index *)
+  | Import_table of limits
+  | Import_memory of limits
+  | Import_global of globaltype
+
+type import = { imp_module : string; imp_name : string; imp_desc : import_desc }
+
+type export_desc = Export_func of int | Export_table of int | Export_memory of int | Export_global of int
+
+type export = { exp_name : string; exp_desc : export_desc }
+
+type global = { g_type : globaltype; g_init : instr list }
+
+type elem = { e_offset : instr list; e_init : int list }
+
+type data = { d_offset : instr list; d_init : string }
+
+type module_ = {
+  types : functype array;
+  imports : import list;
+  funcs : func array;  (* locally defined; indices follow imported funcs *)
+  tables : limits option;
+  memories : limits option;
+  globals : global array;
+  exports : export list;
+  start : int option;
+  elems : elem list;
+  datas : data list;
+}
+
+let empty_module =
+  {
+    types = [||];
+    imports = [];
+    funcs = [||];
+    tables = None;
+    memories = None;
+    globals = [||];
+    exports = [];
+    start = None;
+    elems = [];
+    datas = [];
+  }
+
+(* Number of imported items of each kind, giving index bases. *)
+let imported_funcs m =
+  List.length
+    (List.filter (fun i -> match i.imp_desc with Import_func _ -> true | _ -> false) m.imports)
+
+let imported_globals m =
+  List.length
+    (List.filter (fun i -> match i.imp_desc with Import_global _ -> true | _ -> false) m.imports)
+
+(* Type index of a function by its (global) function index. *)
+let func_type_idx m idx =
+  let n_imp = imported_funcs m in
+  if idx < n_imp then begin
+    let rec nth_func_import k = function
+      | [] -> invalid_arg "func_type_idx"
+      | { imp_desc = Import_func ti; _ } :: rest ->
+          if k = 0 then ti else nth_func_import (k - 1) rest
+      | _ :: rest -> nth_func_import k rest
+    in
+    nth_func_import idx m.imports
+  end
+  else m.funcs.(idx - n_imp).ftype

@@ -1,0 +1,677 @@
+open Types
+open Ast
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* --- LEB128 --- *)
+
+let emit_u32 b v =
+  let v = ref v in
+  let continue_ = ref true in
+  while !continue_ do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue_ := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let emit_s64 b v =
+  let v = ref v in
+  let continue_ = ref true in
+  while !continue_ do
+    let byte = Int64.to_int (Int64.logand !v 0x7fL) in
+    v := Int64.shift_right !v 7;
+    let done_ =
+      (!v = 0L && byte land 0x40 = 0) || (!v = -1L && byte land 0x40 <> 0)
+    in
+    if done_ then begin
+      Buffer.add_char b (Char.chr byte);
+      continue_ := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let emit_s32 b (v : int32) = emit_s64 b (Int64.of_int32 v)
+
+let emit_f32 b v =
+  let bits = Int32.bits_of_float v in
+  for i = 0 to 3 do
+    Buffer.add_char b
+      (Char.chr (Int32.to_int (Int32.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let emit_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let emit_name b s =
+  emit_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* --- value types --- *)
+
+let byte_of_valtype = function I32 -> 0x7f | I64 -> 0x7e | F32 -> 0x7d | F64 -> 0x7c
+
+let valtype_of_byte = function
+  | 0x7f -> I32
+  | 0x7e -> I64
+  | 0x7d -> F32
+  | 0x7c -> F64
+  | b -> fail "bad value type 0x%02x" b
+
+(* --- opcode tables for no-immediate instructions --- *)
+
+let simple_opcodes =
+  [ (Unreachable, 0x00); (Nop, 0x01); (Return, 0x0f); (Drop, 0x1a); (Select, 0x1b);
+    (Memory_size, 0x3f); (Memory_grow, 0x40);
+    (I32_eqz, 0x45);
+    (I32_relop Eq, 0x46); (I32_relop Ne, 0x47); (I32_relop Lt_s, 0x48);
+    (I32_relop Lt_u, 0x49); (I32_relop Gt_s, 0x4a); (I32_relop Gt_u, 0x4b);
+    (I32_relop Le_s, 0x4c); (I32_relop Le_u, 0x4d); (I32_relop Ge_s, 0x4e);
+    (I32_relop Ge_u, 0x4f);
+    (I64_eqz, 0x50);
+    (I64_relop Eq, 0x51); (I64_relop Ne, 0x52); (I64_relop Lt_s, 0x53);
+    (I64_relop Lt_u, 0x54); (I64_relop Gt_s, 0x55); (I64_relop Gt_u, 0x56);
+    (I64_relop Le_s, 0x57); (I64_relop Le_u, 0x58); (I64_relop Ge_s, 0x59);
+    (I64_relop Ge_u, 0x5a);
+    (F32_relop Feq, 0x5b); (F32_relop Fne, 0x5c); (F32_relop Flt, 0x5d);
+    (F32_relop Fgt, 0x5e); (F32_relop Fle, 0x5f); (F32_relop Fge, 0x60);
+    (F64_relop Feq, 0x61); (F64_relop Fne, 0x62); (F64_relop Flt, 0x63);
+    (F64_relop Fgt, 0x64); (F64_relop Fle, 0x65); (F64_relop Fge, 0x66);
+    (I32_unop Clz, 0x67); (I32_unop Ctz, 0x68); (I32_unop Popcnt, 0x69);
+    (I32_binop Add, 0x6a); (I32_binop Sub, 0x6b); (I32_binop Mul, 0x6c);
+    (I32_binop Div_s, 0x6d); (I32_binop Div_u, 0x6e); (I32_binop Rem_s, 0x6f);
+    (I32_binop Rem_u, 0x70); (I32_binop And, 0x71); (I32_binop Or, 0x72);
+    (I32_binop Xor, 0x73); (I32_binop Shl, 0x74); (I32_binop Shr_s, 0x75);
+    (I32_binop Shr_u, 0x76); (I32_binop Rotl, 0x77); (I32_binop Rotr, 0x78);
+    (I64_unop Clz, 0x79); (I64_unop Ctz, 0x7a); (I64_unop Popcnt, 0x7b);
+    (I64_binop Add, 0x7c); (I64_binop Sub, 0x7d); (I64_binop Mul, 0x7e);
+    (I64_binop Div_s, 0x7f); (I64_binop Div_u, 0x80); (I64_binop Rem_s, 0x81);
+    (I64_binop Rem_u, 0x82); (I64_binop And, 0x83); (I64_binop Or, 0x84);
+    (I64_binop Xor, 0x85); (I64_binop Shl, 0x86); (I64_binop Shr_s, 0x87);
+    (I64_binop Shr_u, 0x88); (I64_binop Rotl, 0x89); (I64_binop Rotr, 0x8a);
+    (F32_unop Abs, 0x8b); (F32_unop Neg, 0x8c); (F32_unop Ceil, 0x8d);
+    (F32_unop Floor, 0x8e); (F32_unop Trunc, 0x8f); (F32_unop Nearest, 0x90);
+    (F32_unop Sqrt, 0x91);
+    (F32_binop Fadd, 0x92); (F32_binop Fsub, 0x93); (F32_binop Fmul, 0x94);
+    (F32_binop Fdiv, 0x95); (F32_binop Fmin, 0x96); (F32_binop Fmax, 0x97);
+    (F32_binop Copysign, 0x98);
+    (F64_unop Abs, 0x99); (F64_unop Neg, 0x9a); (F64_unop Ceil, 0x9b);
+    (F64_unop Floor, 0x9c); (F64_unop Trunc, 0x9d); (F64_unop Nearest, 0x9e);
+    (F64_unop Sqrt, 0x9f);
+    (F64_binop Fadd, 0xa0); (F64_binop Fsub, 0xa1); (F64_binop Fmul, 0xa2);
+    (F64_binop Fdiv, 0xa3); (F64_binop Fmin, 0xa4); (F64_binop Fmax, 0xa5);
+    (F64_binop Copysign, 0xa6);
+    (Cvt I32_wrap_i64, 0xa7);
+    (Cvt I32_trunc_f32_s, 0xa8); (Cvt I32_trunc_f32_u, 0xa9);
+    (Cvt I32_trunc_f64_s, 0xaa); (Cvt I32_trunc_f64_u, 0xab);
+    (Cvt I64_extend_i32_s, 0xac); (Cvt I64_extend_i32_u, 0xad);
+    (Cvt I64_trunc_f32_s, 0xae); (Cvt I64_trunc_f32_u, 0xaf);
+    (Cvt I64_trunc_f64_s, 0xb0); (Cvt I64_trunc_f64_u, 0xb1);
+    (Cvt F32_convert_i32_s, 0xb2); (Cvt F32_convert_i32_u, 0xb3);
+    (Cvt F32_convert_i64_s, 0xb4); (Cvt F32_convert_i64_u, 0xb5);
+    (Cvt F32_demote_f64, 0xb6);
+    (Cvt F64_convert_i32_s, 0xb7); (Cvt F64_convert_i32_u, 0xb8);
+    (Cvt F64_convert_i64_s, 0xb9); (Cvt F64_convert_i64_u, 0xba);
+    (Cvt F64_promote_f32, 0xbb);
+    (Cvt I32_reinterpret_f32, 0xbc); (Cvt I64_reinterpret_f64, 0xbd);
+    (Cvt F32_reinterpret_i32, 0xbe); (Cvt F64_reinterpret_i64, 0xbf);
+    (Cvt I32_extend8_s, 0xc0); (Cvt I32_extend16_s, 0xc1);
+    (Cvt I64_extend8_s, 0xc2); (Cvt I64_extend16_s, 0xc3);
+    (Cvt I64_extend32_s, 0xc4);
+  ]
+
+let opcode_of_simple = simple_opcodes
+let simple_of_opcode = List.map (fun (i, o) -> (o, i)) simple_opcodes
+
+let mem_opcodes =
+  [ ((fun m -> I32_load m), 0x28); ((fun m -> I64_load m), 0x29);
+    ((fun m -> F32_load m), 0x2a); ((fun m -> F64_load m), 0x2b);
+    ((fun m -> I32_load8_s m), 0x2c); ((fun m -> I32_load8_u m), 0x2d);
+    ((fun m -> I32_load16_s m), 0x2e); ((fun m -> I32_load16_u m), 0x2f);
+    ((fun m -> I64_load8_s m), 0x30); ((fun m -> I64_load8_u m), 0x31);
+    ((fun m -> I64_load16_s m), 0x32); ((fun m -> I64_load16_u m), 0x33);
+    ((fun m -> I64_load32_s m), 0x34); ((fun m -> I64_load32_u m), 0x35);
+    ((fun m -> I32_store m), 0x36); ((fun m -> I64_store m), 0x37);
+    ((fun m -> F32_store m), 0x38); ((fun m -> F64_store m), 0x39);
+    ((fun m -> I32_store8 m), 0x3a); ((fun m -> I32_store16 m), 0x3b);
+    ((fun m -> I64_store8 m), 0x3c); ((fun m -> I64_store16 m), 0x3d);
+    ((fun m -> I64_store32 m), 0x3e);
+  ]
+
+let mem_opcode_of_instr = function
+  | I32_load m -> Some (0x28, m) | I64_load m -> Some (0x29, m)
+  | F32_load m -> Some (0x2a, m) | F64_load m -> Some (0x2b, m)
+  | I32_load8_s m -> Some (0x2c, m) | I32_load8_u m -> Some (0x2d, m)
+  | I32_load16_s m -> Some (0x2e, m) | I32_load16_u m -> Some (0x2f, m)
+  | I64_load8_s m -> Some (0x30, m) | I64_load8_u m -> Some (0x31, m)
+  | I64_load16_s m -> Some (0x32, m) | I64_load16_u m -> Some (0x33, m)
+  | I64_load32_s m -> Some (0x34, m) | I64_load32_u m -> Some (0x35, m)
+  | I32_store m -> Some (0x36, m) | I64_store m -> Some (0x37, m)
+  | F32_store m -> Some (0x38, m) | F64_store m -> Some (0x39, m)
+  | I32_store8 m -> Some (0x3a, m) | I32_store16 m -> Some (0x3b, m)
+  | I64_store8 m -> Some (0x3c, m) | I64_store16 m -> Some (0x3d, m)
+  | I64_store32 m -> Some (0x3e, m)
+  | _ -> None
+
+(* --- instruction encoding --- *)
+
+let emit_blocktype b = function
+  | None -> Buffer.add_char b '\x40'
+  | Some vt -> Buffer.add_char b (Char.chr (byte_of_valtype vt))
+
+let rec emit_instr b = function
+  | Block (bt, body) ->
+      Buffer.add_char b '\x02';
+      emit_blocktype b bt;
+      List.iter (emit_instr b) body;
+      Buffer.add_char b '\x0b'
+  | Loop (bt, body) ->
+      Buffer.add_char b '\x03';
+      emit_blocktype b bt;
+      List.iter (emit_instr b) body;
+      Buffer.add_char b '\x0b'
+  | If (bt, t, e) ->
+      Buffer.add_char b '\x04';
+      emit_blocktype b bt;
+      List.iter (emit_instr b) t;
+      if e <> [] then begin
+        Buffer.add_char b '\x05';
+        List.iter (emit_instr b) e
+      end;
+      Buffer.add_char b '\x0b'
+  | Br k ->
+      Buffer.add_char b '\x0c';
+      emit_u32 b k
+  | Br_if k ->
+      Buffer.add_char b '\x0d';
+      emit_u32 b k
+  | Br_table (ks, d) ->
+      Buffer.add_char b '\x0e';
+      emit_u32 b (List.length ks);
+      List.iter (emit_u32 b) ks;
+      emit_u32 b d
+  | Call f ->
+      Buffer.add_char b '\x10';
+      emit_u32 b f
+  | Call_indirect ti ->
+      Buffer.add_char b '\x11';
+      emit_u32 b ti;
+      Buffer.add_char b '\x00'
+  | Local_get n -> Buffer.add_char b '\x20'; emit_u32 b n
+  | Local_set n -> Buffer.add_char b '\x21'; emit_u32 b n
+  | Local_tee n -> Buffer.add_char b '\x22'; emit_u32 b n
+  | Global_get n -> Buffer.add_char b '\x23'; emit_u32 b n
+  | Global_set n -> Buffer.add_char b '\x24'; emit_u32 b n
+  | I32_const v -> Buffer.add_char b '\x41'; emit_s32 b v
+  | I64_const v -> Buffer.add_char b '\x42'; emit_s64 b v
+  | F32_const v -> Buffer.add_char b '\x43'; emit_f32 b v
+  | F64_const v -> Buffer.add_char b '\x44'; emit_f64 b v
+  | i -> (
+      match mem_opcode_of_instr i with
+      | Some (op, m) ->
+          Buffer.add_char b (Char.chr op);
+          emit_u32 b m.align;
+          emit_u32 b m.offset
+      | None -> (
+          match List.assoc_opt i opcode_of_simple with
+          | Some op -> Buffer.add_char b (Char.chr op)
+          | None -> invalid_arg "Binary.encode: unsupported instruction"))
+
+let emit_expr b instrs =
+  List.iter (emit_instr b) instrs;
+  Buffer.add_char b '\x0b'
+
+let emit_limits b (l : limits) =
+  match l.max with
+  | None ->
+      Buffer.add_char b '\x00';
+      emit_u32 b l.min
+  | Some mx ->
+      Buffer.add_char b '\x01';
+      emit_u32 b l.min;
+      emit_u32 b mx
+
+let section b id content =
+  if Buffer.length content > 0 then begin
+    Buffer.add_char b (Char.chr id);
+    emit_u32 b (Buffer.length content);
+    Buffer.add_buffer b content
+  end
+
+let encode (m : module_) =
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "\x00asm\x01\x00\x00\x00";
+  (* type section *)
+  let b = Buffer.create 64 in
+  if Array.length m.types > 0 then begin
+    emit_u32 b (Array.length m.types);
+    Array.iter
+      (fun ft ->
+        Buffer.add_char b '\x60';
+        emit_u32 b (List.length ft.params);
+        List.iter (fun vt -> Buffer.add_char b (Char.chr (byte_of_valtype vt))) ft.params;
+        emit_u32 b (List.length ft.results);
+        List.iter (fun vt -> Buffer.add_char b (Char.chr (byte_of_valtype vt))) ft.results)
+      m.types
+  end;
+  section out 1 b;
+  (* import section *)
+  let b = Buffer.create 64 in
+  if m.imports <> [] then begin
+    emit_u32 b (List.length m.imports);
+    List.iter
+      (fun im ->
+        emit_name b im.imp_module;
+        emit_name b im.imp_name;
+        match im.imp_desc with
+        | Import_func ti ->
+            Buffer.add_char b '\x00';
+            emit_u32 b ti
+        | Import_table l ->
+            Buffer.add_char b '\x01';
+            Buffer.add_char b '\x70';
+            emit_limits b l
+        | Import_memory l ->
+            Buffer.add_char b '\x02';
+            emit_limits b l
+        | Import_global gt ->
+            Buffer.add_char b '\x03';
+            Buffer.add_char b (Char.chr (byte_of_valtype gt.gt_val));
+            Buffer.add_char b (if gt.gt_mut = Var then '\x01' else '\x00'))
+      m.imports
+  end;
+  section out 2 b;
+  (* function section *)
+  let b = Buffer.create 64 in
+  if Array.length m.funcs > 0 then begin
+    emit_u32 b (Array.length m.funcs);
+    Array.iter (fun f -> emit_u32 b f.ftype) m.funcs
+  end;
+  section out 3 b;
+  (* table section *)
+  let b = Buffer.create 16 in
+  (match m.tables with
+  | Some l ->
+      emit_u32 b 1;
+      Buffer.add_char b '\x70';
+      emit_limits b l
+  | None -> ());
+  section out 4 b;
+  (* memory section *)
+  let b = Buffer.create 16 in
+  (match m.memories with
+  | Some l ->
+      emit_u32 b 1;
+      emit_limits b l
+  | None -> ());
+  section out 5 b;
+  (* global section *)
+  let b = Buffer.create 64 in
+  if Array.length m.globals > 0 then begin
+    emit_u32 b (Array.length m.globals);
+    Array.iter
+      (fun g ->
+        Buffer.add_char b (Char.chr (byte_of_valtype g.g_type.gt_val));
+        Buffer.add_char b (if g.g_type.gt_mut = Var then '\x01' else '\x00');
+        emit_expr b g.g_init)
+      m.globals
+  end;
+  section out 6 b;
+  (* export section *)
+  let b = Buffer.create 64 in
+  if m.exports <> [] then begin
+    emit_u32 b (List.length m.exports);
+    List.iter
+      (fun e ->
+        emit_name b e.exp_name;
+        match e.exp_desc with
+        | Export_func i -> Buffer.add_char b '\x00'; emit_u32 b i
+        | Export_table i -> Buffer.add_char b '\x01'; emit_u32 b i
+        | Export_memory i -> Buffer.add_char b '\x02'; emit_u32 b i
+        | Export_global i -> Buffer.add_char b '\x03'; emit_u32 b i)
+      m.exports
+  end;
+  section out 7 b;
+  (* start section *)
+  let b = Buffer.create 8 in
+  (match m.start with Some i -> emit_u32 b i | None -> ());
+  section out 8 b;
+  (* element section *)
+  let b = Buffer.create 64 in
+  if m.elems <> [] then begin
+    emit_u32 b (List.length m.elems);
+    List.iter
+      (fun e ->
+        emit_u32 b 0;
+        emit_expr b e.e_offset;
+        emit_u32 b (List.length e.e_init);
+        List.iter (emit_u32 b) e.e_init)
+      m.elems
+  end;
+  section out 9 b;
+  (* code section *)
+  let b = Buffer.create 256 in
+  if Array.length m.funcs > 0 then begin
+    emit_u32 b (Array.length m.funcs);
+    Array.iter
+      (fun f ->
+        let body = Buffer.create 64 in
+        (* compress locals into (count, type) runs *)
+        let runs =
+          List.fold_left
+            (fun acc vt ->
+              match acc with
+              | (n, t) :: rest when t = vt -> (n + 1, t) :: rest
+              | _ -> (1, vt) :: acc)
+            [] f.locals
+          |> List.rev
+        in
+        emit_u32 body (List.length runs);
+        List.iter
+          (fun (n, t) ->
+            emit_u32 body n;
+            Buffer.add_char body (Char.chr (byte_of_valtype t)))
+          runs;
+        emit_expr body f.body;
+        emit_u32 b (Buffer.length body);
+        Buffer.add_buffer b body)
+      m.funcs
+  end;
+  section out 10 b;
+  (* data section *)
+  let b = Buffer.create 64 in
+  if m.datas <> [] then begin
+    emit_u32 b (List.length m.datas);
+    List.iter
+      (fun d ->
+        emit_u32 b 0;
+        emit_expr b d.d_offset;
+        emit_u32 b (String.length d.d_init);
+        Buffer.add_string b d.d_init)
+      m.datas
+  end;
+  section out 11 b;
+  Buffer.contents out
+
+(* --- decoding --- *)
+
+type reader = { src : string; mutable pos : int }
+
+let byte r =
+  if r.pos >= String.length r.src then fail "unexpected end of input";
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_u32 r =
+  let rec go shift acc =
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_s64 r =
+  let rec go shift acc =
+    let b = byte r in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc
+    else if shift + 7 < 64 && b land 0x40 <> 0 then
+      Int64.logor acc (Int64.shift_left (-1L) (shift + 7))
+    else acc
+  in
+  go 0 0L
+
+let read_s32 r = Int64.to_int32 (read_s64 r)
+
+let read_f32 r =
+  let bits = ref 0l in
+  for i = 0 to 3 do
+    bits := Int32.logor !bits (Int32.shift_left (Int32.of_int (byte r)) (8 * i))
+  done;
+  Int32.float_of_bits !bits
+
+let read_f64 r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let read_name r =
+  let n = read_u32 r in
+  if r.pos + n > String.length r.src then fail "name too long";
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_limits r =
+  match byte r with
+  | 0 -> { min = read_u32 r; max = None }
+  | 1 ->
+      let mn = read_u32 r in
+      let mx = read_u32 r in
+      { min = mn; max = Some mx }
+  | b -> fail "bad limits flag %d" b
+
+let read_blocktype r =
+  match byte r with
+  | 0x40 -> None
+  | b -> Some (valtype_of_byte b)
+
+let read_memarg r =
+  let align = read_u32 r in
+  let offset = read_u32 r in
+  { align; offset }
+
+(* Returns (instrs, terminator) where terminator is `End or `Else. *)
+let rec read_instrs r =
+  let rec go acc =
+    let op = byte r in
+    match op with
+    | 0x0b -> (List.rev acc, `End)
+    | 0x05 -> (List.rev acc, `Else)
+    | 0x02 ->
+        let bt = read_blocktype r in
+        let body, t = read_instrs r in
+        if t <> `End then fail "block: expected end";
+        go (Block (bt, body) :: acc)
+    | 0x03 ->
+        let bt = read_blocktype r in
+        let body, t = read_instrs r in
+        if t <> `End then fail "loop: expected end";
+        go (Loop (bt, body) :: acc)
+    | 0x04 ->
+        let bt = read_blocktype r in
+        let then_, t = read_instrs r in
+        let else_ =
+          match t with
+          | `Else ->
+              let e, t2 = read_instrs r in
+              if t2 <> `End then fail "if: expected end";
+              e
+          | `End -> []
+        in
+        go (If (bt, then_, else_) :: acc)
+    | 0x0c -> go (Br (read_u32 r) :: acc)
+    | 0x0d -> go (Br_if (read_u32 r) :: acc)
+    | 0x0e ->
+        let n = read_u32 r in
+        let targets = List.init n (fun _ -> read_u32 r) in
+        let d = read_u32 r in
+        go (Br_table (targets, d) :: acc)
+    | 0x10 -> go (Call (read_u32 r) :: acc)
+    | 0x11 ->
+        let ti = read_u32 r in
+        let tbl = byte r in
+        if tbl <> 0 then fail "call_indirect: bad table index";
+        go (Call_indirect ti :: acc)
+    | 0x20 -> go (Local_get (read_u32 r) :: acc)
+    | 0x21 -> go (Local_set (read_u32 r) :: acc)
+    | 0x22 -> go (Local_tee (read_u32 r) :: acc)
+    | 0x23 -> go (Global_get (read_u32 r) :: acc)
+    | 0x24 -> go (Global_set (read_u32 r) :: acc)
+    | 0x41 -> go (I32_const (read_s32 r) :: acc)
+    | 0x42 -> go (I64_const (read_s64 r) :: acc)
+    | 0x43 -> go (F32_const (read_f32 r) :: acc)
+    | 0x44 -> go (F64_const (read_f64 r) :: acc)
+    | op when op >= 0x28 && op <= 0x3e ->
+        let mk = fst (List.nth mem_opcodes (op - 0x28)) in
+        go (mk (read_memarg r) :: acc)
+    | op -> (
+        match List.assoc_opt op simple_of_opcode with
+        | Some i -> go (i :: acc)
+        | None -> fail "unknown opcode 0x%02x" op)
+  in
+  go []
+
+let read_expr r =
+  let instrs, t = read_instrs r in
+  if t <> `End then fail "expression: expected end";
+  instrs
+
+let decode src =
+  if String.length src < 8 || String.sub src 0 8 <> "\x00asm\x01\x00\x00\x00" then
+    fail "bad magic/version";
+  let r = { src; pos = 8 } in
+  let m = ref empty_module in
+  let func_types = ref [||] in
+  while r.pos < String.length src do
+    let id = byte r in
+    let size = read_u32 r in
+    let section_end = r.pos + size in
+    (match id with
+    | 1 ->
+        let n = read_u32 r in
+        let types =
+          Array.init n (fun _ ->
+              if byte r <> 0x60 then fail "bad functype tag";
+              let np = read_u32 r in
+              let params = List.init np (fun _ -> valtype_of_byte (byte r)) in
+              let nr = read_u32 r in
+              let results = List.init nr (fun _ -> valtype_of_byte (byte r)) in
+              { params; results })
+        in
+        m := { !m with types }
+    | 2 ->
+        let n = read_u32 r in
+        let imports =
+          List.init n (fun _ ->
+              let imp_module = read_name r in
+              let imp_name = read_name r in
+              let imp_desc =
+                match byte r with
+                | 0 -> Import_func (read_u32 r)
+                | 1 ->
+                    if byte r <> 0x70 then fail "bad table elemtype";
+                    Import_table (read_limits r)
+                | 2 -> Import_memory (read_limits r)
+                | 3 ->
+                    let vt = valtype_of_byte (byte r) in
+                    let mut = if byte r = 1 then Var else Const in
+                    Import_global { gt_mut = mut; gt_val = vt }
+                | b -> fail "bad import kind %d" b
+              in
+              { imp_module; imp_name; imp_desc })
+        in
+        m := { !m with imports }
+    | 3 ->
+        let n = read_u32 r in
+        func_types := Array.init n (fun _ -> read_u32 r)
+    | 4 ->
+        let n = read_u32 r in
+        if n > 1 then fail "multiple tables";
+        if n = 1 then begin
+          if byte r <> 0x70 then fail "bad table elemtype";
+          m := { !m with tables = Some (read_limits r) }
+        end
+    | 5 ->
+        let n = read_u32 r in
+        if n > 1 then fail "multiple memories";
+        if n = 1 then m := { !m with memories = Some (read_limits r) }
+    | 6 ->
+        let n = read_u32 r in
+        let globals =
+          Array.init n (fun _ ->
+              let vt = valtype_of_byte (byte r) in
+              let mut = if byte r = 1 then Var else Const in
+              let init = read_expr r in
+              { g_type = { gt_mut = mut; gt_val = vt }; g_init = init })
+        in
+        m := { !m with globals }
+    | 7 ->
+        let n = read_u32 r in
+        let exports =
+          List.init n (fun _ ->
+              let exp_name = read_name r in
+              let exp_desc =
+                match byte r with
+                | 0 -> Export_func (read_u32 r)
+                | 1 -> Export_table (read_u32 r)
+                | 2 -> Export_memory (read_u32 r)
+                | 3 -> Export_global (read_u32 r)
+                | b -> fail "bad export kind %d" b
+              in
+              { exp_name; exp_desc })
+        in
+        m := { !m with exports }
+    | 8 -> m := { !m with start = Some (read_u32 r) }
+    | 9 ->
+        let n = read_u32 r in
+        let elems =
+          List.init n (fun _ ->
+              let flag = read_u32 r in
+              if flag <> 0 then fail "unsupported elem flags";
+              let e_offset = read_expr r in
+              let cnt = read_u32 r in
+              { e_offset; e_init = List.init cnt (fun _ -> read_u32 r) })
+        in
+        m := { !m with elems }
+    | 10 ->
+        let n = read_u32 r in
+        if n <> Array.length !func_types then fail "code/function count mismatch";
+        let funcs =
+          Array.init n (fun i ->
+              let _size = read_u32 r in
+              let nruns = read_u32 r in
+              let locals =
+                List.concat
+                  (List.init nruns (fun _ ->
+                       let cnt = read_u32 r in
+                       let vt = valtype_of_byte (byte r) in
+                       List.init cnt (fun _ -> vt)))
+              in
+              let body = read_expr r in
+              { ftype = !func_types.(i); locals; body })
+        in
+        m := { !m with funcs }
+    | 11 ->
+        let n = read_u32 r in
+        let datas =
+          List.init n (fun _ ->
+              let flag = read_u32 r in
+              if flag <> 0 then fail "unsupported data flags";
+              let d_offset = read_expr r in
+              let len = read_u32 r in
+              if r.pos + len > String.length src then fail "data overruns input";
+              let d_init = String.sub src r.pos len in
+              r.pos <- r.pos + len;
+              { d_offset; d_init })
+        in
+        m := { !m with datas }
+    | 0 ->
+        (* custom section: skip *)
+        r.pos <- section_end
+    | id -> fail "unknown section id %d" id);
+    if r.pos <> section_end then fail "section %d: size mismatch" id
+  done;
+  !m

@@ -1,0 +1,11 @@
+(** WebAssembly binary format (.wasm) encoder and decoder.
+
+    [encode] produces a spec-conformant binary module; [decode] parses one
+    back (MVP + sign-extension operators). Round-tripping an AST through
+    encode/decode is the identity up to type-index normalisation. *)
+
+exception Decode_error of string
+
+val encode : Ast.module_ -> string
+val decode : string -> Ast.module_
+(** @raise Decode_error on malformed input. *)

@@ -1,0 +1,129 @@
+open Types
+open Ast
+
+type t = {
+  mutable types : functype list;  (* reversed *)
+  mutable n_types : int;
+  mutable imports : import list;  (* reversed *)
+  mutable n_import_funcs : int;
+  mutable funcs : func list;  (* reversed *)
+  mutable n_funcs : int;
+  mutable tables : limits option;
+  mutable memories : limits option;
+  mutable globals : global list;  (* reversed *)
+  mutable n_globals : int;
+  mutable exports : export list;  (* reversed *)
+  mutable start : int option;
+  mutable elems : elem list;
+  mutable datas : data list;
+  mutable sealed_imports : bool;
+}
+
+let create () =
+  {
+    types = [];
+    n_types = 0;
+    imports = [];
+    n_import_funcs = 0;
+    funcs = [];
+    n_funcs = 0;
+    tables = None;
+    memories = None;
+    globals = [];
+    n_globals = 0;
+    exports = [];
+    start = None;
+    elems = [];
+    datas = [];
+    sealed_imports = false;
+  }
+
+let add_type t ~params ~results =
+  let ft = { params; results } in
+  let rec find i = function
+    | [] -> None
+    | x :: rest -> if x = ft then Some (t.n_types - 1 - i) else find (i + 1) rest
+  in
+  match find 0 t.types with
+  | Some i -> i
+  | None ->
+      t.types <- ft :: t.types;
+      t.n_types <- t.n_types + 1;
+      t.n_types - 1
+
+let import_func t ~module_ ~name ~params ~results =
+  if t.sealed_imports then
+    invalid_arg "Builder.import_func: imports must precede local functions";
+  let ti = add_type t ~params ~results in
+  t.imports <-
+    { imp_module = module_; imp_name = name; imp_desc = Import_func ti } :: t.imports;
+  t.n_import_funcs <- t.n_import_funcs + 1;
+  t.n_import_funcs - 1
+
+let export_func t name idx =
+  t.exports <- { exp_name = name; exp_desc = Export_func idx } :: t.exports
+
+let add_func t ?name ~params ~results ~locals body =
+  t.sealed_imports <- true;
+  let ti = add_type t ~params ~results in
+  t.funcs <- { ftype = ti; locals; body } :: t.funcs;
+  t.n_funcs <- t.n_funcs + 1;
+  let idx = t.n_import_funcs + t.n_funcs - 1 in
+  (match name with Some n -> export_func t n idx | None -> ());
+  idx
+
+let add_memory t ?export ?max min =
+  t.memories <- Some { min; max };
+  match export with
+  | Some name -> t.exports <- { exp_name = name; exp_desc = Export_memory 0 } :: t.exports
+  | None -> ()
+
+let add_table t ?max min = t.tables <- Some { min; max }
+
+let add_elem t ~offset init =
+  t.elems <- t.elems @ [ { e_offset = [ I32_const (Int32.of_int offset) ]; e_init = init } ]
+
+let add_global t ?export ~mut vt init =
+  t.globals <- { g_type = { gt_mut = mut; gt_val = vt }; g_init = init } :: t.globals;
+  t.n_globals <- t.n_globals + 1;
+  let idx = t.n_globals - 1 in
+  (match export with
+  | Some name -> t.exports <- { exp_name = name; exp_desc = Export_global idx } :: t.exports
+  | None -> ());
+  idx
+
+let add_data t ~offset init =
+  t.datas <- t.datas @ [ { d_offset = [ I32_const (Int32.of_int offset) ]; d_init = init } ]
+
+let set_start t idx = t.start <- Some idx
+
+let build t =
+  {
+    types = Array.of_list (List.rev t.types);
+    imports = List.rev t.imports;
+    funcs = Array.of_list (List.rev t.funcs);
+    tables = t.tables;
+    memories = t.memories;
+    globals = Array.of_list (List.rev t.globals);
+    exports = List.rev t.exports;
+    start = t.start;
+    elems = t.elems;
+    datas = t.datas;
+  }
+
+let i32 n = I32_const (Int32.of_int n)
+let f64 x = F64_const x
+
+let for_ ~local ~start ~bound body =
+  start
+  @ [ Local_set local;
+      Block
+        ( None,
+          [ Loop
+              ( None,
+                [ Local_get local ] @ bound
+                @ [ I32_relop Ge_s; Br_if 1 ]
+                @ body
+                @ [ Local_get local; i32 1; I32_binop Add; Local_set local; Br 0 ] );
+          ] );
+    ]

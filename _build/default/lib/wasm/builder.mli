@@ -1,0 +1,52 @@
+(** Programmatic construction of WebAssembly modules.
+
+    This is the repo's analogue of a compiler back-end targeting Wasm: the
+    PolyBench kernels and many tests build their modules through it. All
+    indices are returned by the [add_*] functions, so callers never count
+    by hand. *)
+
+open Types
+open Ast
+
+type t
+
+val create : unit -> t
+
+val add_type : t -> params:valtype list -> results:valtype list -> int
+(** Deduplicating: structurally equal types share an index. *)
+
+val import_func : t -> module_:string -> name:string -> params:valtype list ->
+  results:valtype list -> int
+(** Declare a function import; returns its function index. All imports
+    must be declared before any local function is added. *)
+
+val add_func :
+  t -> ?name:string -> params:valtype list -> results:valtype list ->
+  locals:valtype list -> instr list -> int
+(** Add a local function (optionally exported as [name]); returns its
+    function index. In the body, locals are indexed params-first. *)
+
+val add_memory : t -> ?export:string -> ?max:int -> int -> unit
+(** [add_memory t n] declares a memory of [n] (minimum) pages. *)
+
+val add_table : t -> ?max:int -> int -> unit
+val add_elem : t -> offset:int -> int list -> unit
+val add_global : t -> ?export:string -> mut:mut -> valtype -> instr list -> int
+val add_data : t -> offset:int -> string -> unit
+val set_start : t -> int -> unit
+val export_func : t -> string -> int -> unit
+
+val build : t -> module_
+
+(** {2 Instruction helpers} *)
+
+val i32 : int -> instr
+(** [i32 n] = [I32_const (Int32.of_int n)]. *)
+
+val f64 : float -> instr
+
+val for_ : local:int -> start:instr list -> bound:instr list -> instr list -> instr list
+(** [for_ ~local ~start ~bound body]: a counted loop
+    [for local = start; local < bound; local++ { body }]. [body] must be
+    stack-neutral and may use [Br]-free structured control only (nested
+    [for_] is fine). *)

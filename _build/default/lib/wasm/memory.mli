@@ -1,0 +1,33 @@
+(** WebAssembly linear memory: a vector of 64 KiB pages with little-endian
+    loads/stores and bounds checking that traps on out-of-range access. *)
+
+type t
+
+val create : Types.limits -> t
+val size_pages : t -> int
+val size_bytes : t -> int
+
+val grow : t -> int -> int32
+(** [grow t delta] returns the old size in pages, or [-1l] if growth would
+    exceed the limit (as the [memory.grow] instruction does). *)
+
+val load8_u : t -> int -> int32
+val load8_s : t -> int -> int32
+val load16_u : t -> int -> int32
+val load16_s : t -> int -> int32
+val load32 : t -> int -> int32
+val load64 : t -> int -> int64
+val store8 : t -> int -> int32 -> unit
+val store16 : t -> int -> int32 -> unit
+val store32 : t -> int -> int32 -> unit
+val store64 : t -> int -> int64 -> unit
+
+val load_bytes : t -> int -> int -> string
+val store_bytes : t -> int -> string -> unit
+
+val load_cstring : t -> int -> string
+(** NUL-terminated string at the given address. *)
+
+val on_access : t -> (addr:int -> len:int -> unit) option ref
+(** Hook invoked before each access — the TWINE runtime uses it to charge
+    EPC page touches for in-enclave Wasm memory. *)

@@ -1,0 +1,21 @@
+type valtype = I32 | I64 | F32 | F64
+
+type functype = { params : valtype list; results : valtype list }
+
+type limits = { min : int; max : int option }
+
+type mut = Const | Var
+
+type globaltype = { gt_mut : mut; gt_val : valtype }
+
+let string_of_valtype = function
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let string_of_functype { params; results } =
+  let tys l = String.concat " " (List.map string_of_valtype l) in
+  Printf.sprintf "[%s] -> [%s]" (tys params) (tys results)
+
+let page_size = 65536

@@ -1,0 +1,17 @@
+(** WebAssembly types (MVP core spec). *)
+
+type valtype = I32 | I64 | F32 | F64
+
+type functype = { params : valtype list; results : valtype list }
+
+type limits = { min : int; max : int option }
+(** In pages (64 KiB) for memories, entries for tables. *)
+
+type mut = Const | Var
+
+type globaltype = { gt_mut : mut; gt_val : valtype }
+
+val string_of_valtype : valtype -> string
+val string_of_functype : functype -> string
+val page_size : int
+(** 65536. *)

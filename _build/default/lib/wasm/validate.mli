@@ -1,0 +1,11 @@
+(** Module validation (type checking), following the algorithm in the
+    appendix of the WebAssembly core specification: an operand stack of
+    possibly-unknown value types plus a stack of control frames, with
+    stack-polymorphic typing after unconditional branches. *)
+
+exception Invalid of string
+
+val check_module : Ast.module_ -> unit
+(** @raise Invalid describing the first violation found. *)
+
+val is_valid : Ast.module_ -> bool

@@ -1,0 +1,20 @@
+(** WebAssembly text format (WAT) parser.
+
+    Supports the common subset used by hand-written modules: folded and
+    flat instructions, named or indexed locals/functions/globals, imports,
+    exports, memory/data, table/elem, start, and block/loop/if with
+    optional result types.
+
+    Example:
+    {[
+      let m = Wat.parse {|
+        (module
+          (func $add (export "add") (param $a i32) (param $b i32) (result i32)
+            (i32.add (local.get $a) (local.get $b))))
+      |}
+    ]} *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.module_
+(** @raise Parse_error on malformed input. *)

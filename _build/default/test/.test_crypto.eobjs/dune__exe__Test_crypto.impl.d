@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Bytes Ccm Char Drbg Gcm Gen Hexcodec Hmac List Modes Printf QCheck QCheck_alcotest Sha256 String Twine_crypto

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Aot Api Array Bytes Db Errno Filename Fmt Int32 Int64 Interp List Memory Printf String Sys Twine Twine_ipfs Twine_sgx Twine_sqldb Twine_wasi Twine_wasm Unix Value Vfs Wat

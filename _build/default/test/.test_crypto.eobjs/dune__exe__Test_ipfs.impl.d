@@ -1,0 +1,1 @@
+test/test_ipfs.ml: Alcotest Backing Bytes Char Enclave Filename List Machine Option Printf Protected_fs QCheck QCheck_alcotest Result String Sys Twine_crypto Twine_ipfs Twine_sgx Twine_sim Unix

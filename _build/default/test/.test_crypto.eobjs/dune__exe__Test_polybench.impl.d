@@ -1,0 +1,1 @@
+test/test_polybench.ml: Alcotest Float Kernel_dsl Kernels List Printf Suite Twine_polybench Twine_wasm

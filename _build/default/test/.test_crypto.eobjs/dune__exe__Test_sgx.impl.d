@@ -1,0 +1,1 @@
+test/test_sgx.ml: Alcotest Attestation Bytes Char Costs Enclave Epc Machine Seal String Twine_sgx Twine_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Clock List Lru Meter QCheck QCheck_alcotest Test Twine_sim

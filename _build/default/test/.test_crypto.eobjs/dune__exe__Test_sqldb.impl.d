@@ -1,0 +1,1 @@
+test/test_sqldb.ml: Alcotest Array Btree Bytes Char Db Fmt Int64 List Option Pager Parser Printf QCheck QCheck_alcotest Record String Svfs Twine_crypto Twine_sqldb Value

@@ -1,0 +1,1 @@
+test/test_twine.ml: Alcotest Attestation Bench_db List Machine Microbench Printf Runtime Speedtest String Twine Twine_ipfs Twine_sgx Twine_wasm

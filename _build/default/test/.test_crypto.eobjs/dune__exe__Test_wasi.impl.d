@@ -1,0 +1,1 @@
+test/test_wasi.ml: Alcotest Api Buffer Char Errno Int32 Int64 Interp List Memory String Twine_wasi Twine_wasm Vfs Wat

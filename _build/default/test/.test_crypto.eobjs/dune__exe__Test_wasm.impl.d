@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Aot Binary Builder Float Fmt Instance Int32 Interp List QCheck QCheck_alcotest String Twine_wasm Types Validate Values Wat

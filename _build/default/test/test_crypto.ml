@@ -1,0 +1,317 @@
+(* Crypto substrate tests: published test vectors (FIPS 197, FIPS 180-4,
+   RFC 4231, NIST GCM, RFC 3610 CCM) plus property-based round-trips. *)
+
+open Twine_crypto
+
+let hex = Hexcodec.decode
+
+let check_hex msg expected actual =
+  Alcotest.(check string) msg expected (Hexcodec.encode actual)
+
+(* --- AES block cipher --- *)
+
+let test_aes128_fips197 () =
+  let k = Aes.expand (hex "000102030405060708090a0b0c0d0e0f") in
+  let ct = Aes.encrypt_block_str k (hex "00112233445566778899aabbccddeeff") in
+  check_hex "AES-128 encrypt" "69c4e0d86a7b0430d8cdb78070b4c55a" ct;
+  let pt = Aes.decrypt_block_str k ct in
+  check_hex "AES-128 decrypt" "00112233445566778899aabbccddeeff" pt
+
+let test_aes192_fips197 () =
+  let k = Aes.expand (hex "000102030405060708090a0b0c0d0e0f1011121314151617") in
+  let ct = Aes.encrypt_block_str k (hex "00112233445566778899aabbccddeeff") in
+  check_hex "AES-192 encrypt" "dda97ca4864cdfe06eaf70a0ec0d7191" ct
+
+let test_aes256_fips197 () =
+  let k =
+    Aes.expand (hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+  in
+  Alcotest.(check int) "bits" 256 (Aes.key_bits k);
+  let ct = Aes.encrypt_block_str k (hex "00112233445566778899aabbccddeeff") in
+  check_hex "AES-256 encrypt" "8ea2b7ca516745bfeafc49904b496089" ct;
+  check_hex "AES-256 decrypt" "00112233445566778899aabbccddeeff" (Aes.decrypt_block_str k ct)
+
+let test_aes_bad_key () =
+  Alcotest.check_raises "bad length" (Invalid_argument "Aes.expand: bad key length 5")
+    (fun () -> ignore (Aes.expand "12345"))
+
+let prop_aes_roundtrip =
+  QCheck.Test.make ~name:"aes encrypt/decrypt roundtrip" ~count:200
+    QCheck.(pair (string_of_size (Gen.return 16)) (string_of_size (Gen.return 16)))
+    (fun (key, block) ->
+      let k = Aes.expand key in
+      Aes.decrypt_block_str k (Aes.encrypt_block_str k block) = block)
+
+(* --- SHA-256 --- *)
+
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc");
+  check_hex "448-bit msg"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  let whole = Sha256.digest "the quick brown fox jumps over the lazy dog" in
+  let ctx = Sha256.init () in
+  Sha256.update ctx "the quick brown fox";
+  Sha256.update ctx " jumps over";
+  Sha256.update ctx " the lazy dog";
+  Alcotest.(check string) "incremental = one-shot" (Hexcodec.encode whole)
+    (Hexcodec.encode (Sha256.finalize ctx))
+
+let prop_sha256_incremental_split =
+  QCheck.Test.make ~name:"sha256 split-at-any-point" ~count:200
+    QCheck.(pair (string_of_size Gen.(int_range 0 300)) small_nat)
+    (fun (s, cut) ->
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let ctx = Sha256.init () in
+      Sha256.update ctx (String.sub s 0 cut);
+      Sha256.update ctx (String.sub s cut (String.length s - cut));
+      Sha256.finalize ctx = Sha256.digest s)
+
+(* --- HMAC / HKDF --- *)
+
+let test_hmac_rfc4231 () =
+  check_hex "case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hmac_sha256 ~key:(String.make 20 '\x0b') "Hi There");
+  check_hex "case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hmac_sha256 ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hkdf_rfc5869 () =
+  (* RFC 5869 test case 1 *)
+  let ikm = hex "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b" in
+  let salt = hex "000102030405060708090a0b0c" in
+  let prk = Hmac.hkdf_extract ~salt ikm in
+  check_hex "prk" "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5" prk;
+  let okm = Hmac.hkdf_expand ~prk ~info:(hex "f0f1f2f3f4f5f6f7f8f9") ~length:42 in
+  check_hex "okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    okm
+
+let test_derive_lengths () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (Printf.sprintf "derive %d" n) n
+        (String.length (Hmac.derive ~key:"k" ~info:"i" ~length:n)))
+    [ 0; 1; 16; 31; 32; 33; 64; 100 ]
+
+(* --- GCM --- *)
+
+let gcm_key_128 = "feffe9928665731c6d6a8f9467308308"
+
+let test_gcm_nist_case3 () =
+  let k = Gcm.of_raw (hex gcm_key_128) in
+  let iv = hex "cafebabefacedbaddecaf888" in
+  let pt =
+    hex
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+  in
+  let ct, tag = Gcm.encrypt k ~iv pt in
+  check_hex "ciphertext"
+    "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+    ct;
+  check_hex "tag" "4d5c2af327cd64a62cf35abd2ba6fab4" tag;
+  match Gcm.decrypt k ~iv ~tag ct with
+  | Some pt' -> Alcotest.(check string) "roundtrip" (Hexcodec.encode pt) (Hexcodec.encode pt')
+  | None -> Alcotest.fail "tag rejected"
+
+let test_gcm_nist_case4_aad () =
+  let k = Gcm.of_raw (hex gcm_key_128) in
+  let iv = hex "cafebabefacedbaddecaf888" in
+  let aad = hex "feedfacedeadbeeffeedfacedeadbeefabaddad2" in
+  let pt =
+    hex
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+  in
+  let ct, tag = Gcm.encrypt k ~iv ~aad pt in
+  check_hex "ciphertext"
+    "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+    ct;
+  check_hex "tag" "5bc94fbc3221a5db94fae95ae7121a47" tag
+
+let test_gcm_empty () =
+  (* NIST case 1: empty plaintext, zero key/IV *)
+  let k = Gcm.of_raw (String.make 16 '\000') in
+  let ct, tag = Gcm.encrypt k ~iv:(String.make 12 '\000') "" in
+  Alcotest.(check string) "ct empty" "" ct;
+  check_hex "tag" "58e2fccefa7e3061367f1d57a4e7455a" tag
+
+let test_gcm_tamper () =
+  let k = Gcm.of_raw (hex gcm_key_128) in
+  let iv = String.make 12 '\x42' in
+  let ct, tag = Gcm.encrypt k ~iv "attack at dawn!!" in
+  let bad = Bytes.of_string ct in
+  Bytes.set bad 3 (Char.chr (Char.code (Bytes.get bad 3) lxor 1));
+  Alcotest.(check bool) "tampered ct rejected" true
+    (Gcm.decrypt k ~iv ~tag (Bytes.to_string bad) = None);
+  let bad_tag = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) tag in
+  Alcotest.(check bool) "tampered tag rejected" true
+    (Gcm.decrypt k ~iv ~tag:bad_tag ct = None);
+  Alcotest.(check bool) "wrong aad rejected" true
+    (Gcm.decrypt k ~iv ~aad:"x" ~tag ct = None)
+
+let prop_gcm_roundtrip =
+  QCheck.Test.make ~name:"gcm roundtrip any size" ~count:100
+    QCheck.(triple (string_of_size (Gen.return 16)) (string_of_size Gen.(int_range 0 200)) string)
+    (fun (key, pt, aad) ->
+      let k = Gcm.of_raw key in
+      let iv = String.sub (Sha256.digest key) 0 12 in
+      let ct, tag = Gcm.encrypt k ~iv ~aad pt in
+      Gcm.decrypt k ~iv ~aad ~tag ct = Some pt)
+
+(* --- CCM --- *)
+
+let test_ccm_rfc3610_1 () =
+  let k = Aes.expand (hex "c0c1c2c3c4c5c6c7c8c9cacbcccdcecf") in
+  let nonce = hex "00000003020100a0a1a2a3a4a5" in
+  let aad = hex "0001020304050607" in
+  let pt = hex "08090a0b0c0d0e0f101112131415161718191a1b1c1d1e" in
+  let ct, tag = Ccm.encrypt k ~nonce ~aad ~tag_len:8 pt in
+  check_hex "ciphertext" "588c979a61c663d2f066d0c2c0f989806d5f6b61dac384" ct;
+  check_hex "tag" "17e8d12cfdf926e0" tag;
+  match Ccm.decrypt k ~nonce ~aad ~tag ct with
+  | Some pt' -> check_hex "roundtrip" (Hexcodec.encode pt) pt'
+  | None -> Alcotest.fail "tag rejected"
+
+let test_ccm_tamper () =
+  let k = Aes.expand (String.make 16 'k') in
+  let nonce = String.make 12 'n' in
+  let ct, tag = Ccm.encrypt k ~nonce "some protected file node" in
+  let bad = Bytes.of_string ct in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 0x80));
+  Alcotest.(check bool) "tampered rejected" true
+    (Ccm.decrypt k ~nonce ~tag (Bytes.to_string bad) = None)
+
+let prop_ccm_roundtrip =
+  QCheck.Test.make ~name:"ccm roundtrip any size" ~count:100
+    QCheck.(pair (string_of_size (Gen.return 16)) (string_of_size Gen.(int_range 0 200)))
+    (fun (key, pt) ->
+      let k = Aes.expand key in
+      let nonce = String.sub (Sha256.digest key) 0 13 in
+      let ct, tag = Ccm.encrypt k ~nonce pt in
+      Ccm.decrypt k ~nonce ~tag ct = Some pt)
+
+(* --- Modes helpers --- *)
+
+let test_ctr_involution () =
+  let key = Aes.expand (String.make 16 'x') in
+  let data = Bytes.of_string "counter mode is an involution when reapplied" in
+  let mk () = Bytes.of_string (String.make 16 '\000') in
+  Modes.ctr_transform key ~counter:(mk ()) data ~off:0 ~len:(Bytes.length data);
+  Modes.ctr_transform key ~counter:(mk ()) data ~off:0 ~len:(Bytes.length data);
+  Alcotest.(check string) "double ctr = id"
+    "counter mode is an involution when reapplied" (Bytes.to_string data)
+
+let test_inc32_carry () =
+  let b = Bytes.of_string (hex "000000000000000000000000ffffffff") in
+  Modes.inc32 b;
+  check_hex "wraps to zero" "00000000000000000000000000000000" (Bytes.to_string b);
+  let b = Bytes.of_string (hex "0102030405060708090a0b0c00ff00ff") in
+  Modes.inc32 b;
+  check_hex "prefix untouched" "0102030405060708090a0b0c00ff0100" (Bytes.to_string b)
+
+let test_ct_equal () =
+  Alcotest.(check bool) "equal" true (Modes.ct_equal "abcd" "abcd");
+  Alcotest.(check bool) "diff" false (Modes.ct_equal "abcd" "abce");
+  Alcotest.(check bool) "len" false (Modes.ct_equal "abc" "abcd")
+
+(* --- DRBG --- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"seed" () in
+  let b = Drbg.create ~seed:"seed" () in
+  Alcotest.(check string) "same stream" (Drbg.generate a 64) (Drbg.generate b 64);
+  let c = Drbg.create ~seed:"other" () in
+  Alcotest.(check bool) "different seed differs" true
+    (Drbg.generate (Drbg.create ~seed:"seed" ()) 32 <> Drbg.generate c 32)
+
+let test_drbg_personalization () =
+  let a = Drbg.create ~personalization:"p1" ~seed:"s" () in
+  let b = Drbg.create ~personalization:"p2" ~seed:"s" () in
+  Alcotest.(check bool) "personalization separates" true
+    (Drbg.generate a 32 <> Drbg.generate b 32)
+
+let test_drbg_reseed () =
+  let a = Drbg.create ~seed:"s" () in
+  let b = Drbg.create ~seed:"s" () in
+  ignore (Drbg.generate a 16);
+  ignore (Drbg.generate b 16);
+  Drbg.reseed a "fresh entropy";
+  Alcotest.(check bool) "reseed diverges" true (Drbg.generate a 32 <> Drbg.generate b 32)
+
+let prop_drbg_int_below =
+  QCheck.Test.make ~name:"drbg int_below in range" ~count:200
+    QCheck.(pair string (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let d = Drbg.create ~seed () in
+      let v = Drbg.int_below d bound in
+      v >= 0 && v < bound)
+
+(* --- Hex --- *)
+
+let test_hex_roundtrip () =
+  Alcotest.(check string) "decode" "\x00\xff\x10" (Hexcodec.decode "00ff10");
+  Alcotest.(check string) "upper" "\xab\xcd" (Hexcodec.decode "ABCD");
+  Alcotest.check_raises "odd" (Invalid_argument "Hexcodec.decode: odd length")
+    (fun () -> ignore (Hexcodec.decode "abc"))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 QCheck.string
+    (fun s -> Hexcodec.decode (Hexcodec.encode s) = s)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  [ ("aes", [
+      Alcotest.test_case "fips197 aes-128" `Quick test_aes128_fips197;
+      Alcotest.test_case "fips197 aes-192" `Quick test_aes192_fips197;
+      Alcotest.test_case "fips197 aes-256" `Quick test_aes256_fips197;
+      Alcotest.test_case "bad key length" `Quick test_aes_bad_key;
+      qc prop_aes_roundtrip;
+    ]);
+    ("sha256", [
+      Alcotest.test_case "nist vectors" `Quick test_sha256_vectors;
+      Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+      qc prop_sha256_incremental_split;
+    ]);
+    ("hmac", [
+      Alcotest.test_case "rfc4231" `Quick test_hmac_rfc4231;
+      Alcotest.test_case "hkdf rfc5869" `Quick test_hkdf_rfc5869;
+      Alcotest.test_case "derive lengths" `Quick test_derive_lengths;
+    ]);
+    ("gcm", [
+      Alcotest.test_case "nist case 3" `Quick test_gcm_nist_case3;
+      Alcotest.test_case "nist case 4 (aad)" `Quick test_gcm_nist_case4_aad;
+      Alcotest.test_case "empty plaintext" `Quick test_gcm_empty;
+      Alcotest.test_case "tamper detection" `Quick test_gcm_tamper;
+      qc prop_gcm_roundtrip;
+    ]);
+    ("ccm", [
+      Alcotest.test_case "rfc3610 vector 1" `Quick test_ccm_rfc3610_1;
+      Alcotest.test_case "tamper detection" `Quick test_ccm_tamper;
+      qc prop_ccm_roundtrip;
+    ]);
+    ("modes", [
+      Alcotest.test_case "ctr involution" `Quick test_ctr_involution;
+      Alcotest.test_case "inc32 carry" `Quick test_inc32_carry;
+      Alcotest.test_case "ct_equal" `Quick test_ct_equal;
+    ]);
+    ("drbg", [
+      Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+      Alcotest.test_case "personalization" `Quick test_drbg_personalization;
+      Alcotest.test_case "reseed" `Quick test_drbg_reseed;
+      qc prop_drbg_int_below;
+    ]);
+    ("hexcodec", [
+      Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+      qc prop_hex_roundtrip;
+    ]);
+  ]
+
+let () = Alcotest.run "twine_crypto" suite

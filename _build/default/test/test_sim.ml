@@ -1,0 +1,146 @@
+(* Simulation substrate: virtual clock, meter, LRU cache. *)
+
+open Twine_sim
+
+let test_clock_basic () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at zero" 0 (Clock.now_ns c);
+  Clock.advance c 100;
+  Clock.advance c 50;
+  Alcotest.(check int) "accumulates" 150 (Clock.now_ns c);
+  Alcotest.(check int) "elapsed" 50 (Clock.elapsed_since c 100);
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative")
+    (fun () -> Clock.advance c (-1))
+
+let test_meter () =
+  let m = Meter.create () in
+  Meter.charge m "io" 10;
+  Meter.charge m "io" 20;
+  Meter.charge m "cpu" 5;
+  Meter.bump m "events";
+  Alcotest.(check int) "io ns" 30 (Meter.ns m "io");
+  Alcotest.(check int) "io count" 2 (Meter.count m "io");
+  Alcotest.(check int) "events count" 1 (Meter.count m "events");
+  Alcotest.(check int) "events ns" 0 (Meter.ns m "events");
+  Alcotest.(check int) "absent" 0 (Meter.ns m "nothing");
+  Alcotest.(check int) "total" 35 (Meter.total_ns m);
+  Alcotest.(check (list string)) "snapshot keys" [ "cpu"; "events"; "io" ]
+    (List.map fst (Meter.snapshot m));
+  Meter.reset m;
+  Alcotest.(check int) "reset" 0 (Meter.total_ns m)
+
+let test_lru_basic () =
+  let l = Lru.create ~capacity:2 () in
+  Alcotest.(check (option (pair int string))) "no evict" None (Lru.put l 1 "a");
+  Alcotest.(check (option (pair int string))) "no evict 2" None (Lru.put l 2 "b");
+  Alcotest.(check (option string)) "find 1" (Some "a") (Lru.find l 1);
+  (* 2 is now LRU; inserting 3 evicts it *)
+  Alcotest.(check (option (pair int string))) "evicts lru" (Some (2, "b")) (Lru.put l 3 "c");
+  Alcotest.(check bool) "2 gone" false (Lru.mem l 2);
+  Alcotest.(check int) "length" 2 (Lru.length l)
+
+let test_lru_update_promotes () =
+  let l = Lru.create ~capacity:2 () in
+  ignore (Lru.put l 1 "a");
+  ignore (Lru.put l 2 "b");
+  ignore (Lru.put l 1 "a2");  (* update in place; promotes 1 *)
+  Alcotest.(check (option string)) "updated" (Some "a2") (Lru.peek l 1);
+  Alcotest.(check (option (pair int string))) "evicts 2" (Some (2, "b")) (Lru.put l 3 "c")
+
+let test_lru_peek_no_promote () =
+  let l = Lru.create ~capacity:2 () in
+  ignore (Lru.put l 1 "a");
+  ignore (Lru.put l 2 "b");
+  ignore (Lru.peek l 1);
+  (* 1 was not promoted, so it is still LRU *)
+  Alcotest.(check (option (pair int string))) "evicts 1" (Some (1, "a")) (Lru.put l 3 "c")
+
+let test_lru_remove () =
+  let l = Lru.create ~capacity:3 () in
+  ignore (Lru.put l 1 "a");
+  ignore (Lru.put l 2 "b");
+  Alcotest.(check (option string)) "removed value" (Some "a") (Lru.remove l 1);
+  Alcotest.(check (option string)) "gone" None (Lru.remove l 1);
+  Alcotest.(check int) "length" 1 (Lru.length l);
+  Alcotest.(check (list (pair int string))) "to_list" [ (2, "b") ] (Lru.to_list l)
+
+let test_lru_set_capacity () =
+  let l = Lru.create ~capacity:4 () in
+  List.iter (fun i -> ignore (Lru.put l i (string_of_int i))) [ 1; 2; 3; 4 ];
+  let evicted = Lru.set_capacity l 2 in
+  Alcotest.(check (list (pair int string))) "evicted lru-first"
+    [ (1, "1"); (2, "2") ] evicted;
+  Alcotest.(check int) "capacity" 2 (Lru.capacity l);
+  Alcotest.(check (list (pair int string))) "mru order" [ (4, "4"); (3, "3") ]
+    (Lru.to_list l)
+
+let test_lru_clear () =
+  let l = Lru.create ~capacity:2 () in
+  ignore (Lru.put l 1 "a");
+  Lru.clear l;
+  Alcotest.(check int) "empty" 0 (Lru.length l);
+  ignore (Lru.put l 5 "e");
+  Alcotest.(check (option string)) "usable after clear" (Some "e") (Lru.find l 5)
+
+(* Model-based property test: compare against a naive list implementation. *)
+let prop_lru_model =
+  let open QCheck in
+  Test.make ~name:"lru matches reference model" ~count:300
+    (pair (int_range 1 8) (small_list (pair (int_range 0 9) (int_range 0 2))))
+    (fun (cap, ops) ->
+      let lru = Twine_sim.Lru.create ~capacity:cap () in
+      (* model: assoc list, MRU first *)
+      let model = ref [] in
+      let model_find k =
+        match List.assoc_opt k !model with
+        | None -> None
+        | Some v ->
+            model := (k, v) :: List.remove_assoc k !model;
+            Some v
+      in
+      let model_put k v =
+        if List.mem_assoc k !model then
+          model := (k, v) :: List.remove_assoc k !model
+        else begin
+          if List.length !model >= cap then begin
+            let rest = List.rev (List.tl (List.rev !model)) in
+            model := rest
+          end;
+          model := (k, v) :: !model
+        end
+      in
+      List.for_all
+        (fun (k, op) ->
+          match op with
+          | 0 -> (
+              let a = Twine_sim.Lru.find lru k and b = model_find k in
+              a = b)
+          | 1 ->
+              ignore (Twine_sim.Lru.put lru k k);
+              model_put k k;
+              true
+          | _ ->
+              let a = Twine_sim.Lru.remove lru k in
+              let b = List.assoc_opt k !model in
+              model := List.remove_assoc k !model;
+              a = b)
+        ops
+      && Twine_sim.Lru.to_list lru = !model)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  [ ("clock", [ Alcotest.test_case "basic" `Quick test_clock_basic ]);
+    ("meter", [ Alcotest.test_case "charge/count/reset" `Quick test_meter ]);
+    ("lru", [
+      Alcotest.test_case "insert/evict" `Quick test_lru_basic;
+      Alcotest.test_case "update promotes" `Quick test_lru_update_promotes;
+      Alcotest.test_case "peek does not promote" `Quick test_lru_peek_no_promote;
+      Alcotest.test_case "remove" `Quick test_lru_remove;
+      Alcotest.test_case "set_capacity" `Quick test_lru_set_capacity;
+      Alcotest.test_case "clear" `Quick test_lru_clear;
+      qc prop_lru_model;
+    ]);
+  ]
+
+let () = Alcotest.run "twine_sim" suite
