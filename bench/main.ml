@@ -12,6 +12,7 @@
      fig7    IPFS time breakdown, stock vs optimised (§V-F)
      ablate  design-choice ablations (page cache, node cache, engines)
      micro   Bechamel wall-clock micro-benchmarks of core primitives
+     report  per-run telemetry report of a WASI-heavy workload (table+JSON)
 
    Run everything with `dune exec bench/main.exe`, or a single section by
    passing its name (e.g. `dune exec bench/main.exe fig5`).
@@ -544,6 +545,86 @@ let bechamel_suite () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry report: one WASI-heavy run through the full stack          *)
+(* ------------------------------------------------------------------ *)
+
+(* A file-churning guest: 64 x 4 KiB writes through the protected FS,
+   rewind, 64 reads back. Exercises every instrumented layer at once —
+   WASI hostcalls, IPFS node cache + crypto, EPC paging of the guest
+   linear memory (the machine's EPC is shrunk so the working set does
+   not fit), and the single run ECALL with its spans. *)
+let report_wat =
+  {|(module
+      (import "wasi_snapshot_preview1" "path_open"
+        (func $path_open (param i32 i32 i32 i32 i32 i64 i64 i32 i32) (result i32)))
+      (import "wasi_snapshot_preview1" "fd_write"
+        (func $fd_write (param i32 i32 i32 i32) (result i32)))
+      (import "wasi_snapshot_preview1" "fd_seek"
+        (func $fd_seek (param i32 i64 i32 i32) (result i32)))
+      (import "wasi_snapshot_preview1" "fd_read"
+        (func $fd_read (param i32 i32 i32 i32) (result i32)))
+      (import "wasi_snapshot_preview1" "fd_close"
+        (func $fd_close (param i32) (result i32)))
+      (import "wasi_snapshot_preview1" "proc_exit"
+        (func $proc_exit (param i32)))
+      (memory (export "memory") 4)
+      (data (i32.const 16) "report.bin")
+      (func (export "_start")
+        (local $fd i32) (local $i i32)
+        ;; open "report.bin" with CREAT in preopen fd 3
+        (drop (call $path_open (i32.const 3) (i32.const 0) (i32.const 16) (i32.const 10)
+                 (i32.const 1) (i64.const 0x1fffffff) (i64.const 0) (i32.const 0)
+                 (i32.const 32)))
+        (local.set $fd (i32.load (i32.const 32)))
+        ;; iovec: a 4 KiB buffer one page up from the scratch area
+        (i32.store (i32.const 40) (i32.const 65536))
+        (i32.store (i32.const 44) (i32.const 4096))
+        (local.set $i (i32.const 0))
+        (block $wrote
+          (loop $w
+            (br_if $wrote (i32.ge_u (local.get $i) (i32.const 64)))
+            (drop (call $fd_write (local.get $fd) (i32.const 40) (i32.const 1)
+                     (i32.const 48)))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $w)))
+        (drop (call $fd_seek (local.get $fd) (i64.const 0) (i32.const 0) (i32.const 56)))
+        (local.set $i (i32.const 0))
+        (block $read
+          (loop $r
+            (br_if $read (i32.ge_u (local.get $i) (i32.const 64)))
+            (drop (call $fd_read (local.get $fd) (i32.const 40) (i32.const 1)
+                     (i32.const 48)))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $r)))
+        ;; hot loop: re-read the same 4 KiB 32 times (IPFS node-cache hits)
+        (local.set $i (i32.const 0))
+        (block $hot
+          (loop $h
+            (br_if $hot (i32.ge_u (local.get $i) (i32.const 32)))
+            (drop (call $fd_seek (local.get $fd) (i64.const 0) (i32.const 0)
+                     (i32.const 56)))
+            (drop (call $fd_read (local.get $fd) (i32.const 40) (i32.const 1)
+                     (i32.const 48)))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $h)))
+        (drop (call $fd_close (local.get $fd)))
+        (call $proc_exit (i32.const 0))))|}
+
+let report () =
+  section "Telemetry: per-run cost report (WASI file churn, 128 KiB EPC)";
+  let machine = Machine.create ~seed:"report" ~epc_bytes:(32 * 4096) () in
+  let rt = Runtime.create machine in
+  Runtime.deploy rt (Twine_wasm.Wat.parse report_wat);
+  let r = Runtime.run rt in
+  Printf.printf "exit code %d, simulated time %.3f ms\n" r.Runtime.exit_code
+    (float_of_int (Machine.now_ns machine) /. 1e6);
+  print_newline ();
+  print_string (Twine_obs.Report.render machine.Machine.obs);
+  print_newline ();
+  print_endline "-- JSON --";
+  print_endline (Twine_obs.Report.to_json machine.Machine.obs)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let only = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
@@ -568,4 +649,5 @@ let () =
   if want "table3" then table3 ();
   if want "ablate" then ablate ();
   if want "micro" then bechamel_suite ();
+  if want "report" then report ();
   Printf.printf "\ndone.\n"

@@ -44,7 +44,11 @@ let run_cmd =
     Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"ARG" ~doc:"Argument passed to the guest.")
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print enclave statistics after the run.") in
-  let run path no_sgx interp strict dir args stats =
+  let profile =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Write the telemetry report as JSON to $(docv) after the run.")
+  in
+  let run path no_sgx interp strict dir args stats profile =
     let module_ = load_module path in
     if no_sgx then begin
       let preopens =
@@ -81,14 +85,28 @@ let run_cmd =
         Printf.eprintf "EPC faults:           %d\n"
           (Twine_sgx.Epc.faults machine.Twine_sgx.Machine.epc);
         Printf.eprintf "simulated time:       %.3f ms\n"
-          (float_of_int (Twine_sgx.Machine.now_ns machine) /. 1e6)
+          (float_of_int (Twine_sgx.Machine.now_ns machine) /. 1e6);
+        prerr_newline ();
+        prerr_string
+          (Twine_obs.Report.render machine.Twine_sgx.Machine.obs)
       end;
+      (match profile with
+      | Some file -> (
+          try
+            let oc = open_out file in
+            output_string oc (Twine_obs.Report.to_json machine.Twine_sgx.Machine.obs);
+            output_char oc '\n';
+            close_out oc
+          with Sys_error msg ->
+            Printf.eprintf "twine: cannot write profile: %s\n" msg;
+            exit 2)
+      | None -> ());
       exit r.Twine.Runtime.exit_code
     end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a WASI command inside the simulated TWINE enclave.")
-    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats)
+    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats $ profile)
 
 (* --- validate --- *)
 

@@ -48,6 +48,7 @@ let enclave t = t.enclave
 let meta_path path = path ^ ".pfsmeta"
 
 let machine t = Enclave.machine t.enclave
+let obs t = (machine t).Machine.obs
 
 (* Run [f] inside the enclave, entering via an ECALL when the caller is
    still outside (standalone library use). *)
@@ -61,6 +62,7 @@ let charge_untrusted_io t label n =
 
 let charge_crypto t n =
   let m = machine t in
+  Twine_obs.Obs.add m.Machine.obs "ipfs.crypto.bytes" n;
   Machine.charge m "ipfs.crypto" (Costs.bytes_ns m.costs.aes_ns_per_byte n)
 
 let node_aad idx = "node:" ^ string_of_int idx
@@ -182,10 +184,12 @@ let load_node file idx =
   match Twine_sim.Lru.find file.cache idx with
   | Some node ->
       fs.hits <- fs.hits + 1;
+      Twine_obs.Obs.inc (obs fs) "ipfs.cache.hit";
       Enclave.touch fs.enclave ~addr:(slot_addr file node.slot) ~len:node_size;
       node
   | None ->
       fs.misses <- fs.misses + 1;
+      Twine_obs.Obs.inc (obs fs) "ipfs.cache.miss";
       let slot = idx mod fs.cache_nodes in
       (* Stock IPFS zeroes the whole node structure (two 4 KiB buffers
          plus metadata) before filling it (§V-F). *)

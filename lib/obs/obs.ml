@@ -1,0 +1,137 @@
+(* Telemetry registry: counters, histograms and span tracing.
+
+   One registry instance rides on each simulated machine; every layer of
+   the stack (SGX transitions, EPC paging, protected-FS cache, WASI
+   dispatch, the database pager, the Wasm engine) records into it so a
+   single run can answer "what did this cost and why". Spans are timed
+   on the simulator's *virtual* clock, injected as a [now] closure, so
+   nesting attribution is exact and deterministic. *)
+
+type counter = { mutable c_value : int }
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type span = {
+  mutable sp_count : int;
+  mutable sp_total_ns : int;  (* virtual time inside the span *)
+  mutable sp_self_ns : int;  (* total minus time inside child spans *)
+}
+
+type frame = { fr_span : span; fr_start : int; mutable fr_child_ns : int }
+
+type t = {
+  now : unit -> int;
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  spans : (string, span) Hashtbl.t;
+  mutable stack : frame list;
+}
+
+let create ?(now = fun () -> 0) () =
+  {
+    now;
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 32;
+    spans = Hashtbl.create 16;
+    stack = [];
+  }
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms;
+  Hashtbl.reset t.spans;
+  t.stack <- []
+
+(* --- counters --- *)
+
+let counter_cell t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_value = 0 } in
+      Hashtbl.add t.counters name c;
+      c
+
+let add t name n = (counter_cell t name).c_value <- (counter_cell t name).c_value + n
+let inc t name = add t name 1
+
+let value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.c_value | None -> 0
+
+(* --- histograms --- *)
+
+let observe t name v =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+  | None ->
+      Hashtbl.add t.histograms name
+        { h_count = 1; h_sum = v; h_min = v; h_max = v }
+
+type hstat = { count : int; sum : int; min : int; max : int }
+
+let hstat t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> Some { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
+  | None -> None
+
+(* --- spans --- *)
+
+let span_cell t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s -> s
+  | None ->
+      let s = { sp_count = 0; sp_total_ns = 0; sp_self_ns = 0 } in
+      Hashtbl.add t.spans name s;
+      s
+
+let in_span t name f =
+  let sp = span_cell t name in
+  let fr = { fr_span = sp; fr_start = t.now (); fr_child_ns = 0 } in
+  t.stack <- fr :: t.stack;
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed = t.now () - fr.fr_start in
+      sp.sp_count <- sp.sp_count + 1;
+      sp.sp_total_ns <- sp.sp_total_ns + elapsed;
+      sp.sp_self_ns <- sp.sp_self_ns + (elapsed - fr.fr_child_ns);
+      (match t.stack with
+      | top :: rest when top == fr -> t.stack <- rest
+      | _ -> t.stack <- List.filter (fun f -> f != fr) t.stack);
+      match t.stack with
+      | parent :: _ -> parent.fr_child_ns <- parent.fr_child_ns + elapsed
+      | [] -> ())
+    f
+
+type sstat = { calls : int; total_ns : int; self_ns : int }
+
+let sstat t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s -> Some { calls = s.sp_count; total_ns = s.sp_total_ns; self_ns = s.sp_self_ns }
+  | None -> None
+
+let depth t = List.length t.stack
+
+(* --- snapshots (sorted by name, for stable reports and tests) --- *)
+
+let sorted_fold tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_fold t.counters (fun c -> c.c_value)
+
+let histograms t =
+  sorted_fold t.histograms (fun h ->
+      { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max })
+
+let spans t =
+  sorted_fold t.spans (fun s ->
+      { calls = s.sp_count; total_ns = s.sp_total_ns; self_ns = s.sp_self_ns })

@@ -1,0 +1,51 @@
+(** Telemetry registry: counters, histograms and span tracing on the
+    simulator's virtual clock.
+
+    One registry rides on each simulated machine; every layer (SGX
+    transitions, EPC paging, protected-FS node cache, WASI dispatch, the
+    database pager, the Wasm engine) records into it so a single run can
+    answer "what did this cost and why". See {!Report} for rendering. *)
+
+type t
+
+val create : ?now:(unit -> int) -> unit -> t
+(** [now] supplies the virtual time used by spans (defaults to a frozen
+    clock, making spans count-only). *)
+
+val reset : t -> unit
+
+(** {2 Counters} *)
+
+val inc : t -> string -> unit
+val add : t -> string -> int -> unit
+val value : t -> string -> int
+(** 0 when the counter was never touched. *)
+
+(** {2 Histograms} *)
+
+val observe : t -> string -> int -> unit
+(** Record one sample (e.g. the nanosecond cost of one charge). *)
+
+type hstat = { count : int; sum : int; min : int; max : int }
+
+val hstat : t -> string -> hstat option
+
+(** {2 Spans} *)
+
+val in_span : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span. Spans nest: a parent's [self_ns]
+    excludes time spent in child spans, so a report can attribute cost to
+    the layer that actually incurred it. Exception-safe. *)
+
+type sstat = { calls : int; total_ns : int; self_ns : int }
+
+val sstat : t -> string -> sstat option
+
+val depth : t -> int
+(** Number of currently open spans (0 outside any span). *)
+
+(** {2 Snapshots} — sorted by name for stable reports. *)
+
+val counters : t -> (string * int) list
+val histograms : t -> (string * hstat) list
+val spans : t -> (string * sstat) list

@@ -1,0 +1,119 @@
+(* Render a per-run cost breakdown out of an Obs registry, as an aligned
+   text table (human) and as JSON (machine; hand-rolled, no deps). *)
+
+let ms ns = float_of_int ns /. 1e6
+
+(* Derived cache effectiveness lines: any counter pair "<p>.hit" with
+   "<p>.miss" (cache lookups) or "<p>.fault" (EPC touches) yields a rate.
+   A lone half of a pair still yields a line (0% or 100%): an all-miss
+   run is a finding, not a formatting accident. *)
+let rates counters =
+  let prefixes =
+    List.filter_map
+      (fun (name, _) ->
+        List.find_map
+          (fun suffix -> Filename.chop_suffix_opt ~suffix name)
+          [ ".hit"; ".miss"; ".fault" ])
+      counters
+  in
+  let prefixes = List.sort_uniq compare prefixes in
+  List.filter_map
+    (fun prefix ->
+      let count suffix =
+        Option.value ~default:0 (List.assoc_opt (prefix ^ suffix) counters)
+      in
+      let hits = count ".hit" in
+      let total = hits + count ".miss" + count ".fault" in
+      if total > 0 then Some (prefix, 100. *. float_of_int hits /. float_of_int total)
+      else None)
+    prefixes
+
+let render ?(title = "per-run cost report") obs =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "== %s ==" title;
+  let counters = Obs.counters obs in
+  if counters <> [] then begin
+    line "-- counters --";
+    List.iter (fun (name, v) -> line "%-28s %12d" name v) counters;
+    List.iter (fun (p, r) -> line "%-28s %11.1f%%" (p ^ ".hit_rate") r) (rates counters)
+  end;
+  let hists = Obs.histograms obs in
+  if hists <> [] then begin
+    line "-- costs --";
+    line "%-28s %10s %12s %10s %10s" "component" "events" "total(ms)" "min(ns)" "max(ns)";
+    List.iter
+      (fun (name, (h : Obs.hstat)) ->
+        line "%-28s %10d %12.4f %10d %10d" name h.count (ms h.sum) h.min h.max)
+      hists
+  end;
+  let spans = Obs.spans obs in
+  if spans <> [] then begin
+    line "-- spans --";
+    line "%-28s %10s %12s %12s" "span" "calls" "total(ms)" "self(ms)";
+    List.iter
+      (fun (name, (s : Obs.sstat)) ->
+        line "%-28s %10d %12.4f %12.4f" name s.calls (ms s.total_ns) (ms s.self_ns))
+      spans
+  end;
+  Buffer.contents b
+
+(* --- JSON --- *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_obj b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape k);
+      Buffer.add_string b "\":";
+      emit b)
+    fields;
+  Buffer.add_char b '}'
+
+let to_json obs =
+  let b = Buffer.create 1024 in
+  let int n buf = Buffer.add_string buf (string_of_int n) in
+  json_obj b
+    [
+      ( "counters",
+        fun buf ->
+          json_obj buf (List.map (fun (k, v) -> (k, int v)) (Obs.counters obs)) );
+      ( "histograms",
+        fun buf ->
+          json_obj buf
+            (List.map
+               (fun (k, (h : Obs.hstat)) ->
+                 ( k,
+                   fun buf ->
+                     json_obj buf
+                       [ ("count", int h.count); ("sum_ns", int h.sum);
+                         ("min_ns", int h.min); ("max_ns", int h.max) ] ))
+               (Obs.histograms obs)) );
+      ( "spans",
+        fun buf ->
+          json_obj buf
+            (List.map
+               (fun (k, (s : Obs.sstat)) ->
+                 ( k,
+                   fun buf ->
+                     json_obj buf
+                       [ ("calls", int s.calls); ("total_ns", int s.total_ns);
+                         ("self_ns", int s.self_ns) ] ))
+               (Obs.spans obs)) );
+    ];
+  Buffer.contents b

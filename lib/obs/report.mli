@@ -1,0 +1,10 @@
+(** Render a per-run cost breakdown from an {!Obs} registry. *)
+
+val render : ?title:string -> Obs.t -> string
+(** Aligned text table: counters (with derived cache hit rates for any
+    [<p>.hit]/[<p>.miss] or [<p>.hit]/[<p>.fault] counter pair), cost
+    histograms and span timings. *)
+
+val to_json : Obs.t -> string
+(** The same data as a single machine-readable JSON object with
+    [counters], [histograms] and [spans] members. *)

@@ -75,19 +75,27 @@ let crossing t name =
 
 let ecall t ?(name = "sgx.ecall") f =
   check t;
-  if t.depth = 0 then crossing t name;
+  let obs = t.machine.Machine.obs in
+  if t.depth = 0 then begin
+    Twine_obs.Obs.inc obs "sgx.ecall";
+    crossing t name
+  end;
   t.depth <- t.depth + 1;
   Fun.protect
     ~finally:(fun () ->
       t.depth <- t.depth - 1;
       if t.depth = 0 && not t.destroyed then crossing t name)
-    (fun () -> f t)
+    (fun () -> Twine_obs.Obs.in_span obs name (fun () -> f t))
 
 let ocall t ?(name = "sgx.ocall") f =
   check t;
   if t.depth = 0 then invalid_arg "Enclave.ocall: not inside an ecall";
+  let obs = t.machine.Machine.obs in
+  Twine_obs.Obs.inc obs "sgx.ocall";
   crossing t name;
-  Fun.protect ~finally:(fun () -> if not t.destroyed then crossing t name) f
+  Fun.protect
+    ~finally:(fun () -> if not t.destroyed then crossing t name)
+    (fun () -> Twine_obs.Obs.in_span obs name f)
 
 let inside t = t.depth > 0
 let transitions t = t.transition_count
@@ -120,6 +128,22 @@ let reserve t n =
 let touch t ~addr ~len =
   check t;
   fault_pages t ~addr ~len
+
+(* EAUG-style commit of pages inside a previously reserved region: charge
+   the page-add cost, grow the committed size and fault the pages in,
+   without moving brk (the region's addresses are already reserved). *)
+let commit t ~addr ~len =
+  check t;
+  if len < 0 then invalid_arg "Enclave.commit: negative size";
+  if len > 0 then begin
+    let m = t.machine in
+    let pages =
+      ((addr + len - 1) / Costs.page_size) - (addr / Costs.page_size) + 1
+    in
+    Machine.charge_cycles m "sgx.commit" (pages * m.costs.page_add_cycles);
+    t.committed <- t.committed + len;
+    fault_pages t ~addr ~len
+  end
 
 let memset t ?(label = "sgx.memset") n =
   check t;

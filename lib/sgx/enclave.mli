@@ -34,10 +34,12 @@ val destroy : t -> unit
 val ecall : t -> ?name:string -> (t -> 'a) -> 'a
 (** Enter the enclave, run the function inside, and leave; charges two
     boundary crossings. Nested calls are allowed and charge nothing (only
-    the outermost crossing pays). *)
+    the outermost crossing pays). Counted as [sgx.ecall] and traced as a
+    telemetry span named [name] on the machine's registry. *)
 
 val ocall : t -> ?name:string -> (unit -> 'a) -> 'a
 (** Call out of the enclave from trusted code; charges a round trip.
+    Counted as [sgx.ocall] and traced as a span named [name].
     @raise Invalid_argument if not currently inside an [ecall]. *)
 
 val inside : t -> bool
@@ -58,6 +60,12 @@ val reserve : t -> int -> int
 val touch : t -> addr:int -> len:int -> unit
 (** Account an access to enclave memory: every 4 KiB page covered is
     touched in the EPC, charging a fault where non-resident. *)
+
+val commit : t -> addr:int -> len:int -> unit
+(** EAUG-style commit of pages inside a previously {!reserve}d region:
+    charges the page-add cost, grows the committed size and faults the
+    pages in, without moving the allocation cursor. Used to account linear
+    memory grown by [memory.grow] after the region was set up. *)
 
 val memset : t -> ?label:string -> int -> unit
 (** Charge clearing [n] bytes of enclave memory (MEE write cost). The

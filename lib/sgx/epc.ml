@@ -4,23 +4,43 @@ type page = int
 
 type t = {
   resident : (page, unit) Lru.t;
+  obs : Twine_obs.Obs.t option;
+  mutable hit_count : int;
   mutable fault_count : int;
+  mutable eviction_count : int;
 }
 
-let create ~limit_bytes =
+let create ?obs ~limit_bytes () =
   let pages = limit_bytes / Costs.page_size in
   if pages < 1 then invalid_arg "Epc.create: limit below one page";
-  { resident = Lru.create ~capacity:pages (); fault_count = 0 }
+  {
+    resident = Lru.create ~capacity:pages ();
+    obs;
+    hit_count = 0;
+    fault_count = 0;
+    eviction_count = 0;
+  }
 
 let limit_pages t = Lru.capacity t.resident
 let resident_pages t = Lru.length t.resident
 
+let record t name =
+  match t.obs with Some o -> Twine_obs.Obs.inc o name | None -> ()
+
 let touch t page =
   match Lru.find t.resident page with
-  | Some () -> `Hit
+  | Some () ->
+      t.hit_count <- t.hit_count + 1;
+      record t "epc.hit";
+      `Hit
   | None ->
       t.fault_count <- t.fault_count + 1;
-      ignore (Lru.put t.resident page ());
+      record t "epc.fault";
+      (match Lru.put t.resident page () with
+      | Some _ ->
+          t.eviction_count <- t.eviction_count + 1;
+          record t "epc.evict"
+      | None -> ());
       `Fault
 
 let page_of ~enclave_id ~page_no = (enclave_id lsl 40) lor page_no
@@ -30,4 +50,6 @@ let release_enclave t enclave_id =
   let doomed = List.filter belongs (Lru.to_list t.resident) in
   List.iter (fun (page, ()) -> ignore (Lru.remove t.resident page)) doomed
 
+let hits t = t.hit_count
 let faults t = t.fault_count
+let evictions t = t.eviction_count

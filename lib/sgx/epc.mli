@@ -11,8 +11,9 @@ type t
 type page = int
 (** Global page identifier: [(enclave_id lsl 40) lor page_number]. *)
 
-val create : limit_bytes:int -> t
-(** @raise Invalid_argument if the limit is below one page. *)
+val create : ?obs:Twine_obs.Obs.t -> limit_bytes:int -> unit -> t
+(** @raise Invalid_argument if the limit is below one page. When [obs] is
+    given, every touch records [epc.hit] / [epc.fault] / [epc.evict]. *)
 
 val limit_pages : t -> int
 val resident_pages : t -> int
@@ -24,7 +25,13 @@ val touch : t -> page -> [ `Hit | `Fault ]
 val release_enclave : t -> int -> unit
 (** Drop all resident pages belonging to an enclave id (EREMOVE). *)
 
+val hits : t -> int
+(** Total resident-page hits since creation. *)
+
 val faults : t -> int
 (** Total faults since creation. *)
+
+val evictions : t -> int
+(** Total pages evicted (encrypted out) to make room since creation. *)
 
 val page_of : enclave_id:int -> page_no:int -> page

@@ -3,6 +3,7 @@ open Twine_sim
 type t = {
   clock : Clock.t;
   meter : Meter.t;
+  obs : Twine_obs.Obs.t;
   mutable costs : Costs.t;
   epc : Epc.t;
   cpu_key : string;
@@ -13,21 +14,27 @@ let usable_epc_bytes = 93 * 1024 * 1024 (* paper §V-A: 128 MiB EPC, 93 usable *
 
 let create ?(costs = Costs.default) ?(epc_bytes = usable_epc_bytes)
     ?(seed = "twine-machine") () =
+  let clock = Clock.create () in
+  let obs = Twine_obs.Obs.create ~now:(fun () -> Clock.now_ns clock) () in
   {
-    clock = Clock.create ();
+    clock;
     meter = Meter.create ();
+    obs;
     costs;
-    epc = Epc.create ~limit_bytes:epc_bytes;
+    epc = Epc.create ~obs ~limit_bytes:epc_bytes ();
     cpu_key = Twine_crypto.Sha256.digest ("cpu-fuse:" ^ seed);
     next_enclave_id = 1;
   }
 
 let charge t component ns =
   Clock.advance t.clock ns;
-  Meter.charge t.meter component ns
+  Meter.charge t.meter component ns;
+  Twine_obs.Obs.observe t.obs component ns
 
 let charge_cycles t component cycles = charge t component (Costs.cycles_ns t.costs cycles)
 
 let now_ns t = Clock.now_ns t.clock
+
+let obs t = t.obs
 
 let set_software_mode t = t.costs <- Costs.software_mode t.costs

@@ -5,6 +5,9 @@
 type t = {
   clock : Twine_sim.Clock.t;
   meter : Twine_sim.Meter.t;
+  obs : Twine_obs.Obs.t;
+      (** telemetry registry (counters/histograms/spans) on the machine's
+          virtual clock; every layer of the stack records into it *)
   mutable costs : Costs.t;
   epc : Epc.t;
   cpu_key : string;  (** 32-byte fused secret (never leaves the package) *)
@@ -16,11 +19,14 @@ val create : ?costs:Costs.t -> ?epc_bytes:int -> ?seed:string -> unit -> t
     (and hence all derived randomness) deterministic. *)
 
 val charge : t -> string -> int -> unit
-(** Advance the clock by [ns] and record it against a meter component. *)
+(** Advance the clock by [ns] and record it against a meter component and
+    the telemetry cost histogram of the same name. *)
 
 val charge_cycles : t -> string -> int -> unit
 
 val now_ns : t -> int
+
+val obs : t -> Twine_obs.Obs.t
 
 val set_software_mode : t -> unit
 (** Switch the cost model to Fig 6's SGX software (simulation) mode. *)

@@ -117,14 +117,14 @@ let load_catalog t =
 
 (* --- open/close --- *)
 
-let open_db ?vfs ?(cache_pages = 2048) ?hooks path =
+let open_db ?vfs ?(cache_pages = 2048) ?hooks ?obs path =
   let vfs =
     match vfs with
     | Some v -> v
     | None -> if path = ":memory:" then Svfs.memory () else Svfs.os "."
   in
   let fresh = not (vfs.Svfs.v_exists path) in
-  let pager = Pager.create_or_open vfs ~cache_pages ?hooks path in
+  let pager = Pager.create_or_open vfs ~cache_pages ?hooks ?obs path in
   let t =
     {
       pager;

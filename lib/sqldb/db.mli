@@ -27,11 +27,15 @@ type t
 type result = { columns : string list; rows : Value.t list list; affected : int }
 
 val open_db :
-  ?vfs:Svfs.t -> ?cache_pages:int -> ?hooks:Pager.hooks -> string -> t
+  ?vfs:Svfs.t -> ?cache_pages:int -> ?hooks:Pager.hooks ->
+  ?obs:Twine_obs.Obs.t -> string -> t
 (** [open_db path] opens (creating if needed) a database. [":memory:"]
     uses a private in-memory VFS. [cache_pages] is the page-cache
     capacity in 4 KiB pages (default 2048, i.e. SQLite's 8 MiB).
-    [hooks] observe page reads/writes/accesses for cost accounting. *)
+    [hooks] observe page reads/writes/accesses for cost accounting;
+    [obs] additionally records pager I/O and cache counters
+    ([sqldb.page_read] / [sqldb.page_write] / [sqldb.cache.*] /
+    [sqldb.journal_write]) into a telemetry registry. *)
 
 val close : t -> unit
 (** Rolls back any open transaction and releases the file. *)

@@ -221,7 +221,7 @@ let create ?machine ?(cache_pages = 2048) ?(ipfs_variant = Protected_fs.Optimize
         (fun page_no ->
           Enclave.touch e ~addr:(base + (page_no * Pager.page_size)) ~len:Pager.page_size)
   | None -> ());
-  let db = Db.open_db ~vfs ~cache_pages ~hooks "bench.db" in
+  let db = Db.open_db ~vfs ~cache_pages ~hooks ~obs:machine.Machine.obs "bench.db" in
   {
     variant;
     storage;

@@ -34,12 +34,20 @@ let default_config =
    application arrives later over the secure channel). *)
 let runtime_code = "twine-runtime: wamr-aot + wasi-sgx + ipfs, v1"
 
+(* The guest linear-memory region inside the enclave. Reserved once per
+   runtime (sized for the module's maximum memory) and reused across
+   runs, so repeated [run]s do not leak enclave heap; [committed] tracks
+   how much of it has been EAUG-committed so far, including pages added
+   by [memory.grow] during a run. *)
+type mem_region = { base : int; cap : int; committed : int ref }
+
 type t = {
   config : config;
   machine : Machine.t;
   enclave : Enclave.t;
   fs : Protected_fs.t;
   mutable deployed : (Ast.module_ * int) option;  (* module, reserved addr *)
+  mutable guest_mem : mem_region option;
 }
 
 let create ?(config = default_config) ?backing machine =
@@ -52,7 +60,7 @@ let create ?(config = default_config) ?backing machine =
     Protected_fs.create enclave backing ~variant:config.ipfs_variant
       ~cache_nodes:config.cache_nodes ()
   in
-  { config; machine; enclave; fs; deployed = None }
+  { config; machine; enclave; fs; deployed = None; guest_mem = None }
 
 let enclave t = t.enclave
 let machine t = t.machine
@@ -142,12 +150,25 @@ let deploy t (module_ : Ast.module_) =
 (* Track Wasm linear-memory accesses in the EPC. Consecutive accesses to
    the same 4 KiB page are filtered out before reaching the simulator:
    they would be EPC hits anyway, and the filter keeps the instrumentation
-   overhead negligible for loop-local access patterns. *)
-let install_memory_hook enclave ~base mem =
+   overhead negligible for loop-local access patterns.
+
+   [committed] is the number of bytes at [base] already committed in the
+   enclave; when the guest executes [memory.grow], the next access sees a
+   larger memory and the fresh pages are EAUG-committed before the access
+   is accounted, so grown memory is not silently free. *)
+let install_memory_hook enclave ~base ?committed mem =
   let last_page = ref (-1) in
+  let committed =
+    match committed with Some c -> c | None -> ref (Memory.size_bytes mem)
+  in
   (Memory.on_access mem) :=
     Some
       (fun ~addr ~len ->
+        let size = Memory.size_bytes mem in
+        if size > !committed then begin
+          Enclave.commit enclave ~addr:(base + !committed) ~len:(size - !committed);
+          committed := size
+        end;
         let page = (base + addr) lsr 12 in
         if page <> !last_page || len > 4096 then begin
           last_page := page;
@@ -179,26 +200,54 @@ let run ?(args = [ "app" ]) ?env t =
             }
           in
           let preopens = [ (".", Sgx_host.protected_dir t.fs) ] in
-          let ctx = Api.create ~args ?env ~preopens ~providers () in
+          let obs = t.machine.Machine.obs in
+          let ctx = Api.create ~args ?env ~preopens ~providers ~obs () in
           let inst = Interp.instantiate ~imports:(Api.imports ctx) module_ in
           (* charge AoT code generation or set up interpretation *)
           (match t.config.engine with
           | Aot ->
               let n = Aot.compile_instance inst in
+              Twine_obs.Obs.add obs "twine.aot.funcs" n;
               Machine.charge t.machine "twine.aot" (n * 1500)
           | Interpreter -> ());
           Api.bind_memory ctx inst;
-          (* in-enclave Wasm linear memory participates in EPC pressure *)
+          (* In-enclave Wasm linear memory participates in EPC pressure.
+             The region is reserved once (sized for the module's declared
+             maximum so grown pages never collide with later allocations)
+             and reused by subsequent runs: only the delta between what is
+             already committed and what this run's initial memory needs is
+             committed — repeated runs do not leak enclave heap. *)
           let mem = Api.memory ctx in
-          let mem_base = Enclave.alloc t.enclave (Memory.size_bytes mem) in
-          install_memory_hook t.enclave ~base:mem_base mem;
-          let exit_code =
-            match Instance.export_func inst "_start" with
-            | None -> raise (Deploy_error "module has no _start")
-            | Some _ -> (
-                try
-                  ignore (Interp.invoke inst "_start" []);
-                  0
-                with Api.Proc_exit code -> code)
+          let need = Memory.size_bytes mem in
+          let region =
+            match t.guest_mem with
+            | Some r when r.cap >= need -> r
+            | _ ->
+                let cap = max need (Memory.max_pages mem * Types.page_size) in
+                let base = Enclave.reserve t.enclave cap in
+                let r = { base; cap; committed = ref 0 } in
+                t.guest_mem <- Some r;
+                r
           in
-          { exit_code; stdout = Buffer.contents out; fuel = Interp.fuel_used inst })
+          if need > !(region.committed) then begin
+            Enclave.commit t.enclave
+              ~addr:(region.base + !(region.committed))
+              ~len:(need - !(region.committed));
+            region.committed := need
+          end;
+          install_memory_hook t.enclave ~base:region.base
+            ~committed:region.committed mem;
+          let finally () = (Memory.on_access mem) := None in
+          let exit_code =
+            Fun.protect ~finally (fun () ->
+                match Instance.export_func inst "_start" with
+                | None -> raise (Deploy_error "module has no _start")
+                | Some _ -> (
+                    try
+                      ignore (Interp.invoke inst "_start" []);
+                      0
+                    with Api.Proc_exit code -> code))
+          in
+          let fuel = Interp.fuel_used inst in
+          Twine_obs.Obs.add obs "twine.fuel" fuel;
+          { exit_code; stdout = Buffer.contents out; fuel })

@@ -66,9 +66,16 @@ val deploy : t -> Twine_wasm.Ast.module_ -> unit
     reserved memory.
     @raise Twine_wasm.Validate.Invalid on an ill-typed module. *)
 
-val install_memory_hook : Twine_sgx.Enclave.t -> base:int -> Twine_wasm.Memory.t -> unit
+val install_memory_hook :
+  Twine_sgx.Enclave.t -> base:int -> ?committed:int ref -> Twine_wasm.Memory.t -> unit
 (** Account guest linear-memory accesses as EPC page touches (with a
-    same-page filter so instrumentation cost stays negligible). *)
+    same-page filter so instrumentation cost stays negligible).
+    [committed] is the number of bytes at [base] already committed in the
+    enclave (default: the memory's current size); pages added by
+    [memory.grow] beyond it are EAUG-committed and charged before the
+    triggering access. The hook is installed on the memory's access ref
+    and replaces any previous hook; {!run} removes it when the call
+    returns. *)
 
 type run_outcome = {
   exit_code : int;

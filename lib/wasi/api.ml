@@ -53,6 +53,7 @@ type t = {
   env : (string * string) list;
   providers : providers;
   strict : bool;  (* disallow operations outside trusted implementations *)
+  obs : Twine_obs.Obs.t option;  (* hostcall telemetry, when attached *)
   fds : (int, fd_entry) Hashtbl.t;
   mutable next_fd : int;
   mutable memory : Memory.t option;
@@ -66,13 +67,14 @@ let right_fd_write = 0x40L
 let all_rights = 0x1fffffffL
 
 let create ?(args = [ "wasm-app" ]) ?(env = []) ?(preopens = []) ?(strict = false)
-    ?(providers = default_providers) () =
+    ?(providers = default_providers) ?obs () =
   let t =
     {
       args;
       env;
       providers;
       strict;
+      obs;
       fds = Hashtbl.create 16;
       next_fd = 3;
       memory = None;
@@ -268,6 +270,11 @@ let functions t =
       Instance.host_func ~name
         { Types.params; results = (match results with [] -> [] | r -> r) }
         (fun args ->
+          (match t.obs with
+          | Some o ->
+              Twine_obs.Obs.inc o "wasi.hostcall";
+              Twine_obs.Obs.inc o ("wasi." ^ name)
+          | None -> ());
           t.providers.on_call name;
           f args) )
   in

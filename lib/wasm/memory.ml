@@ -21,6 +21,7 @@ let create (l : Types.limits) =
 
 let size_pages t = t.pages
 let size_bytes t = t.pages * Types.page_size
+let max_pages t = t.max_pages
 let on_access t = t.hook
 
 let grow t delta =
@@ -98,4 +99,7 @@ let load_cstring t a =
   in
   if a < 0 || a >= size_bytes t then trap "out of bounds memory access";
   let e = find_end a in
+  (* bounds-check the scanned range (including the NUL) through [check]
+     so the access hook sees the read and EPC pressure is accounted *)
+  check t a (e - a + 1);
   Bytes.sub_string t.data a (e - a)

@@ -7,6 +7,10 @@ val create : Types.limits -> t
 val size_pages : t -> int
 val size_bytes : t -> int
 
+val max_pages : t -> int
+(** Upper growth limit in 64 KiB pages (the declared maximum, or the
+    addressable 65536 when none was declared). *)
+
 val grow : t -> int -> int32
 (** [grow t delta] returns the old size in pages, or [-1l] if growth would
     exceed the limit (as the [memory.grow] instruction does). *)
@@ -26,7 +30,9 @@ val load_bytes : t -> int -> int -> string
 val store_bytes : t -> int -> string -> unit
 
 val load_cstring : t -> int -> string
-(** NUL-terminated string at the given address. *)
+(** NUL-terminated string at the given address. The scanned range
+    (including the terminator) is bounds-checked and reported to the
+    access hook, so C-string reads count toward EPC pressure. *)
 
 val on_access : t -> (addr:int -> len:int -> unit) option ref
 (** Hook invoked before each access — the TWINE runtime uses it to charge

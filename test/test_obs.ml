@@ -1,0 +1,205 @@
+(* Telemetry registry (lib/obs) and the accounting regressions it was
+   built to catch: unaccounted C-string scans and the per-run enclave
+   heap leak. *)
+
+open Twine_obs
+open Twine_sgx
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- registry --- *)
+
+let test_counters () =
+  let obs = Obs.create () in
+  Alcotest.(check int) "absent counter reads 0" 0 (Obs.value obs "x");
+  Obs.inc obs "x";
+  Obs.inc obs "x";
+  Obs.add obs "y" 40;
+  Obs.add obs "y" 2;
+  Alcotest.(check int) "inc twice" 2 (Obs.value obs "x");
+  Alcotest.(check int) "add accumulates" 42 (Obs.value obs "y");
+  Alcotest.(check (list (pair string int)))
+    "sorted snapshot"
+    [ ("x", 2); ("y", 42) ]
+    (Obs.counters obs);
+  Obs.reset obs;
+  Alcotest.(check int) "reset clears" 0 (Obs.value obs "x")
+
+let test_histograms () =
+  let obs = Obs.create () in
+  Alcotest.(check bool) "absent histogram" true (Obs.hstat obs "h" = None);
+  List.iter (Obs.observe obs "h") [ 5; 1; 9 ];
+  match Obs.hstat obs "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 3 h.Obs.count;
+      Alcotest.(check int) "sum" 15 h.Obs.sum;
+      Alcotest.(check int) "min" 1 h.Obs.min;
+      Alcotest.(check int) "max" 9 h.Obs.max
+
+(* Spans on a hand-cranked virtual clock: the parent's self time must
+   exclude the child's. *)
+let test_span_nesting () =
+  let t = ref 0 in
+  let obs = Obs.create ~now:(fun () -> !t) () in
+  let advance n = t := !t + n in
+  let result =
+    Obs.in_span obs "outer" (fun () ->
+        advance 10;
+        Alcotest.(check int) "depth inside outer" 1 (Obs.depth obs);
+        Obs.in_span obs "inner" (fun () -> advance 5);
+        advance 3;
+        "ok")
+  in
+  Alcotest.(check string) "thunk result returned" "ok" result;
+  Alcotest.(check int) "depth back to 0" 0 (Obs.depth obs);
+  (match Obs.sstat obs "outer" with
+  | None -> Alcotest.fail "outer span missing"
+  | Some s ->
+      Alcotest.(check int) "outer calls" 1 s.Obs.calls;
+      Alcotest.(check int) "outer total" 18 s.Obs.total_ns;
+      Alcotest.(check int) "outer self excludes inner" 13 s.Obs.self_ns);
+  match Obs.sstat obs "inner" with
+  | None -> Alcotest.fail "inner span missing"
+  | Some s ->
+      Alcotest.(check int) "inner total" 5 s.Obs.total_ns;
+      Alcotest.(check int) "inner self" 5 s.Obs.self_ns
+
+let test_span_exception_safe () =
+  let t = ref 0 in
+  let obs = Obs.create ~now:(fun () -> !t) () in
+  (try
+     Obs.in_span obs "boom" (fun () ->
+         t := !t + 7;
+         failwith "inner failure")
+   with Failure _ -> ());
+  Alcotest.(check int) "span stack unwound" 0 (Obs.depth obs);
+  match Obs.sstat obs "boom" with
+  | None -> Alcotest.fail "span not recorded"
+  | Some s -> Alcotest.(check int) "time still attributed" 7 s.Obs.total_ns
+
+(* --- report rendering --- *)
+
+let test_report_render () =
+  let obs = Obs.create () in
+  Obs.add obs "epc.hit" 3;
+  Obs.add obs "epc.fault" 1;
+  Obs.add obs "ipfs.cache.miss" 8;
+  Obs.observe obs "sgx.launch" 2_000_000;
+  Obs.in_span obs "twine.main" (fun () -> ());
+  let r = Report.render obs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report contains %S" needle)
+        true
+        (contains r needle))
+    [ "epc.hit"; "epc.hit_rate"; "75.0%"; "ipfs.cache.hit_rate"; "0.0%";
+      "sgx.launch"; "twine.main"; "-- spans --" ]
+
+let test_report_json () =
+  let obs = Obs.create () in
+  Obs.add obs "wasi.hostcall" 5;
+  Obs.observe obs "sgx.epc_fault" 10526;
+  Obs.in_span obs "twine.main" (fun () -> ());
+  let j = Report.to_json obs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json contains %S" needle)
+        true
+        (contains j needle))
+    [ {|"counters":{"wasi.hostcall":5}|};
+      {|"sgx.epc_fault":{"count":1,"sum_ns":10526,"min_ns":10526,"max_ns":10526}|};
+      {|"twine.main":{"calls":1,"total_ns":0,"self_ns":0}|} ]
+
+(* --- regression: C-string loads feed the access hook / EPC --- *)
+
+let test_cstring_epc_pressure () =
+  let machine = Machine.create ~seed:"obs-cstr" ~epc_bytes:(8 * 4096) () in
+  let enclave = Enclave.create machine ~code:"cstr" () in
+  let mem = Twine_wasm.Memory.create { Twine_wasm.Types.min = 1; max = Some 1 } in
+  (* a string spanning four 4 KiB EPC pages, written before the hook *)
+  Twine_wasm.Memory.store_bytes mem 0 (String.make 16000 'a');
+  let base = Enclave.reserve enclave (Twine_wasm.Memory.size_bytes mem) in
+  Twine.Runtime.install_memory_hook enclave ~base mem;
+  let faults0 = Epc.faults machine.Machine.epc in
+  let s = Twine_wasm.Memory.load_cstring mem 0 in
+  Alcotest.(check int) "string length" 16000 (String.length s);
+  let faults = Epc.faults machine.Machine.epc - faults0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cstring scan faults pages in (%d faults)" faults)
+    true (faults >= 4)
+
+let test_cstring_out_of_bounds () =
+  let mem = Twine_wasm.Memory.create { Twine_wasm.Types.min = 1; max = Some 1 } in
+  (* no NUL anywhere: the scan must trap, not run off the end *)
+  Twine_wasm.Memory.store_bytes mem 0
+    (String.make (Twine_wasm.Memory.size_bytes mem) 'x');
+  Alcotest.check_raises "unterminated string traps"
+    (Twine_wasm.Values.Trap "unterminated string") (fun () ->
+      ignore (Twine_wasm.Memory.load_cstring mem 0))
+
+(* --- regression: repeated runs do not leak enclave heap --- *)
+
+let hello_wat =
+  {|(module
+      (import "wasi_snapshot_preview1" "fd_write"
+        (func $fd_write (param i32 i32 i32 i32) (result i32)))
+      (memory (export "memory") 1)
+      (data (i32.const 16) "hi\n")
+      (func (export "_start")
+        (i32.store (i32.const 0) (i32.const 16))
+        (i32.store (i32.const 4) (i32.const 3))
+        (drop (call $fd_write (i32.const 1) (i32.const 0) (i32.const 1) (i32.const 8)))))|}
+
+let test_run_does_not_leak_heap () =
+  let machine = Machine.create ~seed:"obs-leak" () in
+  let rt = Twine.Runtime.create machine in
+  Twine.Runtime.deploy rt (Twine_wasm.Wat.parse hello_wat);
+  let run () = ignore (Twine.Runtime.run rt) in
+  run ();
+  let size1 = Enclave.size_bytes (Twine.Runtime.enclave rt) in
+  for _ = 1 to 5 do run () done;
+  let size2 = Enclave.size_bytes (Twine.Runtime.enclave rt) in
+  Alcotest.(check int) "enclave size stable across runs" size1 size2
+
+let test_run_counts_surface () =
+  let machine = Machine.create ~seed:"obs-counts" () in
+  let rt = Twine.Runtime.create machine in
+  Twine.Runtime.deploy rt (Twine_wasm.Wat.parse hello_wat);
+  ignore (Twine.Runtime.run rt);
+  let obs = machine.Machine.obs in
+  Alcotest.(check bool) "ecalls counted" true (Obs.value obs "sgx.ecall" >= 2);
+  Alcotest.(check bool) "wasi dispatch counted" true
+    (Obs.value obs "wasi.hostcall" >= 1);
+  Alcotest.(check int) "fd_write counted" 1 (Obs.value obs "wasi.fd_write");
+  Alcotest.(check bool) "run span recorded" true
+    (Obs.sstat obs "twine.main" <> None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_report_render;
+          Alcotest.test_case "json" `Quick test_report_json;
+        ] );
+      ( "accounting regressions",
+        [
+          Alcotest.test_case "cstring EPC pressure" `Quick test_cstring_epc_pressure;
+          Alcotest.test_case "cstring bounds" `Quick test_cstring_out_of_bounds;
+          Alcotest.test_case "no heap leak across runs" `Quick test_run_does_not_leak_heap;
+          Alcotest.test_case "run telemetry surfaces" `Quick test_run_counts_surface;
+        ] );
+    ]

@@ -11,14 +11,14 @@ let fresh_machine ?costs ?epc_bytes () =
 (* --- EPC --- *)
 
 let test_epc_fault_then_hit () =
-  let epc = Epc.create ~limit_bytes:(4 * page) in
+  let epc = Epc.create ~limit_bytes:(4 * page) () in
   let p i = Epc.page_of ~enclave_id:1 ~page_no:i in
   Alcotest.(check bool) "first touch faults" true (Epc.touch epc (p 0) = `Fault);
   Alcotest.(check bool) "second touch hits" true (Epc.touch epc (p 0) = `Hit);
   Alcotest.(check int) "one fault" 1 (Epc.faults epc)
 
 let test_epc_eviction () =
-  let epc = Epc.create ~limit_bytes:(2 * page) in
+  let epc = Epc.create ~limit_bytes:(2 * page) () in
   let p i = Epc.page_of ~enclave_id:1 ~page_no:i in
   ignore (Epc.touch epc (p 0));
   ignore (Epc.touch epc (p 1));
@@ -27,7 +27,7 @@ let test_epc_eviction () =
   Alcotest.(check int) "resident bounded" 2 (Epc.resident_pages epc)
 
 let test_epc_release_enclave () =
-  let epc = Epc.create ~limit_bytes:(8 * page) in
+  let epc = Epc.create ~limit_bytes:(8 * page) () in
   ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:0));
   ignore (Epc.touch epc (Epc.page_of ~enclave_id:2 ~page_no:0));
   Epc.release_enclave epc 1;
