@@ -439,7 +439,12 @@ let ablate () =
       let drbg = Twine_crypto.Drbg.create ~seed:"abl" () in
       let buf = Bytes.create 64 in
       let t0 = Machine.now_ns machine in
-      let oc0 = Twine_sim.Meter.count machine.Machine.meter "ipfs.ocall" in
+      let ocall_charges () =
+        match Twine_obs.Obs.hstat machine.Machine.obs "ipfs.ocall" with
+        | Some h -> h.Twine_obs.Obs.count
+        | None -> 0
+      in
+      let oc0 = ocall_charges () in
       for _ = 1 to 2000 do
         let pos = Twine_crypto.Drbg.int_below drbg (511 * 4096) in
         ignore (Twine_ipfs.Protected_fs.seek f ~offset:pos ~whence:`Set);
@@ -447,7 +452,7 @@ let ablate () =
       done;
       Printf.printf "%-14d %14.3f %10d\n" cache_nodes
         (float_of_int (Machine.now_ns machine - t0) /. 1e6)
-        (Twine_sim.Meter.count machine.Machine.meter "ipfs.ocall" - oc0);
+        (ocall_charges () - oc0);
       Twine_ipfs.Protected_fs.close f)
     [ 8; 16; 48; 128; 512 ];
 
@@ -625,9 +630,152 @@ let report () =
   print_endline (Twine_obs.Report.to_json machine.Machine.obs)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable baseline: `bench json` / `bench check`             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every metric below is produced on the virtual clock from fixed seeds
+   and a pinned Wasm slowdown factor, so a healthy tree reproduces the
+   committed values exactly; the tolerance bands absorb benign drift
+   when the cost model is retuned deliberately. PolyBench wall-clock
+   metrics carry no band ([tol] omitted): they are recorded for trend
+   inspection but never gate, since CI hardware varies. *)
+
+let baseline_wasm_factor = 2.5
+
+let collect_baseline () =
+  let open Twine_obs in
+  let metrics = ref [] in
+  let put m = metrics := m :: !metrics in
+  (* -- the report workload: every instrumented layer in one run -- *)
+  let () =
+    let machine = Machine.create ~seed:"report" ~epc_bytes:(32 * 4096) () in
+    let rt = Runtime.create machine in
+    Runtime.deploy rt (Twine_wasm.Wat.parse report_wat);
+    let r = Runtime.run rt in
+    let obs = machine.Machine.obs in
+    put (Baseline.v ~tol:0.0 "report.exit_code" r.Runtime.exit_code);
+    put (Baseline.v ~tol:0.02 "report.virtual_ns" (Machine.now_ns machine));
+    List.iter
+      (fun k -> put (Baseline.v ~tol:0.0 ("report." ^ k) (Twine_obs.Obs.value obs k)))
+      [ "sgx.ecall"; "sgx.ocall"; "wasi.hostcall"; "epc.fault"; "epc.hit";
+        "epc.evict"; "ipfs.cache.hit"; "ipfs.cache.miss" ]
+  in
+  (* -- SQLite micro-benchmark sweep, TWINE variant on a file DB -- *)
+  let () =
+    let machine = Machine.create ~seed:"baseline" () in
+    let s =
+      Microbench.sweep ~machine ~wasm_factor:baseline_wasm_factor ~rand_reads:300
+        ~cache_pages:64 Bench_db.Twine_rt Bench_db.File ~sizes:[ 500; 1500 ] ()
+    in
+    List.iter
+      (fun p ->
+        let pfx = Printf.sprintf "micro.twine.file.%d." p.Microbench.records in
+        put (Baseline.v ~tol:0.02 (pfx ^ "insert_ns") p.Microbench.insert_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "seq_read_ns") p.Microbench.seq_read_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "rand_read_ns") p.Microbench.rand_read_ns))
+      s.Microbench.points
+  in
+  (* -- protected-FS breakdown, stock vs optimised (§V-F) -- *)
+  let () =
+    List.iter
+      (fun variant ->
+        let b =
+          Microbench.ipfs_breakdown ~records:800 ~blob_bytes:256 ~samples:500
+            ~wasm_factor:baseline_wasm_factor variant
+        in
+        let name =
+          match variant with
+          | Twine_ipfs.Protected_fs.Stock -> "stock"
+          | Twine_ipfs.Protected_fs.Optimized -> "optimized"
+        in
+        let pfx = "ipfs." ^ name ^ "." in
+        put (Baseline.v ~tol:0.02 (pfx ^ "total_ns") b.Microbench.total_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "memset_ns") b.Microbench.memset_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "ocall_ns") b.Microbench.ocall_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "read_ns") b.Microbench.read_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "sqlite_ns") b.Microbench.sqlite_ns))
+      [ Twine_ipfs.Protected_fs.Stock; Twine_ipfs.Protected_fs.Optimized ]
+  in
+  (* -- PolyBench wall-clock spot checks (informational only) -- *)
+  let () =
+    List.iter
+      (fun k ->
+        let n = Twine_polybench.Suite.run_native k in
+        let w = Twine_polybench.Suite.run_wasm ~engine:`Aot k in
+        let pfx = "polybench." ^ k.Twine_polybench.Kernel_dsl.name ^ "." in
+        put (Baseline.v (pfx ^ "native_wall_ns") n.Twine_polybench.Suite.wall_ns);
+        put (Baseline.v (pfx ^ "aot_wall_ns") w.Twine_polybench.Suite.wall_ns))
+      (List.filter
+         (fun k ->
+           List.mem k.Twine_polybench.Kernel_dsl.name [ "atax"; "trisolv" ])
+         (Twine_polybench.Kernels.all ~scale:0.4 ()))
+  in
+  Baseline.create
+    ~meta:
+      [ ("generator", "bench/main.exe json");
+        ("wasm_factor", string_of_float baseline_wasm_factor);
+        ("note", "virtual-clock metrics; regenerate with: dune exec bench/main.exe -- json") ]
+    (List.rev !metrics)
+
+let default_baseline_file = "BENCH_twine.json"
+
+let bench_json file =
+  let b = collect_baseline () in
+  let oc = open_out file in
+  output_string oc (Twine_obs.Baseline.to_string b);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "bench: wrote %d metric(s) to %s\n"
+    (List.length b.Twine_obs.Baseline.metrics) file
+
+let bench_check file =
+  let baseline =
+    match
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> (
+        match Twine_obs.Baseline.of_string s with
+        | Ok b -> b
+        | Error msg ->
+            Printf.eprintf "bench check: %s: %s\n" file msg;
+            exit 2)
+    | exception Sys_error msg ->
+        Printf.eprintf "bench check: %s\n" msg;
+        exit 2
+  in
+  let current = collect_baseline () in
+  let verdicts = Twine_obs.Baseline.check ~baseline ~current in
+  print_string (Twine_obs.Baseline.render verdicts);
+  if Twine_obs.Baseline.all_ok verdicts then begin
+    Printf.printf "\nbench check: %d metric(s) within tolerance of %s\n"
+      (List.length verdicts) file;
+    exit 0
+  end
+  else begin
+    let failed = List.filter (fun v -> not v.Twine_obs.Baseline.ok) verdicts in
+    Printf.printf "\nbench check: REGRESSION: %d of %d metric(s) out of band:\n"
+      (List.length failed) (List.length verdicts);
+    List.iter
+      (fun v -> Printf.printf "  - %s\n" v.Twine_obs.Baseline.path)
+      failed;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let only = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let argv1 = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let argv2 = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
+  (match argv1 with
+  | Some "json" ->
+      bench_json (Option.value argv2 ~default:default_baseline_file);
+      exit 0
+  | Some "check" -> bench_check (Option.value argv2 ~default:default_baseline_file)
+  | _ -> ());
+  let only = argv1 in
   let want name = match only with None -> true | Some o -> o = name in
   Printf.printf "TWINE reproduction bench harness (simulated SGX; see DESIGN.md)\n";
   if want "fig3" then fig3 ();

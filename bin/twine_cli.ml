@@ -48,7 +48,12 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
            ~doc:"Write the telemetry report as JSON to $(docv) after the run.")
   in
-  let run path no_sgx interp strict dir args stats profile =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a flight-recorder trace of the run and write it as \
+                 Chrome trace-event JSON (loadable in ui.perfetto.dev) to $(docv).")
+  in
+  let run path no_sgx interp strict dir args stats profile trace =
     let module_ = load_module path in
     if no_sgx then begin
       let preopens =
@@ -72,6 +77,11 @@ let run_cmd =
         match dir with
         | Some d -> Twine_ipfs.Backing.directory d
         | None -> Twine_ipfs.Backing.memory ()
+      in
+      let tracer =
+        match trace with
+        | Some _ -> Some (Twine_sgx.Machine.attach_tracer machine)
+        | None -> None
       in
       let rt = Twine.Runtime.create ~config ~backing machine in
       Twine.Runtime.deploy rt module_;
@@ -101,12 +111,22 @@ let run_cmd =
             Printf.eprintf "twine: cannot write profile: %s\n" msg;
             exit 2)
       | None -> ());
+      (match (trace, tracer) with
+      | Some file, Some tr -> (
+          try
+            Twine_obs.Trace_export.to_file ~process_name:"twine-sim" tr file;
+            Printf.eprintf "twine: trace: %d event(s) written to %s (%d dropped)\n"
+              (Twine_obs.Trace.length tr) file (Twine_obs.Trace.dropped tr)
+          with Sys_error msg ->
+            Printf.eprintf "twine: cannot write trace: %s\n" msg;
+            exit 2)
+      | _ -> ());
       exit r.Twine.Runtime.exit_code
     end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a WASI command inside the simulated TWINE enclave.")
-    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats $ profile)
+    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats $ profile $ trace)
 
 (* --- validate --- *)
 

@@ -63,6 +63,7 @@ let charge_untrusted_io t label n =
 let charge_crypto t n =
   let m = machine t in
   Twine_obs.Obs.add m.Machine.obs "ipfs.crypto.bytes" n;
+  Twine_obs.Obs.emit m.Machine.obs ~cat:"ipfs" ~args:[ ("bytes", n) ] "ipfs.crypto";
   Machine.charge m "ipfs.crypto" (Costs.bytes_ns m.costs.aes_ns_per_byte n)
 
 let node_aad idx = "node:" ^ string_of_int idx
@@ -185,11 +186,13 @@ let load_node file idx =
   | Some node ->
       fs.hits <- fs.hits + 1;
       Twine_obs.Obs.inc (obs fs) "ipfs.cache.hit";
+      Twine_obs.Obs.emit (obs fs) ~cat:"ipfs" ~args:[ ("node", idx) ] "ipfs.cache.hit";
       Enclave.touch fs.enclave ~addr:(slot_addr file node.slot) ~len:node_size;
       node
   | None ->
       fs.misses <- fs.misses + 1;
       Twine_obs.Obs.inc (obs fs) "ipfs.cache.miss";
+      Twine_obs.Obs.emit (obs fs) ~cat:"ipfs" ~args:[ ("node", idx) ] "ipfs.cache.miss";
       let slot = idx mod fs.cache_nodes in
       (* Stock IPFS zeroes the whole node structure (two 4 KiB buffers
          plus metadata) before filling it (§V-F). *)

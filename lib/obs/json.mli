@@ -1,0 +1,30 @@
+(** Minimal dependency-free JSON: value type, compact printer,
+    recursive-descent parser. Shared by the trace exporter, the
+    benchmark baselines ({!Baseline}) and the tests validating both. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Integral [Num]s print without a
+    fractional part so counters survive a round-trip textually. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+val parse : string -> (t, string) result
+
+(** {2 Accessors} — [None] on type mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -22,7 +22,12 @@ type span = {
   mutable sp_self_ns : int;  (* total minus time inside child spans *)
 }
 
-type frame = { fr_span : span; fr_start : int; mutable fr_child_ns : int }
+type frame = {
+  fr_span : span;
+  fr_name : string;
+  fr_start : int;
+  mutable fr_child_ns : int;
+}
 
 type t = {
   now : unit -> int;
@@ -30,6 +35,7 @@ type t = {
   histograms : (string, histogram) Hashtbl.t;
   spans : (string, span) Hashtbl.t;
   mutable stack : frame list;
+  mutable tracer : Trace.t option;
 }
 
 let create ?(now = fun () -> 0) () =
@@ -39,6 +45,7 @@ let create ?(now = fun () -> 0) () =
     histograms = Hashtbl.create 32;
     spans = Hashtbl.create 16;
     stack = [];
+    tracer = None;
   }
 
 let reset t =
@@ -46,6 +53,17 @@ let reset t =
   Hashtbl.reset t.histograms;
   Hashtbl.reset t.spans;
   t.stack <- []
+
+(* --- flight recorder attachment --- *)
+
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
+
+let emit t ~cat ?args name =
+  match t.tracer with Some tr -> Trace.instant tr ~cat ?args name | None -> ()
+
+let emit_counter t ~cat name args =
+  match t.tracer with Some tr -> Trace.counter tr ~cat name args | None -> ()
 
 (* --- counters --- *)
 
@@ -93,23 +111,63 @@ let span_cell t name =
       Hashtbl.add t.spans name s;
       s
 
-let in_span t name f =
+let push_frame t name =
   let sp = span_cell t name in
-  let fr = { fr_span = sp; fr_start = t.now (); fr_child_ns = 0 } in
+  let fr = { fr_span = sp; fr_name = name; fr_start = t.now (); fr_child_ns = 0 } in
   t.stack <- fr :: t.stack;
-  Fun.protect
-    ~finally:(fun () ->
-      let elapsed = t.now () - fr.fr_start in
+  (match t.tracer with
+  | Some tr -> Trace.begin_span tr ~cat:"span" name
+  | None -> ());
+  fr
+
+(* Close the topmost frame: account its elapsed time to the span and to
+   the parent's child time, and emit the matching trace End event. *)
+let close_top t ~now =
+  match t.stack with
+  | [] -> ()
+  | fr :: rest ->
+      t.stack <- rest;
+      let elapsed = now - fr.fr_start in
+      let sp = fr.fr_span in
       sp.sp_count <- sp.sp_count + 1;
       sp.sp_total_ns <- sp.sp_total_ns + elapsed;
       sp.sp_self_ns <- sp.sp_self_ns + (elapsed - fr.fr_child_ns);
-      (match t.stack with
-      | top :: rest when top == fr -> t.stack <- rest
-      | _ -> t.stack <- List.filter (fun f -> f != fr) t.stack);
-      match t.stack with
+      (match rest with
       | parent :: _ -> parent.fr_child_ns <- parent.fr_child_ns + elapsed
-      | [] -> ())
-    f
+      | [] -> ());
+      (match t.tracer with
+      | Some tr -> Trace.end_span tr ~cat:"span" fr.fr_name
+      | None -> ())
+
+(* Close [fr] and, first, every frame still open above it. An exit that
+   skips nested exits (a continuation unwinding past inner spans) must
+   close the skipped frames too — popping [fr] alone would silently drop
+   their elapsed time from every ancestor's child accounting and corrupt
+   self-time attribution. If [fr] is not on the stack at all (already
+   closed by an outer out-of-order exit), do nothing. *)
+let close_frame t fr =
+  if List.memq fr t.stack then begin
+    let now = t.now () in
+    let rec pop () =
+      match t.stack with
+      | [] -> ()
+      | top :: _ ->
+          close_top t ~now;
+          if top != fr then pop ()
+    in
+    pop ()
+  end
+
+let in_span t name f =
+  let fr = push_frame t name in
+  Fun.protect ~finally:(fun () -> close_frame t fr) f
+
+let open_span t name = ignore (push_frame t name)
+
+let close_span t name =
+  match List.find_opt (fun fr -> fr.fr_name = name) t.stack with
+  | Some fr -> close_frame t fr
+  | None -> ()
 
 type sstat = { calls : int; total_ns : int; self_ns : int }
 

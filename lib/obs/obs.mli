@@ -13,6 +13,25 @@ val create : ?now:(unit -> int) -> unit -> t
     clock, making spans count-only). *)
 
 val reset : t -> unit
+(** Clears counters, histograms, spans and the span stack. The attached
+    flight recorder (if any) is left alone. *)
+
+(** {2 Flight recorder}
+
+    A registry optionally carries a {!Trace} ring. When one is attached,
+    {!in_span} emits begin/end timeline events, and the instrumented
+    layers emit instants/counters through {!emit}/{!emit_counter}. With
+    no recorder attached every emission is a single [match] — tracing
+    costs nothing when off. *)
+
+val set_tracer : t -> Trace.t option -> unit
+val tracer : t -> Trace.t option
+
+val emit : t -> cat:string -> ?args:(string * int) list -> string -> unit
+(** Record an instant event in the attached recorder, if any. *)
+
+val emit_counter : t -> cat:string -> string -> (string * int) list -> unit
+(** Record a counter-track sample in the attached recorder, if any. *)
 
 (** {2 Counters} *)
 
@@ -35,7 +54,18 @@ val hstat : t -> string -> hstat option
 val in_span : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span. Spans nest: a parent's [self_ns]
     excludes time spent in child spans, so a report can attribute cost to
-    the layer that actually incurred it. Exception-safe. *)
+    the layer that actually incurred it. Exception-safe; an exit that
+    somehow skips nested exits closes the skipped spans too, so child
+    time is never lost from ancestors' self-time attribution. *)
+
+val open_span : t -> string -> unit
+(** Open a span without bracketing a thunk (for spans crossing function
+    boundaries). Prefer {!in_span} where the extent is lexical. *)
+
+val close_span : t -> string -> unit
+(** Close the most recently opened span with this name, first closing
+    any spans still open above it (an out-of-order exit cannot corrupt
+    parent self-time attribution). No-op if no such span is open. *)
 
 type sstat = { calls : int; total_ns : int; self_ns : int }
 

@@ -1,0 +1,64 @@
+(* Export a flight-recorder ring as Chrome trace-event JSON (the JSON
+   Array Format with a [traceEvents] wrapper), directly loadable in
+   ui.perfetto.dev or chrome://tracing.
+
+   The simulator is single-threaded on one virtual clock, so every
+   event lands on pid 1 / tid 1; virtual nanoseconds map onto the
+   format's microsecond [ts] field as a fraction. *)
+
+let phase_string = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Counter -> "C"
+
+let ts_us ns = Json.Num (float_of_int ns /. 1000.)
+
+let event_json (e : Trace.event) =
+  let base =
+    [ ("name", Json.Str e.name);
+      ("cat", Json.Str (if e.cat = "" then "misc" else e.cat));
+      ("ph", Json.Str (phase_string e.phase));
+      ("ts", ts_us e.ts);
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num 1.) ]
+  in
+  let scope =
+    match e.phase with Trace.Instant -> [ ("s", Json.Str "t") ] | _ -> []
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | l ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) l)) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+let metadata ~name value =
+  Json.Obj
+    [ ("name", Json.Str name); ("ph", Json.Str "M"); ("pid", Json.Num 1.);
+      ("tid", Json.Num 1.); ("args", Json.Obj [ ("name", Json.Str value) ]) ]
+
+let to_json ?(process_name = "twine (simulated SGX)") t =
+  let events = List.map event_json (Trace.events t) in
+  let meta =
+    [ metadata ~name:"process_name" process_name;
+      metadata ~name:"thread_name" "virtual clock" ]
+  in
+  Json.Obj
+    [ ("displayTimeUnit", Json.Str "ns");
+      ("traceEvents", Json.Arr (meta @ events));
+      ( "otherData",
+        Json.Obj
+          [ ("recorded", Json.Num (float_of_int (Trace.total t)));
+            ("dropped", Json.Num (float_of_int (Trace.dropped t))) ] ) ]
+
+let to_string ?process_name t = Json.to_string (to_json ?process_name t)
+
+let to_file ?process_name t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ?process_name t);
+      output_char oc '\n')

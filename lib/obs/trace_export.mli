@@ -1,0 +1,14 @@
+(** Chrome trace-event / Perfetto export of a {!Trace} ring.
+
+    The output is the JSON Object Format ([{"traceEvents": [...]}])
+    understood by [ui.perfetto.dev] and [chrome://tracing]: span
+    begin/end pairs become nested slices, instants become markers,
+    counter events become counter tracks. Timestamps are the
+    simulator's virtual nanoseconds expressed in the format's
+    microsecond unit. *)
+
+val to_json : ?process_name:string -> Trace.t -> Json.t
+val to_string : ?process_name:string -> Trace.t -> string
+
+val to_file : ?process_name:string -> Trace.t -> string -> unit
+(** Write [to_string] plus a trailing newline to a path. *)

@@ -69,8 +69,14 @@ let destroy t =
     Epc.release_enclave t.machine.epc t.id
   end
 
+(* One enclave-boundary transition (half an ECALL/OCALL round trip).
+   The flight recorder gets an instant per transition so the timeline
+   shows each boundary crossing, not just the enclosing span. *)
 let crossing t name =
   t.transition_count <- t.transition_count + 1;
+  Twine_obs.Obs.emit t.machine.Machine.obs ~cat:"sgx"
+    ~args:[ ("enclave", t.id); ("transition", t.transition_count) ]
+    (name ^ ".crossing");
   Machine.charge_cycles t.machine name t.machine.costs.transition_cycles
 
 let ecall t ?(name = "sgx.ecall") f =

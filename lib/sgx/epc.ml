@@ -27,6 +27,21 @@ let resident_pages t = Lru.length t.resident
 let record t name =
   match t.obs with Some o -> Twine_obs.Obs.inc o name | None -> ()
 
+(* Timeline events for the paging that the aggregate counters summarise:
+   each fault/eviction lands as an instant tagged with the enclave and
+   page number, plus a resident-pages counter track. Hits stay off the
+   timeline — they dominate event volume and carry no cliff signal. *)
+let trace_paging t name page =
+  match t.obs with
+  | Some o ->
+      Twine_obs.Obs.emit o ~cat:"epc"
+        ~args:
+          [ ("enclave", page lsr 40); ("page", page land ((1 lsl 40) - 1)) ]
+        name;
+      Twine_obs.Obs.emit_counter o ~cat:"epc" "epc.resident"
+        [ ("pages", Lru.length t.resident) ]
+  | None -> ()
+
 let touch t page =
   match Lru.find t.resident page with
   | Some () ->
@@ -39,8 +54,10 @@ let touch t page =
       (match Lru.put t.resident page () with
       | Some _ ->
           t.eviction_count <- t.eviction_count + 1;
-          record t "epc.evict"
+          record t "epc.evict";
+          trace_paging t "epc.evict" page
       | None -> ());
+      trace_paging t "epc.fault" page;
       `Fault
 
 let page_of ~enclave_id ~page_no = (enclave_id lsl 40) lor page_no

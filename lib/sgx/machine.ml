@@ -2,7 +2,6 @@ open Twine_sim
 
 type t = {
   clock : Clock.t;
-  meter : Meter.t;
   obs : Twine_obs.Obs.t;
   mutable costs : Costs.t;
   epc : Epc.t;
@@ -18,7 +17,6 @@ let create ?(costs = Costs.default) ?(epc_bytes = usable_epc_bytes)
   let obs = Twine_obs.Obs.create ~now:(fun () -> Clock.now_ns clock) () in
   {
     clock;
-    meter = Meter.create ();
     obs;
     costs;
     epc = Epc.create ~obs ~limit_bytes:epc_bytes ();
@@ -28,7 +26,6 @@ let create ?(costs = Costs.default) ?(epc_bytes = usable_epc_bytes)
 
 let charge t component ns =
   Clock.advance t.clock ns;
-  Meter.charge t.meter component ns;
   Twine_obs.Obs.observe t.obs component ns
 
 let charge_cycles t component cycles = charge t component (Costs.cycles_ns t.costs cycles)
@@ -36,5 +33,13 @@ let charge_cycles t component cycles = charge t component (Costs.cycles_ns t.cos
 let now_ns t = Clock.now_ns t.clock
 
 let obs t = t.obs
+
+(* Create a flight recorder on the machine's virtual clock and hang it
+   off the telemetry registry, so every instrumented layer starts
+   emitting timeline events. *)
+let attach_tracer ?capacity t =
+  let tr = Twine_obs.Trace.create ?capacity ~now:(fun () -> Clock.now_ns t.clock) () in
+  Twine_obs.Obs.set_tracer t.obs (Some tr);
+  tr
 
 let set_software_mode t = t.costs <- Costs.software_mode t.costs

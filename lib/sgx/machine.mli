@@ -1,13 +1,13 @@
 (** A simulated SGX-capable machine: virtual clock, cost model, EPC, the
-    fused CPU secret from which sealing and attestation keys derive, and a
-    machine-wide meter for time-breakdown experiments. *)
+    fused CPU secret from which sealing and attestation keys derive, and
+    a machine-wide telemetry registry for time-breakdown experiments. *)
 
 type t = {
   clock : Twine_sim.Clock.t;
-  meter : Twine_sim.Meter.t;
   obs : Twine_obs.Obs.t;
-      (** telemetry registry (counters/histograms/spans) on the machine's
-          virtual clock; every layer of the stack records into it *)
+      (** telemetry registry (counters/histograms/spans, optional flight
+          recorder) on the machine's virtual clock; every layer of the
+          stack records into it *)
   mutable costs : Costs.t;
   epc : Epc.t;
   cpu_key : string;  (** 32-byte fused secret (never leaves the package) *)
@@ -19,14 +19,19 @@ val create : ?costs:Costs.t -> ?epc_bytes:int -> ?seed:string -> unit -> t
     (and hence all derived randomness) deterministic. *)
 
 val charge : t -> string -> int -> unit
-(** Advance the clock by [ns] and record it against a meter component and
-    the telemetry cost histogram of the same name. *)
+(** Advance the clock by [ns] and record it in the telemetry cost
+    histogram of the named component. *)
 
 val charge_cycles : t -> string -> int -> unit
 
 val now_ns : t -> int
 
 val obs : t -> Twine_obs.Obs.t
+
+val attach_tracer : ?capacity:int -> t -> Twine_obs.Trace.t
+(** Create a flight recorder on the machine's virtual clock, attach it
+    to the registry and return it; from here on every instrumented
+    layer emits timeline events (export with {!Twine_obs.Trace_export}). *)
 
 val set_software_mode : t -> unit
 (** Switch the cost model to Fig 6's SGX software (simulation) mode. *)

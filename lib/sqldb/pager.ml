@@ -47,8 +47,13 @@ let default_hooks () =
   { on_read = (fun _ -> ()); on_write = (fun _ -> ()); on_access = (fun _ -> ());
     on_work = (fun _ -> ()) }
 
-let record t name =
-  match t.obs with Some o -> Twine_obs.Obs.inc o name | None -> ()
+let record ?page t name =
+  match t.obs with
+  | Some o ->
+      Twine_obs.Obs.inc o name;
+      let args = match page with Some p -> [ ("page", p) ] | None -> [] in
+      Twine_obs.Obs.emit o ~cat:"sqldb" ~args name
+  | None -> ()
 
 let write_header t =
   let b = Bytes.make page_size '\000' in
@@ -57,7 +62,7 @@ let write_header t =
   Bytes.set_int32_le b 12 (Int32.of_int t.freelist);
   t.file.Svfs.v_write ~pos:0 (Bytes.to_string b);
   t.stats_writes <- t.stats_writes + 1;
-  record t "sqldb.page_write";
+  record ~page:0 t "sqldb.page_write";
   t.hooks.on_write 0
 
 let read_header t =
@@ -128,7 +133,7 @@ let n_pages t = t.n_pages
 let write_page_out t i (b : Bytes.t) =
   t.file.Svfs.v_write ~pos:(i * page_size) (Bytes.to_string b);
   t.stats_writes <- t.stats_writes + 1;
-  record t "sqldb.page_write";
+  record ~page:i t "sqldb.page_write";
   t.hooks.on_write i
 
 (* Evict clean pages (LRU first) until within capacity. Dirty pages are
@@ -157,7 +162,7 @@ let read_page t i =
   match Twine_sim.Lru.find t.cache i with
   | Some b ->
       t.stats_hits <- t.stats_hits + 1;
-      record t "sqldb.cache.hit";
+      record ~page:i t "sqldb.cache.hit";
       b
   | None ->
       let raw = t.file.Svfs.v_read ~pos:(i * page_size) ~len:page_size in
@@ -165,8 +170,8 @@ let read_page t i =
       Bytes.blit_string raw 0 b 0 (String.length raw);
       ignore (Twine_sim.Lru.put t.cache i b);
       t.stats_reads <- t.stats_reads + 1;
-      record t "sqldb.cache.miss";
-      record t "sqldb.page_read";
+      record ~page:i t "sqldb.cache.miss";
+      record ~page:i t "sqldb.page_read";
       t.hooks.on_read i;
       evict_if_needed t;
       b
@@ -208,7 +213,7 @@ let journal_page t i =
     Bytes.set_int32_le entry 0 (Int32.of_int i);
     Bytes.blit_string current 0 entry 4 page_size;
     j.Svfs.v_write ~pos:(16 + (t.journal_count * (4 + page_size))) (Bytes.to_string entry);
-    record t "sqldb.journal_write";
+    record ~page:i t "sqldb.journal_write";
     t.journal_count <- t.journal_count + 1;
     let cnt = Bytes.create 4 in
     Bytes.set_int32_le cnt 0 (Int32.of_int t.journal_count);

@@ -250,7 +250,7 @@ let exec t sql =
 let query t sql = (exec t sql).Db.rows
 
 let now_ns t = Machine.now_ns t.machine
-let meter t = t.machine.Machine.meter
+let obs t = t.machine.Machine.obs
 
 let close t =
   Db.close t.db;

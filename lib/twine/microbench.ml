@@ -116,24 +116,31 @@ type breakdown = {
 }
 
 let ipfs_breakdown ?(records = 2000) ?(blob_bytes = 512) ?(samples = 1500)
-    ?(cache_pages = 64) ipfs_variant =
+    ?(cache_pages = 64) ?wasm_factor ipfs_variant =
   let machine = Twine_sgx.Machine.create ~seed:"fig7" () in
   (* point reads of a warmed schema: model prepared statements (as
      Speedtest1 uses), so the SQLite share reflects execution, not SQL
      compilation *)
   let ctx =
-    Bench_db.create ~machine ~cache_pages ~ipfs_variant ~ns_per_work:12.
-      Bench_db.Twine_rt Bench_db.File
+    Bench_db.create ~machine ~cache_pages ~ipfs_variant ?wasm_factor
+      ~ns_per_work:12. Bench_db.Twine_rt Bench_db.File
   in
   ignore (Bench_db.exec ctx schema);
   insert_batch ctx ~from_id:1 ~count:records ~blob_bytes;
-  (* measure only the random-read phase *)
-  Twine_sim.Meter.reset machine.Twine_sgx.Machine.meter;
+  (* measure only the random-read phase: snapshot the cost histograms
+     before it and report the deltas *)
+  let obs = machine.Twine_sgx.Machine.obs in
+  let sum k =
+    match Twine_obs.Obs.hstat obs k with
+    | Some h -> h.Twine_obs.Obs.sum
+    | None -> 0
+  in
+  let keys = [ "ipfs.memset"; "ipfs.ocall"; "wasi.ocall"; "ipfs.read"; "ipfs.crypto"; "sqlite" ] in
+  let before = List.map (fun k -> (k, sum k)) keys in
   let t0 = Bench_db.now_ns ctx in
   rand_read ctx ~records ~samples ~seed:"breakdown";
   let total_ns = Bench_db.now_ns ctx - t0 in
-  let m = machine.Twine_sgx.Machine.meter in
-  let ns k = Twine_sim.Meter.ns m k in
+  let ns k = sum k - List.assoc k before in
   let r =
     {
       ipfs_variant;

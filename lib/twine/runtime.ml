@@ -187,6 +187,7 @@ let run ?(args = [ "app" ]) ?env t =
   | Some (module_, _addr) ->
       (* The single ECALL of §IV-C: enter the enclave, start the runtime,
          execute the WASI start routine. *)
+      Twine_obs.Obs.in_span t.machine.Machine.obs "twine.main" @@ fun () ->
       Enclave.ecall t.enclave ~name:"twine.main" (fun _ ->
           let out = Buffer.create 64 in
           let base = Sgx_host.providers ~strict:t.config.strict_wasi t.enclave in
@@ -208,6 +209,7 @@ let run ?(args = [ "app" ]) ?env t =
           | Aot ->
               let n = Aot.compile_instance inst in
               Twine_obs.Obs.add obs "twine.aot.funcs" n;
+              Twine_obs.Obs.emit obs ~cat:"twine" ~args:[ ("funcs", n) ] "twine.aot";
               Machine.charge t.machine "twine.aot" (n * 1500)
           | Interpreter -> ());
           Api.bind_memory ctx inst;
@@ -250,4 +252,6 @@ let run ?(args = [ "app" ]) ?env t =
           in
           let fuel = Interp.fuel_used inst in
           Twine_obs.Obs.add obs "twine.fuel" fuel;
+          if fuel > 0 then
+            Twine_obs.Obs.emit obs ~cat:"twine" ~args:[ ("fuel", fuel) ] "twine.fuel";
           { exit_code; stdout = Buffer.contents out; fuel })

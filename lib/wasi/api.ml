@@ -273,7 +273,8 @@ let functions t =
           (match t.obs with
           | Some o ->
               Twine_obs.Obs.inc o "wasi.hostcall";
-              Twine_obs.Obs.inc o ("wasi." ^ name)
+              Twine_obs.Obs.inc o ("wasi." ^ name);
+              Twine_obs.Obs.emit o ~cat:"wasi" ("wasi." ^ name)
           | None -> ());
           t.providers.on_call name;
           f args) )

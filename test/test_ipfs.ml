@@ -297,10 +297,13 @@ let test_optimized_is_faster () =
     (Printf.sprintf "optimised (%d ns) beats stock (%d ns)" opt_cost stock_cost)
     true (opt_cost < stock_cost);
   (* the stock variant spends time in memset; the optimised variant none *)
-  Alcotest.(check bool) "stock memsets" true
-    (Twine_sim.Meter.ns stock_m.Machine.meter "ipfs.memset" > 0);
-  Alcotest.(check int) "optimised never memsets" 0
-    (Twine_sim.Meter.ns opt_m.Machine.meter "ipfs.memset")
+  let memset_ns m =
+    match Twine_obs.Obs.hstat m.Machine.obs "ipfs.memset" with
+    | Some h -> h.Twine_obs.Obs.sum
+    | None -> 0
+  in
+  Alcotest.(check bool) "stock memsets" true (memset_ns stock_m > 0);
+  Alcotest.(check int) "optimised never memsets" 0 (memset_ns opt_m)
 
 let test_cache_hit_avoids_ocall () =
   let m, _, _, fs =
@@ -310,14 +313,19 @@ let test_cache_hit_avoids_ocall () =
   in
   let f = Protected_fs.open_file fs ~mode:`Trunc "x" in
   ignore (Protected_fs.write f (String.make 4096 'p'));
-  let ocalls_before = Twine_sim.Meter.count m.Machine.meter "ipfs.ocall" in
+  let ocall_charges () =
+    match Twine_obs.Obs.hstat m.Machine.obs "ipfs.ocall" with
+    | Some h -> h.Twine_obs.Obs.count
+    | None -> 0
+  in
+  let ocalls_before = ocall_charges () in
   let buf = Bytes.create 16 in
   for _ = 1 to 50 do
     ignore (Protected_fs.seek f ~offset:0 ~whence:`Set);
     ignore (Protected_fs.read f buf ~off:0 ~len:16)
   done;
   Alcotest.(check int) "cached reads do not leave the enclave" ocalls_before
-    (Twine_sim.Meter.count m.Machine.meter "ipfs.ocall");
+    (ocall_charges ());
   let hits, _ = Protected_fs.cache_stats fs in
   Alcotest.(check bool) "hits recorded" true (hits >= 50)
 

@@ -101,10 +101,15 @@ let test_software_mode_no_fault_cost () =
   Machine.set_software_mode m;
   let e = Enclave.create m ~heap_bytes:0 ~code:"c" () in
   let addr = Enclave.alloc e (16 * page) in
-  let fault_ns_before = Twine_sim.Meter.ns m.meter "sgx.epc_fault" in
+  let fault_ns () =
+    match Twine_obs.Obs.hstat m.obs "sgx.epc_fault" with
+    | Some h -> h.Twine_obs.Obs.sum
+    | None -> 0
+  in
+  let fault_ns_before = fault_ns () in
   Enclave.touch e ~addr ~len:(16 * page);
   Alcotest.(check int) "no paging cost in software mode" fault_ns_before
-    (Twine_sim.Meter.ns m.meter "sgx.epc_fault")
+    (fault_ns ())
 
 let test_destroyed_enclave () =
   let m = fresh_machine () in

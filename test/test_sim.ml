@@ -1,4 +1,6 @@
-(* Simulation substrate: virtual clock, meter, LRU cache. *)
+(* Simulation substrate: virtual clock, LRU cache. (The former Meter
+   accumulators were folded into the Twine_obs registry — see
+   test_obs.ml for the accounting coverage.) *)
 
 open Twine_sim
 
@@ -11,23 +13,6 @@ let test_clock_basic () =
   Alcotest.(check int) "elapsed" 50 (Clock.elapsed_since c 100);
   Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative")
     (fun () -> Clock.advance c (-1))
-
-let test_meter () =
-  let m = Meter.create () in
-  Meter.charge m "io" 10;
-  Meter.charge m "io" 20;
-  Meter.charge m "cpu" 5;
-  Meter.bump m "events";
-  Alcotest.(check int) "io ns" 30 (Meter.ns m "io");
-  Alcotest.(check int) "io count" 2 (Meter.count m "io");
-  Alcotest.(check int) "events count" 1 (Meter.count m "events");
-  Alcotest.(check int) "events ns" 0 (Meter.ns m "events");
-  Alcotest.(check int) "absent" 0 (Meter.ns m "nothing");
-  Alcotest.(check int) "total" 35 (Meter.total_ns m);
-  Alcotest.(check (list string)) "snapshot keys" [ "cpu"; "events"; "io" ]
-    (List.map fst (Meter.snapshot m));
-  Meter.reset m;
-  Alcotest.(check int) "reset" 0 (Meter.total_ns m)
 
 let test_lru_basic () =
   let l = Lru.create ~capacity:2 () in
@@ -131,7 +116,6 @@ let qc = QCheck_alcotest.to_alcotest
 
 let suite =
   [ ("clock", [ Alcotest.test_case "basic" `Quick test_clock_basic ]);
-    ("meter", [ Alcotest.test_case "charge/count/reset" `Quick test_meter ]);
     ("lru", [
       Alcotest.test_case "insert/evict" `Quick test_lru_basic;
       Alcotest.test_case "update promotes" `Quick test_lru_update_promotes;
