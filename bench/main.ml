@@ -13,6 +13,8 @@
      ablate  design-choice ablations (page cache, node cache, engines)
      micro   Bechamel wall-clock micro-benchmarks of core primitives
      report  per-run telemetry report of a WASI-heavy workload (table+JSON)
+     profile guest-level profiler: hot functions, interp-vs-AoT parity,
+             folded stacks written to polybench-atax.folded
 
    Run everything with `dune exec bench/main.exe`, or a single section by
    passing its name (e.g. `dune exec bench/main.exe fig5`).
@@ -630,6 +632,68 @@ let report () =
   print_endline (Twine_obs.Report.to_json machine.Machine.obs)
 
 (* ------------------------------------------------------------------ *)
+(* Guest profiler: hot functions + engine parity                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Shadow-stack hooks for a bare [Suite.run_wasm] instance: the namer
+   resolves through the module's name section (Builder records "kernel"
+   there), fuel comes from the engine's own meter. *)
+let profile_hooks prof (inst : Twine_wasm.Instance.t) =
+  Twine_obs.Profile.set_namer prof (fun i ->
+      match Twine_wasm.Ast.func_name inst.Twine_wasm.Instance.module_ i with
+      | Some n -> n
+      | None -> Printf.sprintf "func[%d]" i);
+  {
+    Twine_wasm.Instance.on_enter =
+      (fun i ->
+        Twine_obs.Profile.enter prof ~fuel:inst.Twine_wasm.Instance.fuel_used i);
+    Twine_wasm.Instance.on_exit =
+      (fun i ->
+        Twine_obs.Profile.exit prof ~fuel:inst.Twine_wasm.Instance.fuel_used i);
+  }
+
+let profiled_kernel ~engine k =
+  let prof = Twine_obs.Profile.create () in
+  let r = Twine_polybench.Suite.run_wasm ~hooks:(profile_hooks prof) ~engine k in
+  (prof, r)
+
+let profile_folded_file = "polybench-atax.folded"
+
+let profile_section () =
+  section "Guest profiler: calling-context attribution (CCT + folded stacks)";
+  let k =
+    match
+      Twine_polybench.Kernels.find "atax" (Twine_polybench.Kernels.all ~scale:0.4 ())
+    with
+    | Some k -> k
+    | None -> failwith "atax kernel missing"
+  in
+  let prof_i, ri = profiled_kernel ~engine:`Interp k in
+  let prof_a, ra = profiled_kernel ~engine:`Aot k in
+  Printf.printf "atax: interp %d instr, AoT %d instr — %s\n" ri.Twine_polybench.Suite.fuel
+    ra.Twine_polybench.Suite.fuel
+    (if
+       ri.Twine_polybench.Suite.fuel = ra.Twine_polybench.Suite.fuel
+       && Twine_obs.Profile.functions prof_i = Twine_obs.Profile.functions prof_a
+     then "engines agree (per-function parity)"
+     else "ENGINE MISMATCH");
+  print_string (Twine_obs.Report.profile_table prof_a);
+  Twine_obs.Trace_export.folded_to_file prof_a profile_folded_file;
+  Printf.printf "folded stacks -> %s\n" profile_folded_file;
+  (* the WASI-heavy report workload, profiled through the runtime: shows
+     hostcall time attributed to the calling guest frame *)
+  let machine = Machine.create ~seed:"report" ~epc_bytes:(32 * 4096) () in
+  let rt = Runtime.create machine in
+  Runtime.deploy rt (Twine_wasm.Wat.parse report_wat);
+  let prof =
+    Twine_obs.Profile.create ~now:(fun () -> Machine.now_ns machine) ()
+  in
+  let r = Runtime.run ~profile:prof rt in
+  Printf.printf "\nreport workload (exit %d, %d instr):\n" r.Runtime.exit_code
+    r.Runtime.fuel;
+  print_string (Twine_obs.Report.profile_table prof)
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable baseline: `bench json` / `bench check`             *)
 (* ------------------------------------------------------------------ *)
 
@@ -654,6 +718,9 @@ let collect_baseline () =
     let r = Runtime.run rt in
     let obs = machine.Machine.obs in
     put (Baseline.v ~tol:0.0 "report.exit_code" r.Runtime.exit_code);
+    (* exact guest instruction count: deterministic in both engines, so
+       any drift is an engine regression that time bands would miss *)
+    put (Baseline.v ~tol:0.0 "report.fuel" r.Runtime.fuel);
     put (Baseline.v ~tol:0.02 "report.virtual_ns" (Machine.now_ns machine));
     List.iter
       (fun k -> put (Baseline.v ~tol:0.0 ("report." ^ k) (Twine_obs.Obs.value obs k)))
@@ -704,7 +771,9 @@ let collect_baseline () =
         let w = Twine_polybench.Suite.run_wasm ~engine:`Aot k in
         let pfx = "polybench." ^ k.Twine_polybench.Kernel_dsl.name ^ "." in
         put (Baseline.v (pfx ^ "native_wall_ns") n.Twine_polybench.Suite.wall_ns);
-        put (Baseline.v (pfx ^ "aot_wall_ns") w.Twine_polybench.Suite.wall_ns))
+        put (Baseline.v (pfx ^ "aot_wall_ns") w.Twine_polybench.Suite.wall_ns);
+        (* exact: instruction totals are deterministic and engine-equal *)
+        put (Baseline.v ~tol:0.0 (pfx ^ "fuel") w.Twine_polybench.Suite.fuel))
       (List.filter
          (fun k ->
            List.mem k.Twine_polybench.Kernel_dsl.name [ "atax"; "trisolv" ])
@@ -798,4 +867,5 @@ let () =
   if want "ablate" then ablate ();
   if want "micro" then bechamel_suite ();
   if want "report" then report ();
+  if want "profile" then profile_section ();
   Printf.printf "\ndone.\n"

@@ -53,7 +53,17 @@ let run_cmd =
            ~doc:"Record a flight-recorder trace of the run and write it as \
                  Chrome trace-event JSON (loadable in ui.perfetto.dev) to $(docv).")
   in
-  let run path no_sgx interp strict dir args stats profile trace =
+  let profile_wasm =
+    Arg.(value & opt ~vopt:(Some "profile.folded") (some string) None
+         & info [ "profile-wasm" ] ~docv:"FILE"
+             ~doc:"Profile the guest: per-function instruction and \
+                   virtual-cycle attribution on a shadow call stack. Prints \
+                   a hot-function table to stderr and writes folded stacks \
+                   (flamegraph.pl / speedscope input) to $(docv) (default \
+                   profile.folded). Combine with $(b,--trace) to see guest \
+                   frames in Perfetto.")
+  in
+  let run path no_sgx interp strict dir args stats profile trace profile_wasm =
     let module_ = load_module path in
     if no_sgx then begin
       let preopens =
@@ -83,9 +93,42 @@ let run_cmd =
         | Some _ -> Some (Twine_sgx.Machine.attach_tracer machine)
         | None -> None
       in
+      let prof =
+        match profile_wasm with
+        | Some _ ->
+            Some
+              (Twine_obs.Profile.create ?tracer
+                 ~now:(fun () -> Twine_sgx.Machine.now_ns machine)
+                 ())
+        | None -> None
+      in
       let rt = Twine.Runtime.create ~config ~backing machine in
       Twine.Runtime.deploy rt module_;
-      let r = Twine.Runtime.run ~args:(Filename.basename path :: args) rt in
+      let write_wasm_profile () =
+        match (profile_wasm, prof) with
+        | Some file, Some p -> (
+            try
+              Twine_obs.Trace_export.folded_to_file p file;
+              prerr_string (Twine_obs.Report.profile_table p);
+              Printf.eprintf "twine: wasm profile: %d instruction(s) over %d function(s); \
+                              folded stacks in %s\n"
+                (Twine_obs.Profile.total_fuel p)
+                (List.length (Twine_obs.Profile.functions p))
+                file
+            with Sys_error msg ->
+              Printf.eprintf "twine: cannot write wasm profile: %s\n" msg;
+              exit 2)
+        | _ -> ()
+      in
+      let r =
+        try Twine.Runtime.run ~args:(Filename.basename path :: args) ?profile:prof rt
+        with Twine_wasm.Values.Trap _ as e ->
+          Printf.eprintf "twine: guest trap: %s\n" (Twine_wasm.Interp.trap_message e);
+          (* the profile up to the trap point is still valid (the shadow
+             stack unwinds on the way out) — write it for post-mortems *)
+          write_wasm_profile ();
+          exit 134
+      in
       print_string r.Twine.Runtime.stdout;
       if stats then begin
         Printf.eprintf "-- twine stats --\n";
@@ -98,13 +141,15 @@ let run_cmd =
           (float_of_int (Twine_sgx.Machine.now_ns machine) /. 1e6);
         prerr_newline ();
         prerr_string
-          (Twine_obs.Report.render machine.Twine_sgx.Machine.obs)
+          (Twine_obs.Report.render ?profile:prof machine.Twine_sgx.Machine.obs)
       end;
+      write_wasm_profile ();
       (match profile with
       | Some file -> (
           try
             let oc = open_out file in
-            output_string oc (Twine_obs.Report.to_json machine.Twine_sgx.Machine.obs);
+            output_string oc
+              (Twine_obs.Report.to_json ?profile:prof machine.Twine_sgx.Machine.obs);
             output_char oc '\n';
             close_out oc
           with Sys_error msg ->
@@ -126,7 +171,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a WASI command inside the simulated TWINE enclave.")
-    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats $ profile $ trace)
+    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats $ profile
+          $ trace $ profile_wasm)
 
 (* --- validate --- *)
 

@@ -28,7 +28,30 @@ let rates counters =
       else None)
     prefixes
 
-let render ?(title = "per-run cost report") obs =
+(* Top-N flat view of a guest profile, hottest self-instruction first.
+   Shared by [render] and the CLI's --profile-wasm summary. *)
+let profile_table ?(top = 10) prof =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let fns = Profile.functions prof in
+  let total = Profile.total_fuel prof in
+  line "-- hot wasm functions --";
+  line "%-24s %8s %12s %12s %10s %10s %6s" "function" "calls" "self-instr"
+    "total-instr" "self(ms)" "total(ms)" "self%";
+  let shown = List.filteri (fun i _ -> i < top) fns in
+  List.iter
+    (fun (f : Profile.fn) ->
+      line "%-24s %8d %12d %12d %10.4f %10.4f %5.1f%%" f.Profile.fn_name
+        f.Profile.calls f.Profile.self_fuel f.Profile.total_fuel
+        (ms f.Profile.self_cycles) (ms f.Profile.total_cycles)
+        (if total = 0 then 0.
+         else 100. *. float_of_int f.Profile.self_fuel /. float_of_int total))
+    shown;
+  let rest = List.length fns - List.length shown in
+  if rest > 0 then line "  ... and %d more function(s)" rest;
+  Buffer.contents b
+
+let render ?(title = "per-run cost report") ?profile obs =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   line "== %s ==" title;
@@ -56,6 +79,9 @@ let render ?(title = "per-run cost report") obs =
         line "%-28s %10d %12.4f %12.4f" name s.calls (ms s.total_ns) (ms s.self_ns))
       spans
   end;
+  (match profile with
+  | Some prof -> Buffer.add_string b (profile_table prof)
+  | None -> ());
   Buffer.contents b
 
 (* --- JSON --- *)
@@ -85,11 +111,30 @@ let json_obj b fields =
     fields;
   Buffer.add_char b '}'
 
-let to_json obs =
+let to_json ?profile obs =
   let b = Buffer.create 1024 in
   let int n buf = Buffer.add_string buf (string_of_int n) in
+  let profile_fields =
+    match profile with
+    | None -> []
+    | Some prof ->
+        [ ( "wasm_profile",
+            fun buf ->
+              json_obj buf
+                (List.map
+                   (fun (f : Profile.fn) ->
+                     ( f.Profile.fn_name,
+                       fun buf ->
+                         json_obj buf
+                           [ ("calls", int f.Profile.calls);
+                             ("self_instr", int f.Profile.self_fuel);
+                             ("total_instr", int f.Profile.total_fuel);
+                             ("self_ns", int f.Profile.self_cycles);
+                             ("total_ns", int f.Profile.total_cycles) ] ))
+                   (Profile.functions prof)) ) ]
+  in
   json_obj b
-    [
+    ([
       ( "counters",
         fun buf ->
           json_obj buf (List.map (fun (k, v) -> (k, int v)) (Obs.counters obs)) );
@@ -115,5 +160,6 @@ let to_json obs =
                        [ ("calls", int s.calls); ("total_ns", int s.total_ns);
                          ("self_ns", int s.self_ns) ] ))
                (Obs.spans obs)) );
-    ];
+    ]
+    @ profile_fields);
   Buffer.contents b

@@ -1,10 +1,17 @@
 (** Render a per-run cost breakdown from an {!Obs} registry. *)
 
-val render : ?title:string -> Obs.t -> string
+val render : ?title:string -> ?profile:Profile.t -> Obs.t -> string
 (** Aligned text table: counters (with derived cache hit rates for any
     [<p>.hit]/[<p>.miss] or [<p>.hit]/[<p>.fault] counter pair), cost
-    histograms and span timings. *)
+    histograms and span timings. With [profile], appends the guest
+    hot-function table ({!profile_table}). *)
 
-val to_json : Obs.t -> string
+val profile_table : ?top:int -> Profile.t -> string
+(** Top-N (default 10) guest functions by self instruction count:
+    calls, self/total instructions, self/total virtual-clock ms, and
+    self share of all attributed instructions. *)
+
+val to_json : ?profile:Profile.t -> Obs.t -> string
 (** The same data as a single machine-readable JSON object with
-    [counters], [histograms] and [spans] members. *)
+    [counters], [histograms] and [spans] members — plus [wasm_profile]
+    (per-function calls/instructions/ns) when [profile] is given. *)

@@ -62,3 +62,27 @@ let to_file ?process_name t path =
     (fun () ->
       output_string oc (to_string ?process_name t);
       output_char oc '\n')
+
+(* --- folded stacks (flamegraph text format) --- *)
+
+(* One line per distinct call path: "outer;mid;leaf <self-weight>".
+   This is the input format of flamegraph.pl / inferno / speedscope.
+   Lines are sorted so the output is a canonical, diffable artifact. *)
+let folded ?(metric = `Fuel) prof =
+  let lines = ref [] in
+  Profile.iter prof (fun ~stack ~calls:_ ~self_fuel ~self_cycles ->
+      let v = match metric with `Fuel -> self_fuel | `Cycles -> self_cycles in
+      if v > 0 then
+        lines :=
+          (String.concat ";" (List.map (Profile.name prof) stack), v) :: !lines);
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (path, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" path v))
+    (List.sort compare !lines);
+  Buffer.contents b
+
+let folded_to_file ?metric prof path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (folded ?metric prof))

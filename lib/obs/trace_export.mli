@@ -12,3 +12,12 @@ val to_string : ?process_name:string -> Trace.t -> string
 
 val to_file : ?process_name:string -> Trace.t -> string -> unit
 (** Write [to_string] plus a trailing newline to a path. *)
+
+val folded : ?metric:[ `Fuel | `Cycles ] -> Profile.t -> string
+(** Folded-stack (flamegraph) text of a guest profile: one
+    ["outer;mid;leaf weight"] line per distinct call path, sorted,
+    weighted by self instructions ([`Fuel], default) or self
+    virtual-clock ns ([`Cycles]). Zero-weight paths are omitted; the
+    result feeds flamegraph.pl, inferno or speedscope directly. *)
+
+val folded_to_file : ?metric:[ `Fuel | `Cycles ] -> Profile.t -> string -> unit

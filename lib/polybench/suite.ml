@@ -3,7 +3,11 @@
 
 open Twine_wasm
 
-type run_result = { wall_ns : int; outputs : (int * float array) list }
+type run_result = {
+  wall_ns : int;
+  fuel : int;  (* guest instructions executed (0 for native runs) *)
+  outputs : (int * float array) list;
+}
 
 let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
 
@@ -12,19 +16,31 @@ let run_native (k : Kernel_dsl.kernel) =
   let t0 = now_ns () in
   run ();
   let wall_ns = now_ns () - t0 in
-  { wall_ns; outputs = List.map (fun id -> (id, Array.copy (arr id))) k.out_arrays }
+  {
+    wall_ns;
+    fuel = 0;
+    outputs = List.map (fun id -> (id, Array.copy (arr id))) k.out_arrays;
+  }
 
-let run_wasm ~engine (k : Kernel_dsl.kernel) =
+(* [hooks] lets a caller attach a call-boundary observer (e.g. the guest
+   profiler in twine_obs, which this library does not depend on); it is
+   detached before returning. *)
+let run_wasm ?hooks ~engine (k : Kernel_dsl.kernel) =
   let m, lay = Kernel_dsl.comp_wasm k in
   let inst = Interp.instantiate m in
   (match engine with
   | `Aot -> ignore (Aot.compile_instance inst)
   | `Interp -> ());
+  (match hooks with
+  | Some mk -> inst.Instance.hooks <- Some (mk inst)
+  | None -> ());
   let t0 = now_ns () in
-  ignore (Interp.invoke inst "kernel" []);
+  let finally () = inst.Instance.hooks <- None in
+  Fun.protect ~finally (fun () -> ignore (Interp.invoke inst "kernel" []));
   let wall_ns = now_ns () - t0 in
   {
     wall_ns;
+    fuel = Interp.fuel_used inst;
     outputs =
       List.map (fun id -> (id, Kernel_dsl.read_wasm_array inst lay k id)) k.out_arrays;
   }

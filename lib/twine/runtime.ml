@@ -178,10 +178,28 @@ let install_memory_hook enclave ~base ?committed mem =
 type run_outcome = {
   exit_code : int;
   stdout : string;
-  fuel : int;  (* instructions executed (interpreter metering) *)
+  fuel : int;  (* instructions executed (metered identically by both engines) *)
 }
 
-let run ?(args = [ "app" ]) ?env t =
+(* Shadow-call-stack hooks for the guest profiler: enter/exit at every
+   Wasm activation, feeding the engine's cumulative fuel counter so the
+   profiler can attribute instruction deltas. Host functions push no
+   frame — their virtual-clock cost lands in the calling Wasm frame. *)
+let attach_profile prof (module_ : Ast.module_) (inst : Instance.t) =
+  Twine_obs.Profile.set_namer prof (fun i ->
+      match Ast.func_name module_ i with
+      | Some n -> n
+      | None -> Printf.sprintf "func[%d]" i);
+  inst.Instance.hooks <-
+    Some
+      {
+        Instance.on_enter =
+          (fun i -> Twine_obs.Profile.enter prof ~fuel:inst.Instance.fuel_used i);
+        Instance.on_exit =
+          (fun i -> Twine_obs.Profile.exit prof ~fuel:inst.Instance.fuel_used i);
+      }
+
+let run ?(args = [ "app" ]) ?env ?profile t =
   match t.deployed with
   | None -> raise (Deploy_error "no module deployed")
   | Some (module_, _addr) ->
@@ -239,7 +257,13 @@ let run ?(args = [ "app" ]) ?env t =
           end;
           install_memory_hook t.enclave ~base:region.base
             ~committed:region.committed mem;
-          let finally () = (Memory.on_access mem) := None in
+          (match profile with
+          | Some prof -> attach_profile prof module_ inst
+          | None -> ());
+          let finally () =
+            (Memory.on_access mem) := None;
+            inst.Instance.hooks <- None
+          in
           let exit_code =
             Fun.protect ~finally (fun () ->
                 match Instance.export_func inst "_start" with

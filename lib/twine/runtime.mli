@@ -80,9 +80,21 @@ val install_memory_hook :
 type run_outcome = {
   exit_code : int;
   stdout : string;
-  fuel : int;  (** instructions executed (interpreter metering; 0 for AoT) *)
+  fuel : int;
+      (** guest instructions executed; both engines meter identically,
+          so this is engine-independent on deterministic workloads *)
 }
 
-val run : ?args:string list -> ?env:(string * string) list -> t -> run_outcome
+val run :
+  ?args:string list ->
+  ?env:(string * string) list ->
+  ?profile:Twine_obs.Profile.t ->
+  t ->
+  run_outcome
 (** Execute the deployed module's WASI start routine inside one ECALL.
+    With [profile], a shadow call stack is maintained at every guest
+    function entry/exit and per-function instruction/cycle attribution
+    is recorded into the profiler (symbols from the module's name
+    section; hostcall time charged to the calling Wasm frame). The
+    hooks are detached when the call returns.
     @raise Deploy_error if nothing is deployed or [_start] is missing. *)

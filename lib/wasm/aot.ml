@@ -24,9 +24,18 @@ let underflow () = trap "aot: stack underflow"
 let eff base (m : memarg) =
   (Int32.to_int (Int32.logand base 0xffffffffl) land 0xffffffff) + m.offset
 
+(* Mirror the interpreter's metering exactly: one fuel unit charged as
+   each instruction begins executing (so a trapping run charges the same
+   prefix in both engines). Loops re-enter their body without recharging
+   the loop instruction itself, as in [Interp.exec_block]. *)
+let metered inst (s : step) : step =
+ fun l stack ->
+  inst.fuel_used <- inst.fuel_used + 1;
+  s l stack
+
 (* Compile a sequence into a single step. *)
 let rec compile_seq inst instrs : step =
-  match List.map (compile_instr inst) instrs with
+  match List.map (fun i -> metered inst (compile_instr inst i)) instrs with
   | [] -> fun _ stack -> stack
   | [ s ] -> s
   | [ s1; s2 ] -> fun l stack -> s2 l (s1 l stack)

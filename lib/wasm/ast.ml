@@ -105,6 +105,10 @@ type module_ = {
   start : int option;
   elems : elem list;
   datas : data list;
+  names : (int * string) list;
+      (* debug names by function index (the "name" custom section),
+         sorted by index; kept out of the semantic sections so codecs
+         may drop it without changing behaviour *)
 }
 
 let empty_module =
@@ -119,6 +123,7 @@ let empty_module =
     start = None;
     elems = [];
     datas = [];
+    names = [];
   }
 
 (* Number of imported items of each kind, giving index bases. *)
@@ -129,6 +134,33 @@ let imported_funcs m =
 let imported_globals m =
   List.length
     (List.filter (fun i -> match i.imp_desc with Import_global _ -> true | _ -> false) m.imports)
+
+(* Symbolic name of a function by its (global) function index: the name
+   custom section first, then an export name, then "module.name" for
+   imports. Profilers and trap messages use this so output is readable
+   whenever any symbol source survives in the module. *)
+let func_name m idx =
+  match List.assoc_opt idx m.names with
+  | Some n -> Some n
+  | None -> (
+      match
+        List.find_map
+          (fun e ->
+            match e.exp_desc with
+            | Export_func i when i = idx -> Some e.exp_name
+            | _ -> None)
+          m.exports
+      with
+      | Some n -> Some n
+      | None ->
+          let rec nth_func_import k = function
+            | [] -> None
+            | ({ imp_desc = Import_func _; _ } as im) :: rest ->
+                if k = 0 then Some (im.imp_module ^ "." ^ im.imp_name)
+                else nth_func_import (k - 1) rest
+            | _ :: rest -> nth_func_import k rest
+          in
+          if idx < imported_funcs m then nth_func_import idx m.imports else None)
 
 (* Type index of a function by its (global) function index. *)
 let func_type_idx m idx =

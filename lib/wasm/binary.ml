@@ -400,6 +400,23 @@ let encode (m : module_) =
       m.datas
   end;
   section out 11 b;
+  (* name custom section (function-name subsection only) *)
+  let b = Buffer.create 64 in
+  if m.names <> [] then begin
+    emit_name b "name";
+    let sub = Buffer.create 64 in
+    let names = List.sort compare m.names in
+    emit_u32 sub (List.length names);
+    List.iter
+      (fun (idx, n) ->
+        emit_u32 sub idx;
+        emit_name sub n)
+      names;
+    Buffer.add_char b '\x01';
+    emit_u32 b (Buffer.length sub);
+    Buffer.add_buffer b sub
+  end;
+  section out 0 b;
   Buffer.contents out
 
 (* --- decoding --- *)
@@ -549,6 +566,10 @@ let decode src =
     let id = byte r in
     let size = read_u32 r in
     let section_end = r.pos + size in
+    (* Section framing must fit the input even for custom sections: the
+       name-section leniency below applies to its contents, not to a
+       truncated module. *)
+    if section_end > String.length src then fail "section %d overruns input" id;
     (match id with
     | 1 ->
         let n = read_u32 r in
@@ -669,9 +690,35 @@ let decode src =
         in
         m := { !m with datas }
     | 0 ->
-        (* custom section: skip *)
+        (* Custom sections carry no semantics; only "name" (function
+           namemap) is understood. Per the spec, a malformed name
+           section must not fail the module, so decode errors inside it
+           just abandon the section. *)
+        (try
+           if read_name r = "name" then
+             while r.pos < section_end do
+               let sub_id = byte r in
+               let sub_size = read_u32 r in
+               let sub_end = r.pos + sub_size in
+               if sub_end > section_end then fail "name subsection overruns section";
+               if sub_id = 1 then begin
+                 let n = read_u32 r in
+                 let names = ref (!m).names in
+                 for _ = 1 to n do
+                   let idx = read_u32 r in
+                   let nm = read_name r in
+                   if r.pos > sub_end then fail "name entry overruns subsection";
+                   names := (idx, nm) :: List.remove_assoc idx !names
+                 done;
+                 m := { !m with names = List.sort compare !names }
+               end;
+               r.pos <- sub_end
+             done
+         with Decode_error _ -> ());
         r.pos <- section_end
     | id -> fail "unknown section id %d" id);
     if r.pos <> section_end then fail "section %d: size mismatch" id
   done;
   !m
+
+let func_name = Ast.func_name

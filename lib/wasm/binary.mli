@@ -1,11 +1,17 @@
 (** WebAssembly binary format (.wasm) encoder and decoder.
 
     [encode] produces a spec-conformant binary module; [decode] parses one
-    back (MVP + sign-extension operators). Round-tripping an AST through
+    back (MVP + sign-extension operators), including the "name" custom
+    section's function namemap. Round-tripping an AST through
     encode/decode is the identity up to type-index normalisation. *)
 
 exception Decode_error of string
 
 val encode : Ast.module_ -> string
 val decode : string -> Ast.module_
-(** @raise Decode_error on malformed input. *)
+(** @raise Decode_error on malformed input. A malformed name custom
+    section is ignored rather than rejected, as the spec requires. *)
+
+val func_name : Ast.module_ -> int -> string option
+(** Symbolic name for a function index: the decoded name section, then
+    an export name, then ["module.name"] for imports ({!Ast.func_name}). *)

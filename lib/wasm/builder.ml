@@ -16,6 +16,7 @@ type t = {
   mutable start : int option;
   mutable elems : elem list;
   mutable datas : data list;
+  mutable names : (int * string) list;  (* reversed; debug names by func index *)
   mutable sealed_imports : bool;
 }
 
@@ -35,6 +36,7 @@ let create () =
     start = None;
     elems = [];
     datas = [];
+    names = [];
     sealed_imports = false;
   }
 
@@ -63,13 +65,20 @@ let import_func t ~module_ ~name ~params ~results =
 let export_func t name idx =
   t.exports <- { exp_name = name; exp_desc = Export_func idx } :: t.exports
 
+let set_func_name t idx name =
+  t.names <- (idx, name) :: List.remove_assoc idx t.names
+
 let add_func t ?name ~params ~results ~locals body =
   t.sealed_imports <- true;
   let ti = add_type t ~params ~results in
   t.funcs <- { ftype = ti; locals; body } :: t.funcs;
   t.n_funcs <- t.n_funcs + 1;
   let idx = t.n_import_funcs + t.n_funcs - 1 in
-  (match name with Some n -> export_func t n idx | None -> ());
+  (match name with
+  | Some n ->
+      export_func t n idx;
+      set_func_name t idx n
+  | None -> ());
   idx
 
 let add_memory t ?export ?max min =
@@ -109,6 +118,7 @@ let build t =
     start = t.start;
     elems = t.elems;
     datas = t.datas;
+    names = List.sort compare t.names;
   }
 
 let i32 n = I32_const (Int32.of_int n)

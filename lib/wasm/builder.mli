@@ -23,8 +23,13 @@ val import_func : t -> module_:string -> name:string -> params:valtype list ->
 val add_func :
   t -> ?name:string -> params:valtype list -> results:valtype list ->
   locals:valtype list -> instr list -> int
-(** Add a local function (optionally exported as [name]); returns its
-    function index. In the body, locals are indexed params-first. *)
+(** Add a local function (optionally exported as [name], which is also
+    recorded as its debug name); returns its function index. In the
+    body, locals are indexed params-first. *)
+
+val set_func_name : t -> int -> string -> unit
+(** Record a debug name for a function index (the "name" custom
+    section; see {!Ast.func_name}). Replaces any previous name. *)
 
 val add_memory : t -> ?export:string -> ?max:int -> int -> unit
 (** [add_memory t n] declares a memory of [n] (minimum) pages. *)

@@ -16,6 +16,9 @@ type t = {
   globals : global_inst array;
   exports : (string, export_desc) Hashtbl.t;
   mutable fuel_used : int;  (* executed instruction counter (metering) *)
+  mutable hooks : hooks option;
+      (* call-boundary observer (shadow call stack); [None] costs one
+         branch per call *)
 }
 
 and func_inst =
@@ -27,8 +30,16 @@ and wasm_func = {
   w_locals : valtype list;
   w_body : instr list;
   w_owner : t;
+  w_index : int;  (* function index in the owner (for names/profiling) *)
   mutable w_compiled : (value array -> value list) option;
 }
+
+(* Invoked by [Interp.call_func] around every Wasm-function activation,
+   in both engines (compiled bodies are entered through the same path).
+   [on_exit] also runs when the function unwinds with an exception, so
+   the observer's shadow stack stays balanced across traps. Host
+   functions get no events: their cost accrues to the calling frame. *)
+and hooks = { on_enter : int -> unit; on_exit : int -> unit }
 
 and global_inst = { g_mut : mut; mutable g_value : value }
 
@@ -124,18 +135,21 @@ let build ?(imports : imports = []) (m : module_) =
       globals;
       exports;
       fuel_used = 0;
+      hooks = None;
     }
   in
+  let n_imported = Array.length imported_funcs in
   inst.funcs <-
     Array.append imported_funcs
-      (Array.map
-         (fun (f : Ast.func) ->
+      (Array.mapi
+         (fun i (f : Ast.func) ->
            Wasm
              {
                w_type = m.types.(f.ftype);
                w_locals = f.locals;
                w_body = f.body;
                w_owner = inst;
+               w_index = n_imported + i;
                w_compiled = None;
              })
          m.funcs);

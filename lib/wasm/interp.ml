@@ -12,6 +12,43 @@ exception Return_values of value list
 
 type frame = { locals : value array; inst : Instance.t }
 
+(* Guest context of the most recent trap, accumulated as the [Trap]
+   exception unwinds through [call_func] frames (innermost first). The
+   exception itself is left untouched — its message is part of the
+   engine's observable behaviour — so the backtrace rides out-of-band,
+   keyed by physical identity of the exception value: a fresh trap
+   replaces the recorded context, a re-raise extends it. *)
+let trap_state : (exn * string list) option ref = ref None
+let max_trap_frames = 32
+
+let frame_name (w : wasm_func) =
+  match Ast.func_name w.w_owner.module_ w.w_index with
+  | Some n -> n
+  | None -> Printf.sprintf "func[%d]" w.w_index
+
+let note_trap_frame (w : wasm_func) e =
+  match !trap_state with
+  | Some (e', frames) when e' == e ->
+      if List.length frames < max_trap_frames then
+        trap_state := Some (e, frames @ [ frame_name w ])
+  | _ -> trap_state := Some (e, [ frame_name w ])
+
+let trap_backtrace e =
+  match !trap_state with Some (e', frames) when e' == e -> frames | _ -> []
+
+(* "message (in f)\n  called from g\n  ..." — or just the message when
+   the trap carries no guest frames (e.g. a host-side trap). *)
+let trap_message e =
+  match e with
+  | Values.Trap msg -> (
+      match trap_backtrace e with
+      | [] -> msg
+      | f :: callers ->
+          String.concat "\n"
+            ((msg ^ " (in " ^ f ^ ")")
+            :: List.map (fun g -> "  called from " ^ g) callers))
+  | _ -> Printexc.to_string e
+
 let pop = function v :: rest -> (v, rest) | [] -> trap "value stack underflow"
 
 let pop_i32 stack =
@@ -307,20 +344,42 @@ and call_func f args =
   match f with
   | Host (_, _, h) -> h args
   | Wasm w -> (
-      match w.w_compiled with
-      | Some compiled ->
-          let locals = make_locals w args in
-          compiled locals
-      | None ->
-          let locals = make_locals w args in
-          let frame = { locals; inst = w.w_owner } in
-          let stack =
-            try exec_seq frame w.w_body []
-            with
-            | Return_values s -> s
-            | Branch (_, vs) -> vs
-          in
-          take_results w.w_type.results stack)
+      match w.w_owner.hooks with
+      | None -> (
+          try exec_wasm w args
+          with Values.Trap _ as e ->
+            note_trap_frame w e;
+            raise e)
+      | Some h -> (
+          h.on_enter w.w_index;
+          match exec_wasm w args with
+          | results ->
+              h.on_exit w.w_index;
+              results
+          | exception e ->
+              h.on_exit w.w_index;
+              (match e with Values.Trap _ -> note_trap_frame w e | _ -> ());
+              raise e))
+
+(* The single activation path for Wasm functions: compiled body when the
+   AoT engine installed one, AST walk otherwise. Every call in either
+   engine funnels through [call_func] above, which is why one hook site
+   covers both. *)
+and exec_wasm w args =
+  match w.w_compiled with
+  | Some compiled ->
+      let locals = make_locals w args in
+      compiled locals
+  | None ->
+      let locals = make_locals w args in
+      let frame = { locals; inst = w.w_owner } in
+      let stack =
+        try exec_seq frame w.w_body []
+        with
+        | Return_values s -> s
+        | Branch (_, vs) -> vs
+      in
+      take_results w.w_type.results stack
 
 and make_locals w args =
   let n_params = List.length w.w_type.params in

@@ -488,6 +488,10 @@ and translate_folded fenv a inner : instr list =
 
 (* --- module fields --- *)
 
+(* "$id" -> "id": WAT identifiers become debug names without the sigil,
+   matching what wat2wasm emits into the name section. *)
+let strip_dollar n = String.sub n 1 (String.length n - 1)
+
 let translate ~(sexps : sexp list) =
   let fields =
     match sexps with
@@ -532,20 +536,26 @@ let translate ~(sexps : sexp list) =
   let deferred_exports = ref [] in
   let handle_field = function
     | List (Atom "import" :: Str im :: Str iname :: [ List (Atom "func" :: r) ]) ->
-        let r = match r with Atom n :: rest when n.[0] = '$' -> rest | _ -> r in
+        let fname, r =
+          match r with
+          | Atom n :: rest when n.[0] = '$' -> (Some n, rest)
+          | _ -> (None, r)
+        in
         let sig_items, _ = split_while (fun s -> is_clause "param" s || is_clause "result" s) r in
         let params_c, results_c =
           split_while (fun s -> is_clause "param" s) sig_items
         in
         let params = List.map snd (parse_params params_c) in
         let results = parse_results results_c in
-        ignore (Builder.import_func b ~module_:im ~name:iname ~params ~results)
+        let idx = Builder.import_func b ~module_:im ~name:iname ~params ~results in
+        (match fname with
+        | Some n -> Builder.set_func_name b idx (strip_dollar n)
+        | None -> ())
     | List (Atom "func" :: r) ->
         let fname, r = match r with
           | Atom n :: rest when n.[0] = '$' -> (Some n, rest)
           | _ -> (None, r)
         in
-        ignore fname;
         (* inline (export "name") *)
         let exports, r =
           split_while (fun s -> is_clause "export" s) r
@@ -579,6 +589,9 @@ let translate ~(sexps : sexp list) =
           Builder.add_func b ~params:(List.map snd params) ~results
             ~locals:(List.map snd locals) body_i
         in
+        (match fname with
+        | Some n -> Builder.set_func_name b idx (strip_dollar n)
+        | None -> ());
         List.iter
           (function
             | List [ Atom "export"; Str en ] -> Builder.export_func b en idx
