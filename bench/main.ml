@@ -33,6 +33,35 @@ let section title =
 
 let hr () = print_endline (String.make 78 '-')
 
+(* Conservation audit: after a section, every machine it created must
+   satisfy elapsed = booked + 0 residue. Machine.charge is the only
+   clock-advance site, so any residue means a charge bypassed the
+   ledger — a bookkeeping bug worth failing the whole harness over. *)
+let audited name f =
+  Machine.track_machines true;
+  f ();
+  let machines = Machine.tracked_machines () in
+  Machine.track_machines false;
+  let bad =
+    List.filter
+      (fun m -> not (Twine_obs.Ledger.balanced (Machine.ledger m)))
+      machines
+  in
+  if bad = [] then
+    Printf.printf "[audit] %s: books balance on %d machine(s)\n" name
+      (List.length machines)
+  else begin
+    List.iter
+      (fun m ->
+        let a = Twine_obs.Ledger.audit (Machine.ledger m) in
+        Printf.printf
+          "[audit] %s: UNATTRIBUTED TIME: elapsed %d ns = booked %d ns + residue %d ns\n"
+          name a.Twine_obs.Ledger.elapsed_ns a.Twine_obs.Ledger.booked_ns
+          a.Twine_obs.Ledger.residue_ns)
+      bad;
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Fig 3: PolyBench/C                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -288,6 +317,36 @@ let fig7 () =
   in
   print stock "stock";
   print opt "optimised";
+  (* the same phase, attributed by ledger account (disjoint; sums to
+     the phase total by the conservation invariant) *)
+  Printf.printf "\nledger attribution of the random-read phase:\n";
+  Printf.printf "%-22s %12s %7s %12s %7s\n" "account" "stock(ms)" "share"
+    "optim.(ms)" "share";
+  let all_accounts =
+    List.sort_uniq compare
+      (List.map fst stock.Microbench.accounts
+      @ List.map fst opt.Microbench.accounts)
+  in
+  let ordered =
+    List.sort
+      (fun a b ->
+        compare
+          (try List.assoc b stock.Microbench.accounts with Not_found -> 0)
+          (try List.assoc a stock.Microbench.accounts with Not_found -> 0))
+      all_accounts
+  in
+  List.iter
+    (fun acct ->
+      let get (b : Microbench.breakdown) =
+        try List.assoc acct b.Microbench.accounts with Not_found -> 0
+      in
+      Printf.printf "%-22s %12.2f %6.1f%% %12.2f %6.1f%%\n" acct
+        (float_of_int (get stock) /. 1e6)
+        (pct (get stock) stock.Microbench.total_ns)
+        (float_of_int (get opt) /. 1e6)
+        (pct (get opt) opt.Microbench.total_ns))
+    ordered;
+  Printf.printf "\n";
   Printf.printf
     "random-read speedup from the Section V-F changes: %.2fx (paper: 4.1x)\n"
     (float_of_int stock.Microbench.total_ns /. float_of_int opt.Microbench.total_ns);
@@ -626,10 +685,12 @@ let report () =
   Printf.printf "exit code %d, simulated time %.3f ms\n" r.Runtime.exit_code
     (float_of_int (Machine.now_ns machine) /. 1e6);
   print_newline ();
-  print_string (Twine_obs.Report.render machine.Machine.obs);
+  print_string
+    (Twine_obs.Report.render ~ledger:(Machine.ledger machine) machine.Machine.obs);
   print_newline ();
   print_endline "-- JSON --";
-  print_endline (Twine_obs.Report.to_json machine.Machine.obs)
+  print_endline
+    (Twine_obs.Report.to_json ~ledger:(Machine.ledger machine) machine.Machine.obs)
 
 (* ------------------------------------------------------------------ *)
 (* Guest profiler: hot functions + engine parity                       *)
@@ -658,6 +719,36 @@ let profiled_kernel ~engine k =
   (prof, r)
 
 let profile_folded_file = "polybench-atax.folded"
+let profile_ledger_file = "polybench-atax.ledger.json"
+
+(* fig3-style: atax under AoT inside an enclave on a shrunk EPC, with
+   the profiler's shadow stack joined to the machine ledger, so charges
+   raised mid-kernel (EPC faults of the linear memory) attribute to the
+   guest frame that caused them. *)
+let profiled_enclave_atax k =
+  let machine = Machine.create ~seed:"fig3" ~epc_bytes:fig3_epc_bytes () in
+  let enclave = Enclave.create machine ~heap_bytes:0 ~code:Runtime.runtime_code () in
+  let m, _lay = Twine_polybench.Kernel_dsl.comp_wasm k in
+  let inst = Twine_wasm.Interp.instantiate m in
+  ignore (Twine_wasm.Aot.compile_instance inst);
+  let prof = Twine_obs.Profile.create ~now:(fun () -> Machine.now_ns machine) () in
+  Twine_obs.Profile.connect_ledger prof (Machine.ledger machine);
+  inst.Twine_wasm.Instance.hooks <- Some (profile_hooks prof inst);
+  (match inst.Twine_wasm.Instance.memory with
+  | Some mem ->
+      let base = Enclave.reserve enclave (Twine_wasm.Memory.size_bytes mem) in
+      Runtime.install_memory_hook enclave ~base mem
+  | None -> ());
+  Enclave.ecall enclave (fun _ -> ignore (Twine_wasm.Interp.invoke inst "kernel" []));
+  (machine, prof)
+
+let write_ledger_json machine file =
+  let oc = open_out file in
+  output_string oc
+    (Twine_obs.Ledger.to_string
+       (Twine_obs.Ledger.snapshot (Machine.ledger machine)));
+  output_char oc '\n';
+  close_out oc
 
 let profile_section () =
   section "Guest profiler: calling-context attribution (CCT + folded stacks)";
@@ -691,7 +782,21 @@ let profile_section () =
   let r = Runtime.run ~profile:prof rt in
   Printf.printf "\nreport workload (exit %d, %d instr):\n" r.Runtime.exit_code
     r.Runtime.fuel;
-  print_string (Twine_obs.Report.profile_table prof)
+  print_string (Twine_obs.Report.profile_table prof);
+  print_string (Twine_obs.Ledger.render (Machine.ledger machine));
+  print_string
+    (Twine_obs.Ledger.render_matrix
+       (Twine_obs.Ledger.snapshot (Machine.ledger machine)));
+  (* the enclave-hosted kernel: same attribution machinery under EPC
+     pressure, exported as machine-readable ledger JSON for CI *)
+  let lm, lprof = profiled_enclave_atax k in
+  Printf.printf "\natax in-enclave (EPC %d KiB):\n" (fig3_epc_bytes / 1024);
+  print_string (Twine_obs.Ledger.render ~title:"atax cycle ledger" (Machine.ledger lm));
+  print_string
+    (Twine_obs.Ledger.render_matrix (Twine_obs.Ledger.snapshot (Machine.ledger lm)));
+  ignore lprof;
+  write_ledger_json lm profile_ledger_file;
+  Printf.printf "ledger JSON -> %s\n" profile_ledger_file
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable baseline: `bench json` / `bench check`             *)
@@ -710,8 +815,22 @@ let collect_baseline () =
   let open Twine_obs in
   let metrics = ref [] in
   let put m = metrics := m :: !metrics in
+  (* Gate the ledger itself: every account's booked total (band 2%, like
+     the other virtual-clock metrics) and the audit residue at exactly
+     zero, so any charge site that stops booking fails `bench check`. *)
+  let put_ledger group machine =
+    let l = Machine.ledger machine in
+    let a = Ledger.audit l in
+    let pfx = "ledger." ^ group ^ "." in
+    put (Baseline.v ~tol:0.0 (pfx ^ "residue_ns") a.Ledger.residue_ns);
+    put (Baseline.v ~tol:0.02 (pfx ^ "elapsed_ns") a.Ledger.elapsed_ns);
+    List.iter
+      (fun (name, e) -> put (Baseline.v ~tol:0.02 (pfx ^ name) e.Ledger.ns))
+      (Ledger.accounts l);
+    (group, Ledger.snapshot l)
+  in
   (* -- the report workload: every instrumented layer in one run -- *)
-  let () =
+  let report_snap =
     let machine = Machine.create ~seed:"report" ~epc_bytes:(32 * 4096) () in
     let rt = Runtime.create machine in
     Runtime.deploy rt (Twine_wasm.Wat.parse report_wat);
@@ -725,10 +844,11 @@ let collect_baseline () =
     List.iter
       (fun k -> put (Baseline.v ~tol:0.0 ("report." ^ k) (Twine_obs.Obs.value obs k)))
       [ "sgx.ecall"; "sgx.ocall"; "wasi.hostcall"; "epc.fault"; "epc.hit";
-        "epc.evict"; "ipfs.cache.hit"; "ipfs.cache.miss" ]
+        "epc.evict"; "ipfs.cache.hit"; "ipfs.cache.miss" ];
+    put_ledger "report" machine
   in
   (* -- SQLite micro-benchmark sweep, TWINE variant on a file DB -- *)
-  let () =
+  let micro_snap =
     let machine = Machine.create ~seed:"baseline" () in
     let s =
       Microbench.sweep ~machine ~wasm_factor:baseline_wasm_factor ~rand_reads:300
@@ -740,7 +860,8 @@ let collect_baseline () =
         put (Baseline.v ~tol:0.02 (pfx ^ "insert_ns") p.Microbench.insert_ns);
         put (Baseline.v ~tol:0.02 (pfx ^ "seq_read_ns") p.Microbench.seq_read_ns);
         put (Baseline.v ~tol:0.02 (pfx ^ "rand_read_ns") p.Microbench.rand_read_ns))
-      s.Microbench.points
+      s.Microbench.points;
+    put_ledger "micro" machine
   in
   (* -- protected-FS breakdown, stock vs optimised (§V-F) -- *)
   let () =
@@ -779,17 +900,73 @@ let collect_baseline () =
            List.mem k.Twine_polybench.Kernel_dsl.name [ "atax"; "trisolv" ])
          (Twine_polybench.Kernels.all ~scale:0.4 ()))
   in
-  Baseline.create
-    ~meta:
-      [ ("generator", "bench/main.exe json");
-        ("wasm_factor", string_of_float baseline_wasm_factor);
-        ("note", "virtual-clock metrics; regenerate with: dune exec bench/main.exe -- json") ]
-    (List.rev !metrics)
+  ( Baseline.create
+      ~meta:
+        [ ("generator", "bench/main.exe json");
+          ("wasm_factor", string_of_float baseline_wasm_factor);
+          ("note", "virtual-clock metrics; regenerate with: dune exec bench/main.exe -- json") ]
+      (List.rev !metrics),
+    [ report_snap; micro_snap ] )
 
 let default_baseline_file = "BENCH_twine.json"
 
+let load_baseline ~cmd file =
+  match
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> (
+      match Twine_obs.Baseline.of_string s with
+      | Ok b -> b
+      | Error msg ->
+          Printf.eprintf "bench %s: %s: %s\n" cmd file msg;
+          exit 2)
+  | exception Sys_error msg ->
+      Printf.eprintf "bench %s: %s\n" cmd msg;
+      exit 2
+
+(* Rebuild a ledger snapshot for one workload group from the flat
+   [ledger.<group>.*] metrics of a committed baseline, so `bench diff`
+   can attribute drift without a second JSON artifact. *)
+let snapshot_of_baseline group (b : Twine_obs.Baseline.t) =
+  let open Twine_obs in
+  let pfx = "ledger." ^ group ^ "." in
+  let plen = String.length pfx in
+  let tail path = String.sub path plen (String.length path - plen) in
+  let accounts =
+    List.filter_map
+      (fun (path, (m : Baseline.metric)) ->
+        if
+          String.length path > plen
+          && String.sub path 0 plen = pfx
+          && tail path <> "residue_ns"
+          && tail path <> "elapsed_ns"
+        then
+          Some (tail path, { Ledger.ns = int_of_float m.Baseline.value; events = 0 })
+        else None)
+      b.Baseline.metrics
+  in
+  match accounts with
+  | [] -> None
+  | _ ->
+      let num name fallback =
+        match List.assoc_opt (pfx ^ name) b.Baseline.metrics with
+        | Some (m : Baseline.metric) -> int_of_float m.Baseline.value
+        | None -> fallback
+      in
+      let booked = List.fold_left (fun a (_, e) -> a + e.Ledger.ns) 0 accounts in
+      Some
+        {
+          Ledger.elapsed_ns = num "elapsed_ns" (booked + num "residue_ns" 0);
+          booked_ns = booked;
+          accounts;
+          matrix = [];
+        }
+
 let bench_json file =
-  let b = collect_baseline () in
+  let b, _snaps = collect_baseline () in
   let oc = open_out file in
   output_string oc (Twine_obs.Baseline.to_string b);
   output_char oc '\n';
@@ -797,25 +974,26 @@ let bench_json file =
   Printf.eprintf "bench: wrote %d metric(s) to %s\n"
     (List.length b.Twine_obs.Baseline.metrics) file
 
+(* `bench diff [BASELINE]`: ranked attribution of where the current
+   tree's virtual time moved relative to the committed baseline — by
+   account, then by hot guest function within the top accounts. *)
+let bench_diff file =
+  let baseline = load_baseline ~cmd:"diff" file in
+  let _current, snaps = collect_baseline () in
+  List.iter
+    (fun (group, current) ->
+      Printf.printf "\n-- %s workload vs %s --\n" group file;
+      match snapshot_of_baseline group baseline with
+      | None ->
+          Printf.printf
+            "no ledger.%s.* metrics in the baseline; regenerate it with `bench json`\n"
+            group
+      | Some base -> print_string (Twine_obs.Ledger.render_diff ~base ~current ()))
+    snaps
+
 let bench_check file =
-  let baseline =
-    match
-      let ic = open_in file in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with
-    | s -> (
-        match Twine_obs.Baseline.of_string s with
-        | Ok b -> b
-        | Error msg ->
-            Printf.eprintf "bench check: %s: %s\n" file msg;
-            exit 2)
-    | exception Sys_error msg ->
-        Printf.eprintf "bench check: %s\n" msg;
-        exit 2
-  in
-  let current = collect_baseline () in
+  let baseline = load_baseline ~cmd:"check" file in
+  let current, snaps = collect_baseline () in
   let verdicts = Twine_obs.Baseline.check ~baseline ~current in
   print_string (Twine_obs.Baseline.render verdicts);
   if Twine_obs.Baseline.all_ok verdicts then begin
@@ -830,6 +1008,42 @@ let bench_check file =
     List.iter
       (fun v -> Printf.printf "  - %s\n" v.Twine_obs.Baseline.path)
       failed;
+    (* Explain each failure from the ledger where we can: a drifted
+       metric of the report/micro workloads gets the ranked account
+       attribution of that workload's delta. *)
+    let group_of path =
+      let has pfx =
+        String.length path >= String.length pfx
+        && String.sub path 0 (String.length pfx) = pfx
+      in
+      if has "report." || has "ledger.report." then Some "report"
+      else if has "micro." || has "ledger.micro." then Some "micro"
+      else None
+    in
+    let blamed =
+      List.sort_uniq compare
+        (List.filter_map (fun v -> group_of v.Twine_obs.Baseline.path) failed)
+    in
+    let unattributed =
+      List.filter (fun v -> group_of v.Twine_obs.Baseline.path = None) failed
+    in
+    List.iter
+      (fun group ->
+        match
+          (snapshot_of_baseline group baseline, List.assoc_opt group snaps)
+        with
+        | Some base, Some current ->
+            Printf.printf "\nwhere the %s workload's time moved:\n" group;
+            print_string (Twine_obs.Ledger.render_diff ~base ~current ())
+        | _ ->
+            Printf.printf
+              "\n(no ledger.%s.* metrics in the baseline to attribute the %s drift)\n"
+              group group)
+      blamed;
+    List.iter
+      (fun v ->
+        Printf.printf "(no ledger attribution for %s)\n" v.Twine_obs.Baseline.path)
+      unattributed;
     exit 1
   end
 
@@ -843,29 +1057,34 @@ let () =
       bench_json (Option.value argv2 ~default:default_baseline_file);
       exit 0
   | Some "check" -> bench_check (Option.value argv2 ~default:default_baseline_file)
+  | Some "diff" ->
+      bench_diff (Option.value argv2 ~default:default_baseline_file);
+      exit 0
   | _ -> ());
   let only = argv1 in
   let want name = match only with None -> true | Some o -> o = name in
   Printf.printf "TWINE reproduction bench harness (simulated SGX; see DESIGN.md)\n";
-  if want "fig3" then fig3 ();
-  if want "fig4" then fig4 ();
-  if want "fig5" || want "table2" then begin
-    let series = fig5_series () in
-    if want "fig5" then begin
-      print_fig5 series `Insert "Fig 5a: insertion time vs database size (ms, simulated)";
-      print_fig5 series `Seq "Fig 5b: sequential-read time vs database size (ms, simulated)";
-      print_fig5 series `Rand
-        (Printf.sprintf
-           "Fig 5c: random-read time (one read per record, cap %d) vs size (ms, simulated)"
-           fig5_rand_reads)
-    end;
-    table2 series
-  end;
-  if want "fig6" then fig6 ();
-  if want "fig7" then fig7 ();
-  if want "table3" then table3 ();
-  if want "ablate" then ablate ();
+  if want "fig3" then audited "fig3" fig3;
+  if want "fig4" then audited "fig4" fig4;
+  if want "fig5" || want "table2" then
+    audited "fig5/table2" (fun () ->
+        let series = fig5_series () in
+        if want "fig5" then begin
+          print_fig5 series `Insert
+            "Fig 5a: insertion time vs database size (ms, simulated)";
+          print_fig5 series `Seq
+            "Fig 5b: sequential-read time vs database size (ms, simulated)";
+          print_fig5 series `Rand
+            (Printf.sprintf
+               "Fig 5c: random-read time (one read per record, cap %d) vs size (ms, simulated)"
+               fig5_rand_reads)
+        end;
+        table2 series);
+  if want "fig6" then audited "fig6" fig6;
+  if want "fig7" then audited "fig7" fig7;
+  if want "table3" then audited "table3" table3;
+  if want "ablate" then audited "ablate" ablate;
   if want "micro" then bechamel_suite ();
-  if want "report" then report ();
-  if want "profile" then profile_section ();
+  if want "report" then audited "report" report;
+  if want "profile" then audited "profile" profile_section;
   Printf.printf "\ndone.\n"

@@ -63,7 +63,15 @@ let run_cmd =
                    profile.folded). Combine with $(b,--trace) to see guest \
                    frames in Perfetto.")
   in
-  let run path no_sgx interp strict dir args stats profile trace profile_wasm =
+  let ledger_out =
+    Arg.(value & opt (some string) None
+         & info [ "ledger" ] ~docv:"FILE"
+             ~doc:"Write the run's cycle ledger (per-account booked time \
+                   with the conservation audit totals) as JSON to $(docv). \
+                   Two such files feed $(b,twine diff).")
+  in
+  let run path no_sgx interp strict dir args stats profile trace profile_wasm
+      ledger_out =
     let module_ = load_module path in
     if no_sgx then begin
       let preopens =
@@ -141,7 +149,9 @@ let run_cmd =
           (float_of_int (Twine_sgx.Machine.now_ns machine) /. 1e6);
         prerr_newline ();
         prerr_string
-          (Twine_obs.Report.render ?profile:prof machine.Twine_sgx.Machine.obs)
+          (Twine_obs.Report.render ?profile:prof
+             ~ledger:(Twine_sgx.Machine.ledger machine)
+             machine.Twine_sgx.Machine.obs)
       end;
       write_wasm_profile ();
       (match profile with
@@ -154,6 +164,20 @@ let run_cmd =
             close_out oc
           with Sys_error msg ->
             Printf.eprintf "twine: cannot write profile: %s\n" msg;
+            exit 2)
+      | None -> ());
+      (match ledger_out with
+      | Some file -> (
+          try
+            let oc = open_out file in
+            output_string oc
+              (Twine_obs.Ledger.to_string
+                 (Twine_obs.Ledger.snapshot (Twine_sgx.Machine.ledger machine)));
+            output_char oc '\n';
+            close_out oc;
+            Printf.eprintf "twine: ledger written to %s\n" file
+          with Sys_error msg ->
+            Printf.eprintf "twine: cannot write ledger: %s\n" msg;
             exit 2)
       | None -> ());
       (match (trace, tracer) with
@@ -172,7 +196,36 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a WASI command inside the simulated TWINE enclave.")
     Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats $ profile
-          $ trace $ profile_wasm)
+          $ trace $ profile_wasm $ ledger_out)
+
+(* --- diff --- *)
+
+let diff_cmd =
+  let file n =
+    Arg.(required & pos n (some file) None
+         & info [] ~docv:(if n = 0 then "BASE" else "CURRENT")
+             ~doc:"Ledger JSON written by $(b,twine run --ledger).")
+  in
+  let run base_path cur_path =
+    let load path =
+      match Twine_obs.Ledger.of_string (read_file path) with
+      | Ok s -> s
+      | Error msg ->
+          Printf.eprintf "twine diff: %s: %s\n" path msg;
+          exit 2
+      | exception Sys_error msg ->
+          Printf.eprintf "twine diff: %s\n" msg;
+          exit 2
+    in
+    let base = load base_path and current = load cur_path in
+    print_string (Twine_obs.Ledger.render_diff ~base ~current ())
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Attribute the runtime difference between two runs: ranked \
+             per-account deltas of their cycle ledgers, with the hot guest \
+             functions inside the top accounts when the runs were profiled.")
+    Term.(const run $ file 0 $ file 1)
 
 (* --- validate --- *)
 
@@ -254,4 +307,6 @@ let () =
     Cmd.info "twine" ~version:"1.0.0"
       ~doc:"A trusted WebAssembly runtime for (simulated) Intel SGX enclaves."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; validate_cmd; wat2wasm_cmd; inspect_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; diff_cmd; validate_cmd; wat2wasm_cmd; inspect_cmd ]))

@@ -57,7 +57,7 @@ let in_enclave t f =
 
 let charge_untrusted_io t label n =
   let m = machine t in
-  Machine.charge m label
+  Machine.charge m ~account:"ipfs.io" label
     (m.costs.untrusted_io_base_ns + Costs.bytes_ns m.costs.untrusted_io_ns_per_byte n)
 
 let charge_crypto t n =

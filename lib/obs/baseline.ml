@@ -141,7 +141,15 @@ let render verdicts =
         | Some tol -> Printf.sprintf "%.0f%%" (100. *. tol)
         | None -> "info"
       in
+      (* informational metrics (no band) never gate but their drift is
+         still worth a look — mark them "info", not a reassuring "ok" *)
+      let verdict =
+        match (v.ok, v.tol, v.got) with
+        | false, _, _ -> "FAIL"
+        | true, None, Some _ -> "info"
+        | true, _, _ -> "ok"
+      in
       line "%-34s %14.1f %14s %8s %7s  %s" v.path v.expected got_s drift_s band
-        (if v.ok then "ok" else "FAIL"))
+        verdict)
     verdicts;
   Buffer.contents b

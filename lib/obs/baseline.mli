@@ -51,4 +51,7 @@ val check : baseline:t -> current:t -> verdict list
 val all_ok : verdict list -> bool
 
 val render : verdict list -> string
-(** Aligned table with drift percentages and per-metric verdicts. *)
+(** Aligned table with drift percentages and per-metric verdicts.
+    Informational metrics ([tol = None]) that were collected show their
+    drift with verdict [info] (they never gate); a metric missing from
+    the current run renders [FAIL] whatever its band. *)

@@ -1,0 +1,418 @@
+(* Cycle ledger (see the .mli for the conservation argument). Accounts
+   are a flat hashtable keyed by the dotted path; the hierarchy only
+   materialises at render time, so booking stays O(1) per charge. *)
+
+type account = { mutable a_ns : int; mutable a_events : int }
+
+type t = {
+  now : unit -> int;
+  tbl : (string, account) Hashtbl.t;
+  mutable booked : int;
+  mutable start_ns : int;
+  mutable ctx : string option;
+  matrix_tbl : (string, (string, int) Hashtbl.t) Hashtbl.t;
+}
+
+let create ?(now = fun () -> 0) () =
+  {
+    now;
+    tbl = Hashtbl.create 32;
+    booked = 0;
+    start_ns = now ();
+    ctx = None;
+    matrix_tbl = Hashtbl.create 8;
+  }
+
+let cell t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some a -> a
+  | None ->
+      let a = { a_ns = 0; a_events = 0 } in
+      Hashtbl.add t.tbl name a;
+      a
+
+let book t name ns =
+  if ns < 0 then invalid_arg "Ledger.book: negative nanoseconds";
+  let a = cell t name in
+  a.a_ns <- a.a_ns + ns;
+  a.a_events <- a.a_events + 1;
+  t.booked <- t.booked + ns;
+  match t.ctx with
+  | None -> ()
+  | Some ctx ->
+      let row =
+        match Hashtbl.find_opt t.matrix_tbl ctx with
+        | Some r -> r
+        | None ->
+            let r = Hashtbl.create 8 in
+            Hashtbl.add t.matrix_tbl ctx r;
+            r
+      in
+      Hashtbl.replace row name
+        (ns + Option.value ~default:0 (Hashtbl.find_opt row name))
+
+let set_context t c = t.ctx <- c
+let context t = t.ctx
+
+type entry = { ns : int; events : int }
+
+let ns t name =
+  match Hashtbl.find_opt t.tbl name with Some a -> a.a_ns | None -> 0
+
+let events t name =
+  match Hashtbl.find_opt t.tbl name with Some a -> a.a_events | None -> 0
+
+let total t = t.booked
+
+let accounts t =
+  Hashtbl.fold (fun k a acc -> (k, { ns = a.a_ns; events = a.a_events }) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type audit = { elapsed_ns : int; booked_ns : int; residue_ns : int }
+
+let audit t =
+  let elapsed = t.now () - t.start_ns in
+  { elapsed_ns = elapsed; booked_ns = t.booked; residue_ns = elapsed - t.booked }
+
+let balanced t = (audit t).residue_ns = 0
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  Hashtbl.reset t.matrix_tbl;
+  t.booked <- 0;
+  t.ctx <- None;
+  t.start_ns <- t.now ()
+
+(* --- snapshots --- *)
+
+type snapshot = {
+  elapsed_ns : int;
+  booked_ns : int;
+  accounts : (string * entry) list;
+  matrix : (string * (string * int) list) list;
+}
+
+let snapshot t =
+  let a = audit t in
+  let matrix =
+    Hashtbl.fold
+      (fun fn row acc ->
+        let cells =
+          Hashtbl.fold (fun k v l -> (k, v) :: l) row []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        (fn, cells) :: acc)
+      t.matrix_tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    elapsed_ns = a.elapsed_ns;
+    booked_ns = a.booked_ns;
+    accounts = accounts t;
+    matrix;
+  }
+
+let schema = "twine-ledger/v1"
+
+let to_json (s : snapshot) =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("elapsed_ns", Json.Num (float_of_int s.elapsed_ns));
+      ("booked_ns", Json.Num (float_of_int s.booked_ns));
+      ( "accounts",
+        Json.Obj
+          (List.map
+             (fun (name, e) ->
+               ( name,
+                 Json.Obj
+                   [ ("ns", Json.Num (float_of_int e.ns));
+                     ("events", Json.Num (float_of_int e.events)) ] ))
+             s.accounts) );
+      ( "matrix",
+        Json.Obj
+          (List.map
+             (fun (fn, cells) ->
+               ( fn,
+                 Json.Obj
+                   (List.map
+                      (fun (name, ns) -> (name, Json.Num (float_of_int ns)))
+                      cells) ))
+             s.matrix) ) ]
+
+let to_string s = Json.to_string (to_json s)
+
+let int_member name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some f -> Ok (int_of_float f)
+  | None -> Error (Printf.sprintf "missing number %S" name)
+
+let of_json j =
+  match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> (
+      match (int_member "elapsed_ns" j, int_member "booked_ns" j) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok elapsed_ns, Ok booked_ns -> (
+          let accounts =
+            match Json.member "accounts" j with
+            | Some (Json.Obj l) ->
+                Some
+                  (List.filter_map
+                     (fun (name, v) ->
+                       match
+                         ( Option.bind (Json.member "ns" v) Json.to_float,
+                           Option.bind (Json.member "events" v) Json.to_float )
+                       with
+                       | Some ns, Some ev ->
+                           Some
+                             (name, { ns = int_of_float ns; events = int_of_float ev })
+                       | _ -> None)
+                     l)
+            | _ -> None
+          in
+          match accounts with
+          | None -> Error "missing accounts object"
+          | Some accounts ->
+              let matrix =
+                match Json.member "matrix" j with
+                | Some (Json.Obj l) ->
+                    List.map
+                      (fun (fn, row) ->
+                        let cells =
+                          match row with
+                          | Json.Obj cells ->
+                              List.filter_map
+                                (fun (name, v) ->
+                                  Option.map
+                                    (fun f -> (name, int_of_float f))
+                                    (Json.to_float v))
+                                cells
+                          | _ -> []
+                        in
+                        (fn, cells))
+                      l
+                | _ -> []
+              in
+              Ok { elapsed_ns; booked_ns; accounts; matrix }))
+  | Some (Json.Str s) -> Error (Printf.sprintf "unknown schema %S" s)
+  | _ -> Error "missing schema field"
+
+let of_string s = Result.bind (Json.parse s) of_json
+
+(* --- rendering --- *)
+
+let ms ns = float_of_int ns /. 1e6
+
+(* The account hierarchy, materialised from the dotted paths: children
+   sorted by subtree cost; levels with a single child and no booking of
+   their own are collapsed into the child. *)
+type rnode = {
+  rpath : string;
+  mutable rns : int;
+  mutable revents : int;
+  mutable rleaf : bool;
+  mutable rkids : rnode list;
+}
+
+let build_tree accounts =
+  let root = { rpath = ""; rns = 0; revents = 0; rleaf = false; rkids = [] } in
+  let kid node path =
+    match List.find_opt (fun k -> k.rpath = path) node.rkids with
+    | Some k -> k
+    | None ->
+        let k = { rpath = path; rns = 0; revents = 0; rleaf = false; rkids = [] } in
+        node.rkids <- k :: node.rkids;
+        k
+  in
+  List.iter
+    (fun (name, (e : entry)) ->
+      let rec go node prefix = function
+        | [] ->
+            node.rleaf <- true;
+            node.rns <- node.rns + e.ns;
+            node.revents <- node.revents + e.events
+        | seg :: rest ->
+            let path = if prefix = "" then seg else prefix ^ "." ^ seg in
+            go (kid node path) path rest
+      in
+      go root "" (String.split_on_char '.' name))
+    accounts;
+  let rec sum node =
+    List.iter sum node.rkids;
+    node.rns <- node.rns + List.fold_left (fun a k -> a + k.rns) 0 node.rkids;
+    node.revents <- node.revents + List.fold_left (fun a k -> a + k.revents) 0 node.rkids;
+    node.rkids <-
+      List.sort
+        (fun a b ->
+          match compare b.rns a.rns with
+          | 0 -> String.compare a.rpath b.rpath
+          | c -> c)
+        node.rkids
+  in
+  sum root;
+  root
+
+let render_accounts b accounts ~booked =
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt
+  in
+  line "%-42s %12s %7s %8s" "account" "total(ms)" "share" "events";
+  let pct ns = 100. *. float_of_int ns /. float_of_int (max 1 booked) in
+  let root = build_tree accounts in
+  let rec pr depth node =
+    match (node.rkids, node.rleaf) with
+    | [ only ], false -> pr depth only
+    | kids, _ ->
+        line "%-42s %12.4f %6.1f%% %8s"
+          (String.make (2 * depth) ' ' ^ node.rpath)
+          (ms node.rns) (pct node.rns)
+          (if node.rleaf then string_of_int node.revents else "");
+        List.iter (pr (depth + 1)) kids
+  in
+  List.iter (pr 0) root.rkids
+
+let audit_line (a : audit) =
+  Printf.sprintf "audit: elapsed %d ns = booked %d ns + residue %d ns%s" a.elapsed_ns
+    a.booked_ns a.residue_ns
+    (if a.residue_ns = 0 then " (books balance)" else " (UNATTRIBUTED TIME)")
+
+let render ?(title = "cycle ledger") t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b ("-- " ^ title ^ " --\n");
+  render_accounts b (accounts t) ~booked:t.booked;
+  Buffer.add_string b (audit_line (audit t));
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let render_snapshot ?(title = "cycle ledger") (s : snapshot) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b ("-- " ^ title ^ " --\n");
+  render_accounts b s.accounts ~booked:s.booked_ns;
+  Buffer.add_string b
+    (audit_line
+       {
+         elapsed_ns = s.elapsed_ns;
+         booked_ns = s.booked_ns;
+         residue_ns = s.elapsed_ns - s.booked_ns;
+       });
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let render_matrix ?(top = 6) (s : snapshot) =
+  if s.matrix = [] then ""
+  else begin
+    let b = Buffer.create 1024 in
+    let line fmt =
+      Printf.ksprintf (fun str -> Buffer.add_string b str; Buffer.add_char b '\n') fmt
+    in
+    line "-- guest-frame x account breakdown --";
+    line "%-24s %-30s %12s %7s" "function" "account" "total(ms)" "share";
+    let rows =
+      List.map
+        (fun (fn, cells) ->
+          (fn, cells, List.fold_left (fun a (_, ns) -> a + ns) 0 cells))
+        s.matrix
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    in
+    let shown = List.filteri (fun i _ -> i < top) rows in
+    List.iter
+      (fun (fn, cells, row_total) ->
+        let cells = List.sort (fun (_, a) (_, b) -> compare b a) cells in
+        List.iteri
+          (fun i (name, ns) ->
+            line "%-24s %-30s %12.4f %6.1f%%"
+              (if i = 0 then fn else "")
+              name (ms ns)
+              (100. *. float_of_int ns /. float_of_int (max 1 row_total)))
+          cells)
+      shown;
+    let rest = List.length rows - List.length shown in
+    if rest > 0 then line "  ... and %d more function(s)" rest;
+    Buffer.contents b
+  end
+
+(* --- differential attribution --- *)
+
+type delta = { account : string; base_ns : int; cur_ns : int; delta_ns : int }
+
+let diff (a : snapshot) (b : snapshot) =
+  let find (s : snapshot) name =
+    match List.assoc_opt name s.accounts with Some e -> e.ns | None -> 0
+  in
+  let names =
+    List.sort_uniq String.compare
+      (List.map fst a.accounts @ List.map fst b.accounts)
+  in
+  List.filter_map
+    (fun name ->
+      let base_ns = find a name and cur_ns = find b name in
+      if base_ns = 0 && cur_ns = 0 then None
+      else Some { account = name; base_ns; cur_ns; delta_ns = cur_ns - base_ns })
+    names
+  |> List.sort (fun x y ->
+         match compare (abs y.delta_ns) (abs x.delta_ns) with
+         | 0 -> String.compare x.account y.account
+         | c -> c)
+
+let render_diff ?(top = 24) ~(base : snapshot) ~(current : snapshot) () =
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt
+  in
+  let deltas = diff base current in
+  let elapsed_delta = current.elapsed_ns - base.elapsed_ns in
+  line "== ledger diff: ranked attribution of the run delta ==";
+  line "elapsed: %.4f -> %.4f ms (%+.4f ms, %+.1f%%)" (ms base.elapsed_ns)
+    (ms current.elapsed_ns) (ms elapsed_delta)
+    (100. *. float_of_int elapsed_delta
+    /. Float.max 1.0 (Float.abs (float_of_int base.elapsed_ns)));
+  (* share denominator: the elapsed change when there is one, else the
+     total account movement (a pure reshuffle at equal run time) *)
+  let denom =
+    if elapsed_delta <> 0 then abs elapsed_delta
+    else max 1 (List.fold_left (fun a d -> a + abs d.delta_ns) 0 deltas)
+  in
+  line "%-34s %13s %13s %14s %7s" "account" "base(ms)" "current(ms)" "delta(ms)"
+    "share";
+  let shown = List.filteri (fun i _ -> i < top) deltas in
+  List.iter
+    (fun d ->
+      line "%-34s %13.4f %13.4f %+14.4f %6.1f%%" d.account (ms d.base_ns)
+        (ms d.cur_ns) (ms d.delta_ns)
+        (100. *. float_of_int (abs d.delta_ns) /. float_of_int denom))
+    shown;
+  let rest = List.length deltas - List.length shown in
+  if rest > 0 then line "  ... and %d more account(s)" rest;
+  (* per-function attribution of the top account movements *)
+  let cell (s : snapshot) fn name =
+    match List.assoc_opt fn s.matrix with
+    | Some row -> Option.value ~default:0 (List.assoc_opt name row)
+    | None -> 0
+  in
+  let fns =
+    List.sort_uniq String.compare
+      (List.map fst base.matrix @ List.map fst current.matrix)
+  in
+  if fns <> [] then begin
+    let hot = List.filteri (fun i _ -> i < 3) deltas in
+    List.iter
+      (fun d ->
+        let per_fn =
+          List.filter_map
+            (fun fn ->
+              let bns = cell base fn d.account and cns = cell current fn d.account in
+              if bns = 0 && cns = 0 then None else Some (fn, cns - bns, bns, cns))
+            fns
+          |> List.sort (fun (_, a, _, _) (_, b, _, _) -> compare (abs b) (abs a))
+        in
+        if per_fn <> [] then begin
+          line "hot functions in %s:" d.account;
+          List.iteri
+            (fun i (fn, dns, bns, cns) ->
+              if i < 5 then
+                line "  %-24s %+12.4f ms  (%.4f -> %.4f)" fn (ms dns) (ms bns)
+                  (ms cns))
+            per_fn
+        end)
+      hot
+  end;
+  Buffer.contents b

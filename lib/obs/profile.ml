@@ -22,6 +22,7 @@ type t = {
   mutable namer : int -> string;
   now : unit -> int;
   tracer : Trace.t option;
+  mutable ledger : Ledger.t option;
 }
 
 let fresh_node id = { id; calls = 0; self_fuel = 0; self_cycles = 0; children = [] }
@@ -37,11 +38,25 @@ let create ?tracer ?(now = fun () -> 0) () =
     namer = default_namer;
     now;
     tracer;
+    ledger = None;
   }
 
 let set_namer t namer = t.namer <- namer
 let name t id = t.namer id
 let depth t = List.length t.stack
+let current t = match t.stack with cur :: _ -> Some cur.id | [] -> None
+
+let connect_ledger t ledger = t.ledger <- Some ledger
+
+(* Mirror the shadow-stack top into the ledger's context, so every
+   charge the machine books while a guest frame is live lands in that
+   frame's row of the function x account matrix. *)
+let sync_context t =
+  match t.ledger with
+  | None -> ()
+  | Some l ->
+      Ledger.set_context l
+        (match t.stack with cur :: _ -> Some (t.namer cur.id) | [] -> None)
 
 let reset t =
   t.root.calls <- 0;
@@ -50,7 +65,8 @@ let reset t =
   t.root.children <- [];
   t.stack <- [];
   t.seg_fuel <- 0;
-  t.seg_cycles <- 0
+  t.seg_cycles <- 0;
+  match t.ledger with Some l -> Ledger.set_context l None | None -> ()
 
 (* Close the open self segment into the frame on top (dropped at top
    level: fuel only accrues inside some function body anyway) and mark
@@ -78,6 +94,7 @@ let enter t ~fuel id =
   let node = find_or_add parent id in
   node.calls <- node.calls + 1;
   t.stack <- node :: t.stack;
+  sync_context t;
   match t.tracer with
   | Some tr -> Trace.begin_span tr ~cat:"wasm" (t.namer id)
   | None -> ()
@@ -87,6 +104,7 @@ let exit t ~fuel id =
   | cur :: rest when cur.id = id ->
       close_segment t ~fuel ~cycles:(t.now ());
       t.stack <- rest;
+      sync_context t;
       (match t.tracer with
       | Some tr -> Trace.end_span tr ~cat:"wasm" (t.namer id)
       | None -> ())

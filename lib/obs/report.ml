@@ -51,7 +51,7 @@ let profile_table ?(top = 10) prof =
   if rest > 0 then line "  ... and %d more function(s)" rest;
   Buffer.contents b
 
-let render ?(title = "per-run cost report") ?profile obs =
+let render ?(title = "per-run cost report") ?profile ?ledger obs =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   line "== %s ==" title;
@@ -82,6 +82,11 @@ let render ?(title = "per-run cost report") ?profile obs =
   (match profile with
   | Some prof -> Buffer.add_string b (profile_table prof)
   | None -> ());
+  (match ledger with
+  | Some l ->
+      Buffer.add_string b (Ledger.render l);
+      Buffer.add_string b (Ledger.render_matrix (Ledger.snapshot l))
+  | None -> ());
   Buffer.contents b
 
 (* --- JSON --- *)
@@ -111,9 +116,18 @@ let json_obj b fields =
     fields;
   Buffer.add_char b '}'
 
-let to_json ?profile obs =
+let to_json ?profile ?ledger obs =
   let b = Buffer.create 1024 in
   let int n buf = Buffer.add_string buf (string_of_int n) in
+  let ledger_fields =
+    match ledger with
+    | None -> []
+    | Some l ->
+        [ ( "ledger",
+            fun buf ->
+              Buffer.add_string buf (Json.to_string (Ledger.to_json (Ledger.snapshot l)))
+          ) ]
+  in
   let profile_fields =
     match profile with
     | None -> []
@@ -161,5 +175,5 @@ let to_json ?profile obs =
                          ("self_ns", int s.self_ns) ] ))
                (Obs.spans obs)) );
     ]
-    @ profile_fields);
+    @ profile_fields @ ledger_fields);
   Buffer.contents b

@@ -1,17 +1,21 @@
 (** Render a per-run cost breakdown from an {!Obs} registry. *)
 
-val render : ?title:string -> ?profile:Profile.t -> Obs.t -> string
+val render : ?title:string -> ?profile:Profile.t -> ?ledger:Ledger.t -> Obs.t -> string
 (** Aligned text table: counters (with derived cache hit rates for any
     [<p>.hit]/[<p>.miss] or [<p>.hit]/[<p>.fault] counter pair), cost
     histograms and span timings. With [profile], appends the guest
-    hot-function table ({!profile_table}). *)
+    hot-function table ({!profile_table}); with [ledger], the account
+    tree with its conservation audit line and (when a profiler drove
+    the context) the function x account matrix. *)
 
 val profile_table : ?top:int -> Profile.t -> string
 (** Top-N (default 10) guest functions by self instruction count:
     calls, self/total instructions, self/total virtual-clock ms, and
     self share of all attributed instructions. *)
 
-val to_json : ?profile:Profile.t -> Obs.t -> string
+val to_json : ?profile:Profile.t -> ?ledger:Ledger.t -> Obs.t -> string
 (** The same data as a single machine-readable JSON object with
     [counters], [histograms] and [spans] members — plus [wasm_profile]
-    (per-function calls/instructions/ns) when [profile] is given. *)
+    (per-function calls/instructions/ns) when [profile] is given, and
+    [ledger] (a {!Ledger.snapshot}: accounts, audit totals, matrix)
+    when [ledger] is given. *)

@@ -24,9 +24,21 @@ let fault_pages (t : t) ~addr ~len =
     for page_no = first to last do
       match Epc.touch m.epc (Epc.page_of ~enclave_id:t.id ~page_no) with
       | `Hit -> ()
-      | `Fault -> Machine.charge_cycles m "sgx.epc_fault" m.costs.epc_fault_cycles
+      | `Fault evicted ->
+          (* same cost either way; the ledger splits plain page-ins from
+             the capacity-pressure path that had to encrypt a page out *)
+          let account = if evicted then "epc.evict" else "epc.fault" in
+          Machine.charge_cycles m ~account "sgx.epc_fault"
+            m.costs.epc_fault_cycles
     done
   end
+
+(* Enclave-heap counter track beside the EPC residency track: committed
+   bytes only ever change here, so the timeline shows heap growth
+   aligned with the paging events it causes. No-op without a tracer. *)
+let note_heap t =
+  Twine_obs.Obs.emit_counter t.machine.Machine.obs ~cat:"sgx" "enclave.heap"
+    [ ("bytes", t.committed) ]
 
 let create machine ?(signer = "twine-vendor") ?(heap_bytes = 16 * 1024 * 1024)
     ~code () =
@@ -55,6 +67,7 @@ let create machine ?(signer = "twine-vendor") ?(heap_bytes = 16 * 1024 * 1024)
   Machine.charge_cycles machine "sgx.launch" (pages * machine.costs.page_add_cycles);
   t.committed <- String.length code + heap_bytes;
   t.brk <- t.brk + String.length code;
+  note_heap t;
   t
 
 let machine t = t.machine
@@ -72,35 +85,38 @@ let destroy t =
 (* One enclave-boundary transition (half an ECALL/OCALL round trip).
    The flight recorder gets an instant per transition so the timeline
    shows each boundary crossing, not just the enclosing span. *)
-let crossing t name =
+let crossing t ~account name =
   t.transition_count <- t.transition_count + 1;
   Twine_obs.Obs.emit t.machine.Machine.obs ~cat:"sgx"
     ~args:[ ("enclave", t.id); ("transition", t.transition_count) ]
     (name ^ ".crossing");
-  Machine.charge_cycles t.machine name t.machine.costs.transition_cycles
+  Machine.charge_cycles t.machine ~account name
+    t.machine.costs.transition_cycles
 
 let ecall t ?(name = "sgx.ecall") f =
   check t;
+  let account = "sgx.transition.ecall" in
   let obs = t.machine.Machine.obs in
   if t.depth = 0 then begin
     Twine_obs.Obs.inc obs "sgx.ecall";
-    crossing t name
+    crossing t ~account name
   end;
   t.depth <- t.depth + 1;
   Fun.protect
     ~finally:(fun () ->
       t.depth <- t.depth - 1;
-      if t.depth = 0 && not t.destroyed then crossing t name)
+      if t.depth = 0 && not t.destroyed then crossing t ~account name)
     (fun () -> Twine_obs.Obs.in_span obs name (fun () -> f t))
 
 let ocall t ?(name = "sgx.ocall") f =
   check t;
   if t.depth = 0 then invalid_arg "Enclave.ocall: not inside an ecall";
+  let account = "sgx.transition.ocall" in
   let obs = t.machine.Machine.obs in
   Twine_obs.Obs.inc obs "sgx.ocall";
-  crossing t name;
+  crossing t ~account name;
   Fun.protect
-    ~finally:(fun () -> if not t.destroyed then crossing t name)
+    ~finally:(fun () -> if not t.destroyed then crossing t ~account name)
     (fun () -> Twine_obs.Obs.in_span obs name f)
 
 let inside t = t.depth > 0
@@ -119,6 +135,7 @@ let alloc t n =
   let addr = t.brk in
   t.brk <- t.brk + n;
   t.committed <- t.committed + n;
+  note_heap t;
   fault_pages t ~addr ~len:n;
   addr
 
@@ -148,20 +165,24 @@ let commit t ~addr ~len =
     in
     Machine.charge_cycles m "sgx.commit" (pages * m.costs.page_add_cycles);
     t.committed <- t.committed + len;
+    note_heap t;
     fault_pages t ~addr ~len
   end
 
 let memset t ?(label = "sgx.memset") n =
   check t;
-  Machine.charge t.machine label (Costs.bytes_ns t.machine.costs.memset_ns_per_byte n)
+  Machine.charge t.machine ~account:"mee.memset" label
+    (Costs.bytes_ns t.machine.costs.memset_ns_per_byte n)
 
 let copy_in t ?(label = "sgx.copy_in") n =
   check t;
-  Machine.charge t.machine label (Costs.bytes_ns t.machine.costs.copy_ns_per_byte n)
+  Machine.charge t.machine ~account:"mee.copy" label
+    (Costs.bytes_ns t.machine.costs.copy_ns_per_byte n)
 
 let copy_out t ?(label = "sgx.copy_out") n =
   check t;
-  Machine.charge t.machine label (Costs.bytes_ns t.machine.costs.copy_ns_per_byte n)
+  Machine.charge t.machine ~account:"mee.copy" label
+    (Costs.bytes_ns t.machine.costs.copy_ns_per_byte n)
 
 let load_reserved t code =
   check t;
@@ -173,6 +194,7 @@ let load_reserved t code =
   let addr = t.brk in
   t.brk <- t.brk + n;
   t.committed <- t.committed + n;
+  note_heap t;
   fault_pages t ~addr ~len:n;
   addr
 

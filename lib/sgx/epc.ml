@@ -51,14 +51,17 @@ let touch t page =
   | None ->
       t.fault_count <- t.fault_count + 1;
       record t "epc.fault";
-      (match Lru.put t.resident page () with
-      | Some _ ->
-          t.eviction_count <- t.eviction_count + 1;
-          record t "epc.evict";
-          trace_paging t "epc.evict" page
-      | None -> ());
+      let evicted =
+        match Lru.put t.resident page () with
+        | Some _ ->
+            t.eviction_count <- t.eviction_count + 1;
+            record t "epc.evict";
+            trace_paging t "epc.evict" page;
+            true
+        | None -> false
+      in
       trace_paging t "epc.fault" page;
-      `Fault
+      `Fault evicted
 
 let page_of ~enclave_id ~page_no = (enclave_id lsl 40) lor page_no
 

@@ -18,9 +18,10 @@ val create : ?obs:Twine_obs.Obs.t -> limit_bytes:int -> unit -> t
 val limit_pages : t -> int
 val resident_pages : t -> int
 
-val touch : t -> page -> [ `Hit | `Fault ]
-(** Access one page, promoting it; [`Fault] means it had to be brought in
-    (and, if the EPC was full, another page evicted). *)
+val touch : t -> page -> [ `Hit | `Fault of bool ]
+(** Access one page, promoting it; [`Fault evicted] means it had to be
+    brought in, with [evicted = true] when the EPC was full and another
+    page was encrypted out to make room (the expensive EWB path). *)
 
 val release_enclave : t -> int -> unit
 (** Drop all resident pages belonging to an enclave id (EREMOVE). *)

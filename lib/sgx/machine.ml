@@ -3,7 +3,9 @@ open Twine_sim
 type t = {
   clock : Clock.t;
   obs : Twine_obs.Obs.t;
+  ledger : Twine_obs.Ledger.t;
   mutable costs : Costs.t;
+  mutable cycle_carry : float;
   epc : Epc.t;
   cpu_key : string;
   mutable next_enclave_id : int;
@@ -11,28 +13,65 @@ type t = {
 
 let usable_epc_bytes = 93 * 1024 * 1024 (* paper §V-A: 128 MiB EPC, 93 usable *)
 
+(* Opt-in registry so a bench driver can audit every machine a section
+   created (conservation check) without threading them through every
+   helper's return value. Off by default: unit tests create throwaway
+   machines by the hundred. *)
+let tracking = ref false
+let tracked : t list ref = ref []
+
+let track_machines on =
+  tracking := on;
+  tracked := []
+
+let tracked_machines () = List.rev !tracked
+
 let create ?(costs = Costs.default) ?(epc_bytes = usable_epc_bytes)
     ?(seed = "twine-machine") () =
   let clock = Clock.create () in
-  let obs = Twine_obs.Obs.create ~now:(fun () -> Clock.now_ns clock) () in
-  {
-    clock;
-    obs;
-    costs;
-    epc = Epc.create ~obs ~limit_bytes:epc_bytes ();
-    cpu_key = Twine_crypto.Sha256.digest ("cpu-fuse:" ^ seed);
-    next_enclave_id = 1;
-  }
+  let now () = Clock.now_ns clock in
+  let obs = Twine_obs.Obs.create ~now () in
+  let t =
+    {
+      clock;
+      obs;
+      ledger = Twine_obs.Ledger.create ~now ();
+      costs;
+      cycle_carry = 0.;
+      epc = Epc.create ~obs ~limit_bytes:epc_bytes ();
+      cpu_key = Twine_crypto.Sha256.digest ("cpu-fuse:" ^ seed);
+      next_enclave_id = 1;
+    }
+  in
+  if !tracking then tracked := t :: !tracked;
+  t
 
-let charge t component ns =
+(* The ONLY Clock.advance call site in the library: every nanosecond of
+   virtual time passes through here, so booking each charge into the
+   ledger makes the conservation audit (elapsed = booked) structural. *)
+let charge t ?account component ns =
   Clock.advance t.clock ns;
-  Twine_obs.Obs.observe t.obs component ns
+  Twine_obs.Obs.observe t.obs component ns;
+  let acct = match account with Some a -> a | None -> component in
+  Twine_obs.Ledger.book t.ledger acct ns;
+  match Twine_obs.Obs.tracer t.obs with
+  | None -> ()
+  | Some _ ->
+      Twine_obs.Obs.emit_counter t.obs ~cat:"ledger" ("ledger." ^ acct)
+        [ ("ns", Twine_obs.Ledger.ns t.ledger acct) ]
 
-let charge_cycles t component cycles = charge t component (Costs.cycles_ns t.costs cycles)
+let charge_cycles t ?account component cycles =
+  let ns, carry =
+    Costs.cycles_ns_rem t.costs ~carry:t.cycle_carry cycles
+  in
+  t.cycle_carry <- carry;
+  charge t ?account component ns
 
 let now_ns t = Clock.now_ns t.clock
 
 let obs t = t.obs
+
+let ledger t = t.ledger
 
 (* Create a flight recorder on the machine's virtual clock and hang it
    off the telemetry registry, so every instrumented layer starts

@@ -8,7 +8,12 @@ type t = {
       (** telemetry registry (counters/histograms/spans, optional flight
           recorder) on the machine's virtual clock; every layer of the
           stack records into it *)
+  ledger : Twine_obs.Ledger.t;
+      (** cycle ledger on the same clock: every {!charge} books here, so
+          [Ledger.audit] proves booked totals equal elapsed virtual time *)
   mutable costs : Costs.t;
+  mutable cycle_carry : float;
+      (** sub-ns remainder carried between {!charge_cycles} calls *)
   epc : Epc.t;
   cpu_key : string;  (** 32-byte fused secret (never leaves the package) *)
   mutable next_enclave_id : int;
@@ -18,15 +23,31 @@ val create : ?costs:Costs.t -> ?epc_bytes:int -> ?seed:string -> unit -> t
 (** Default EPC is the paper's usable 93 MiB. [seed] makes the fused key
     (and hence all derived randomness) deterministic. *)
 
-val charge : t -> string -> int -> unit
-(** Advance the clock by [ns] and record it in the telemetry cost
-    histogram of the named component. *)
+val charge : t -> ?account:string -> string -> int -> unit
+(** Advance the clock by [ns], record it in the telemetry cost histogram
+    of the named component, and book it into the machine ledger under
+    [account] (default: the component name). This is the only place
+    virtual time advances, so the ledger's conservation audit holds by
+    construction. When a tracer is attached, also emits a
+    [ledger.<account>] counter track with the account's running total. *)
 
-val charge_cycles : t -> string -> int -> unit
+val charge_cycles : t -> ?account:string -> string -> int -> unit
+(** Like {!charge} but in CPU cycles, converting via
+    {!Costs.cycles_ns_rem} with a per-machine carry so sub-ns remainders
+    accumulate instead of being lost to rounding. *)
 
 val now_ns : t -> int
 
 val obs : t -> Twine_obs.Obs.t
+
+val ledger : t -> Twine_obs.Ledger.t
+
+val track_machines : bool -> unit
+(** Enable (or disable) the global machine registry used by the bench
+    driver to audit every machine a section created. Clears the list. *)
+
+val tracked_machines : unit -> t list
+(** Machines created since [track_machines true], in creation order. *)
 
 val attach_tracer : ?capacity:int -> t -> Twine_obs.Trace.t
 (** Create a flight recorder on the machine's virtual clock, attach it

@@ -67,7 +67,7 @@ let set_wasm_factor f = calibrated_factor := Some f
 let host_io_svfs (machine : Machine.t) (inner : Svfs.t) : Svfs.t =
   let wrap_file (f : Svfs.file) : Svfs.file =
     let charge label n =
-      Machine.charge machine label
+      Machine.charge machine ~account:"host.io" label
         (machine.costs.untrusted_io_base_ns
         + Costs.bytes_ns machine.costs.untrusted_io_ns_per_byte n)
     in
@@ -92,7 +92,7 @@ let lkl_io_svfs (enclave : Enclave.t) (inner : Svfs.t) : Svfs.t =
   let wrap_file (f : Svfs.file) : Svfs.file =
     let io label n g =
       let run () =
-        Machine.charge machine label
+        Machine.charge machine ~account:"lkl.io" label
           (machine.costs.untrusted_io_base_ns
           + Costs.bytes_ns machine.costs.untrusted_io_ns_per_byte n);
         g ()
@@ -166,6 +166,7 @@ type t = {
   db : Db.t;
   wasm_factor : float;
   ns_per_work : float;
+  pager_work : int ref;  (* B-tree work units surfaced via Pager.hooks *)
   mutable pfs : Protected_fs.t option;
 }
 
@@ -212,6 +213,8 @@ let create ?machine ?(cache_pages = 2048) ?(ipfs_variant = Protected_fs.Optimize
      (the whole database lives in the process heap). *)
   let cache_pages = match storage with Mem -> 1_000_000 | File -> cache_pages in
   let hooks = Pager.default_hooks () in
+  let pager_work = ref 0 in
+  hooks.Pager.on_work <- (fun n -> pager_work := !pager_work + n);
   (match enclave with
   | Some e ->
       (* the page cache (and for Mem the whole database) is enclave
@@ -230,6 +233,7 @@ let create ?machine ?(cache_pages = 2048) ?(ipfs_variant = Protected_fs.Optimize
     db;
     wasm_factor;
     ns_per_work;
+    pager_work;
     pfs = !pfs;
   }
 
@@ -241,10 +245,19 @@ let exec t sql =
     | Some e -> Enclave.ecall e (fun _ -> Db.exec t.db sql)
     | None -> Db.exec t.db sql
   in
-  let w = float_of_int (Db.work t.db) in
   let factor = if is_wasm t.variant then t.wasm_factor else 1.0 in
-  Machine.charge t.machine "sqlite"
-    (int_of_float (Float.round (w *. t.ns_per_work *. factor)));
+  let charge account work_units =
+    Machine.charge t.machine ~account "sqlite"
+      (int_of_float
+         (Float.round (float_of_int work_units *. t.ns_per_work *. factor)))
+  in
+  charge "sqldb.exec" (Db.work t.db);
+  (* B-tree work units arrive via Pager.hooks between execs (open-time
+     work lands in the first exec); book them as pager time *)
+  if !(t.pager_work) > 0 then begin
+    charge "sqldb.pager" !(t.pager_work);
+    t.pager_work := 0
+  end;
   result
 
 let query t sql = (exec t sql).Db.rows

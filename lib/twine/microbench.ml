@@ -113,6 +113,7 @@ type breakdown = {
   ocall_ns : int;
   read_ns : int;  (* boundary copies + untrusted I/O + decryption *)
   sqlite_ns : int;
+  accounts : (string * int) list;  (* ledger delta of the phase, desc *)
 }
 
 let ipfs_breakdown ?(records = 2000) ?(blob_bytes = 512) ?(samples = 1500)
@@ -137,9 +138,19 @@ let ipfs_breakdown ?(records = 2000) ?(blob_bytes = 512) ?(samples = 1500)
   in
   let keys = [ "ipfs.memset"; "ipfs.ocall"; "wasi.ocall"; "ipfs.read"; "ipfs.crypto"; "sqlite" ] in
   let before = List.map (fun k -> (k, sum k)) keys in
+  let ledger = Twine_sgx.Machine.ledger machine in
+  let l0 = Twine_obs.Ledger.snapshot ledger in
   let t0 = Bench_db.now_ns ctx in
   rand_read ctx ~records ~samples ~seed:"breakdown";
   let total_ns = Bench_db.now_ns ctx - t0 in
+  let l1 = Twine_obs.Ledger.snapshot ledger in
+  let accounts =
+    Twine_obs.Ledger.diff l0 l1
+    |> List.filter_map (fun d ->
+           if d.Twine_obs.Ledger.delta_ns > 0 then
+             Some (d.Twine_obs.Ledger.account, d.Twine_obs.Ledger.delta_ns)
+           else None)
+  in
   let ns k = sum k - List.assoc k before in
   let r =
     {
@@ -149,6 +160,7 @@ let ipfs_breakdown ?(records = 2000) ?(blob_bytes = 512) ?(samples = 1500)
       ocall_ns = ns "ipfs.ocall" + ns "wasi.ocall";
       read_ns = ns "ipfs.read" + ns "ipfs.crypto";
       sqlite_ns = ns "sqlite";
+      accounts;
     }
   in
   Bench_db.close ctx;

@@ -185,11 +185,15 @@ type run_outcome = {
    Wasm activation, feeding the engine's cumulative fuel counter so the
    profiler can attribute instruction deltas. Host functions push no
    frame — their virtual-clock cost lands in the calling Wasm frame. *)
-let attach_profile prof (module_ : Ast.module_) (inst : Instance.t) =
+let attach_profile prof machine (module_ : Ast.module_) (inst : Instance.t) =
   Twine_obs.Profile.set_namer prof (fun i ->
       match Ast.func_name module_ i with
       | Some n -> n
       | None -> Printf.sprintf "func[%d]" i);
+  (* Route the machine ledger's attribution context through the shadow
+     stack: charges landing while a guest frame is live book into that
+     frame's row of the function x account matrix. *)
+  Twine_obs.Profile.connect_ledger prof (Machine.ledger machine);
   inst.Instance.hooks <-
     Some
       {
@@ -258,11 +262,12 @@ let run ?(args = [ "app" ]) ?env ?profile t =
           install_memory_hook t.enclave ~base:region.base
             ~committed:region.committed mem;
           (match profile with
-          | Some prof -> attach_profile prof module_ inst
+          | Some prof -> attach_profile prof t.machine module_ inst
           | None -> ());
           let finally () =
             (Memory.on_access mem) := None;
-            inst.Instance.hooks <- None
+            inst.Instance.hooks <- None;
+            Twine_obs.Ledger.set_context (Machine.ledger t.machine) None
           in
           let exit_code =
             Fun.protect ~finally (fun () ->

@@ -158,5 +158,7 @@ let providers ?(strict = false) (enclave : Enclave.t) : Api.providers =
     random = (fun n -> Enclave.random enclave n);  (* trusted: in-enclave DRBG *)
     stdout = (fun s -> Enclave.copy_out enclave (String.length s));
     stderr = (fun s -> Enclave.copy_out enclave (String.length s));
-    on_call = (fun _ -> Machine.charge machine "wasi.dispatch" 40);
+    on_call =
+      (fun name ->
+        Machine.charge machine ~account:("wasi." ^ name) "wasi.dispatch" 40);
   }

@@ -274,7 +274,9 @@ let functions t =
           | Some o ->
               Twine_obs.Obs.inc o "wasi.hostcall";
               Twine_obs.Obs.inc o ("wasi." ^ name);
-              Twine_obs.Obs.emit o ~cat:"wasi" ("wasi." ^ name)
+              Twine_obs.Obs.emit o ~cat:"wasi"
+                ~args:[ ("calls", Twine_obs.Obs.value o ("wasi." ^ name)) ]
+                ("wasi." ^ name)
           | None -> ());
           t.providers.on_call name;
           f args) )

@@ -116,6 +116,90 @@ let test_report_json () =
       {|"sgx.epc_fault":{"count":1,"sum_ns":10526,"min_ns":10526,"max_ns":10526}|};
       {|"twine.main":{"calls":1,"total_ns":0,"self_ns":0}|} ]
 
+(* --- baseline JSON: round-trip and verdict rendering --- *)
+
+let test_baseline_round_trip () =
+  let b =
+    Baseline.create
+      ~meta:[ ("generator", "test"); ("note", "round trip") ]
+      [ Baseline.v ~tol:0.02 "report.virtual_ns" 12345;
+        Baseline.v ~tol:0.0 "report.fuel" 2647;
+        Baseline.vf "polybench.atax.native_wall_ns" 98765.0 ]
+  in
+  match Baseline.of_string (Baseline.to_string b) with
+  | Error msg -> Alcotest.fail msg
+  | Ok b' ->
+      Alcotest.(check bool) "meta survives" true (b.Baseline.meta = b'.Baseline.meta);
+      Alcotest.(check int) "metric count" 3 (List.length b'.Baseline.metrics);
+      List.iter2
+        (fun (p, (m : Baseline.metric)) (p', (m' : Baseline.metric)) ->
+          Alcotest.(check string) "path order preserved" p p';
+          Alcotest.(check (float 0.0)) (p ^ " value") m.Baseline.value m'.Baseline.value;
+          Alcotest.(check bool) (p ^ " tol survives (incl. None)") true
+            (m.Baseline.tol = m'.Baseline.tol))
+        b.Baseline.metrics b'.Baseline.metrics
+
+let test_baseline_verdicts () =
+  let baseline =
+    Baseline.create
+      [ Baseline.v ~tol:0.1 "guarded" 100;
+        Baseline.v "informational" 100;
+        Baseline.v ~tol:0.0 "vanished" 7 ]
+  in
+  let current =
+    Baseline.create
+      [ Baseline.v ~tol:0.1 "guarded" 105;
+        (* informational drifts wildly but must not gate *)
+        Baseline.v "informational" 900 ]
+  in
+  let vs = Baseline.check ~baseline ~current in
+  let find p = List.find (fun v -> v.Baseline.path = p) vs in
+  Alcotest.(check bool) "in-band metric ok" true (find "guarded").Baseline.ok;
+  Alcotest.(check bool) "informational never gates" true
+    (find "informational").Baseline.ok;
+  Alcotest.(check bool) "missing metric fails" false (find "vanished").Baseline.ok;
+  Alcotest.(check bool) "missing metric has no got" true
+    ((find "vanished").Baseline.got = None);
+  let table = Baseline.render vs in
+  Alcotest.(check bool) "informational renders as info, not ok" true
+    (contains table "info");
+  Alcotest.(check bool) "missing renders FAIL" true (contains table "FAIL");
+  Alcotest.(check bool) "missing shows as missing" true (contains table "missing")
+
+(* Golden shape check: the report JSON parses back and exposes exactly
+   the members downstream tooling keys on, including the ledger. *)
+let test_report_json_shape () =
+  let machine = Machine.create ~seed:"obs-shape" () in
+  let obs = machine.Machine.obs in
+  Machine.charge machine "sgx.launch" 1000;
+  Machine.charge machine ~account:"mee.copy" "sgx.copy_in" 500;
+  Obs.inc obs "epc.hit";
+  Obs.in_span obs "twine.main" (fun () -> ());
+  let j = Report.to_json ~ledger:(Machine.ledger machine) obs in
+  match Json.parse j with
+  | Error msg -> Alcotest.fail ("report JSON does not parse: " ^ msg)
+  | Ok json ->
+      let member_exn path j =
+        match Json.member path j with
+        | Some v -> v
+        | None -> Alcotest.fail (Printf.sprintf "missing member %S" path)
+      in
+      List.iter
+        (fun m -> ignore (member_exn m json))
+        [ "counters"; "histograms"; "spans"; "ledger" ];
+      let ledger = member_exn "ledger" json in
+      Alcotest.(check (option string)) "ledger schema"
+        (Some Ledger.schema)
+        (Json.to_str (member_exn "schema" ledger));
+      Alcotest.(check (option (float 0.0))) "booked total in JSON" (Some 1500.)
+        (Json.to_float (member_exn "booked_ns" ledger));
+      let copy = member_exn "mee.copy" (member_exn "accounts" ledger) in
+      Alcotest.(check (option (float 0.0))) "account ns" (Some 500.)
+        (Json.to_float (member_exn "ns" copy));
+      Alcotest.(check (option (float 0.0))) "histogram sum round-trips" (Some 500.)
+        (Json.to_float
+           (member_exn "sum_ns" (member_exn "sgx.copy_in" (member_exn "histograms" json))))
+
 (* --- regression: C-string loads feed the access hook / EPC --- *)
 
 let test_cstring_epc_pressure () =
@@ -194,6 +278,12 @@ let () =
         [
           Alcotest.test_case "table" `Quick test_report_render;
           Alcotest.test_case "json" `Quick test_report_json;
+          Alcotest.test_case "json shape (golden)" `Quick test_report_json_shape;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "verdicts" `Quick test_baseline_verdicts;
         ] );
       ( "accounting regressions",
         [

@@ -13,7 +13,8 @@ let fresh_machine ?costs ?epc_bytes () =
 let test_epc_fault_then_hit () =
   let epc = Epc.create ~limit_bytes:(4 * page) () in
   let p i = Epc.page_of ~enclave_id:1 ~page_no:i in
-  Alcotest.(check bool) "first touch faults" true (Epc.touch epc (p 0) = `Fault);
+  let faulted = match Epc.touch epc (p 0) with `Fault _ -> true | `Hit -> false in
+  Alcotest.(check bool) "first touch faults" true faulted;
   Alcotest.(check bool) "second touch hits" true (Epc.touch epc (p 0) = `Hit);
   Alcotest.(check int) "one fault" 1 (Epc.faults epc)
 
@@ -23,7 +24,12 @@ let test_epc_eviction () =
   ignore (Epc.touch epc (p 0));
   ignore (Epc.touch epc (p 1));
   ignore (Epc.touch epc (p 2));  (* evicts p0 *)
-  Alcotest.(check bool) "evicted page refaults" true (Epc.touch epc (p 0) = `Fault);
+  let refault =
+    match Epc.touch epc (p 0) with
+    | `Fault evicted -> evicted  (* full EPC: the refault also evicts *)
+    | `Hit -> false
+  in
+  Alcotest.(check bool) "evicted page refaults (and evicts)" true refault;
   Alcotest.(check int) "resident bounded" 2 (Epc.resident_pages epc)
 
 let test_epc_release_enclave () =
@@ -66,19 +72,27 @@ let test_ecall_ocall_costs () =
   Alcotest.(check int) "ecall returns" 42 v;
   let ecall_cost = Machine.now_ns m - t0 in
   let expected = 2 * Costs.cycles_ns m.costs m.costs.transition_cycles in
-  Alcotest.(check int) "ecall = 2 crossings" expected ecall_cost;
+  (* cycle charges carry their sub-ns remainder forward, so a pair of
+     crossings lands within 1 ns of the rounded per-crossing figure *)
+  let within label tol want got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s (want %d +/-%d, got %d)" label want tol got)
+      true
+      (abs (got - want) <= tol)
+  in
+  within "ecall = 2 crossings" 1 expected ecall_cost;
   Alcotest.(check int) "transition count" 2 (Enclave.transitions e);
   (* nested ecall is free *)
   let t1 = Machine.now_ns m in
   ignore (Enclave.ecall e (fun _ -> Enclave.ecall e (fun _ -> ())));
-  Alcotest.(check int) "nested ecall charges once" expected (Machine.now_ns m - t1);
+  within "nested ecall charges once" 1 expected (Machine.now_ns m - t1);
   (* ocall requires being inside *)
   Alcotest.check_raises "ocall outside"
     (Invalid_argument "Enclave.ocall: not inside an ecall") (fun () ->
       Enclave.ocall e (fun () -> ()));
   let t2 = Machine.now_ns m in
   Enclave.ecall e (fun _ -> Enclave.ocall e (fun () -> ()));
-  Alcotest.(check int) "ecall+ocall = 4 crossings" (2 * expected) (Machine.now_ns m - t2)
+  within "ecall+ocall = 4 crossings" 2 (2 * expected) (Machine.now_ns m - t2)
 
 let test_enclave_alloc_touch_faults () =
   (* EPC smaller than the allocation: touching it all causes faults and
