@@ -799,6 +799,209 @@ let profile_section () =
   Printf.printf "ledger JSON -> %s\n" profile_ledger_file
 
 (* ------------------------------------------------------------------ *)
+(* Crash matrix: fault injection + crash-point recovery                *)
+(* ------------------------------------------------------------------ *)
+
+(* The crash section drives the full storage stack — SQL transactions
+   through the pager onto protected files over an untrusted backing —
+   while a crash-point log records every backing mutation. It then
+   replays EVERY prefix of that log into a fresh store (plus a torn
+   variant that half-applies the next write), reopens the database with
+   the same machine seed (so sealed files re-derive their keys) and
+   checks the recovered rows equal a transaction boundary: the last
+   committed state, or — for a crash inside a commit whose writes all
+   landed — the in-flight one. Anything else (a torn mix, a spurious
+   Integrity_violation) fails the harness.
+
+   A second pass arms a seeded fault plan of Delay injections over the
+   same workload twice and checks the injection sequence AND the ledger
+   snapshot reproduce exactly — the determinism contract that makes a
+   failing fault plan a reproducible artifact. *)
+
+let crash_seed = "crash-matrix"
+
+let crash_workload =
+  [
+    "INSERT INTO t (id, v) VALUES (1, 'a'), (2, 'b'), (3, 'c')";
+    "UPDATE t SET v = 'B' WHERE id = 2";
+    "INSERT INTO t (id, v) VALUES (4, 'd')";
+    "DELETE FROM t WHERE id = 1";
+    "UPDATE t SET v = 'C' WHERE id = 3";
+  ]
+
+let crash_select = "SELECT id, v FROM t ORDER BY id"
+
+(* Build the stack over [backing]; small caches so pager and node-cache
+   evictions (and hence mid-transaction in-place writes) happen. *)
+let crash_stack backing =
+  let machine = Machine.create ~seed:crash_seed () in
+  let enclave =
+    Enclave.create machine ~signer:"crash" ~heap_bytes:(2 * 1024 * 1024)
+      ~code:Runtime.runtime_code ()
+  in
+  let fs =
+    Twine_ipfs.Protected_fs.create enclave backing
+      ~variant:Twine_ipfs.Protected_fs.Optimized ~cache_nodes:8 ()
+  in
+  let vfs = Bench_db.pfs_svfs fs in
+  let db = Twine_sqldb.Db.open_db ~vfs ~cache_pages:16 ~obs:machine.Machine.obs "crash.db" in
+  (machine, db)
+
+let crash_query db =
+  match Twine_sqldb.Db.query db crash_select with
+  | rows -> Some rows
+  | exception Twine_sqldb.Db.Sql_error _ -> None  (* table not created yet *)
+
+let replay_backing log ~at ~torn =
+  let b = Twine_ipfs.Backing.memory () in
+  Twine_sim.Crashpoint.replay ~torn log ~at
+    ~apply:(fun op ->
+      match op with
+      | Twine_sim.Crashpoint.Write { file; pos; data } ->
+          Twine_ipfs.Backing.write b file ~pos data
+      | Twine_sim.Crashpoint.Truncate { file; size } ->
+          Twine_ipfs.Backing.truncate b file size
+      | Twine_sim.Crashpoint.Delete { file } ->
+          ignore (Twine_ipfs.Backing.delete b file)
+      | Twine_sim.Crashpoint.Sync _ -> ());
+  b
+
+let crash_section () =
+  section "Crash matrix: every backing-op prefix, recover, verify";
+  (* 1. record the workload *)
+  let log = Twine_sim.Crashpoint.create () in
+  let backing = Twine_ipfs.Backing.logged log (Twine_ipfs.Backing.memory ()) in
+  let machine, db = crash_stack backing in
+  ignore (Twine_sqldb.Db.exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+  let snapshots = ref [ (Twine_sim.Crashpoint.length log, Some []) ] in
+  List.iter
+    (fun sql ->
+      ignore (Twine_sqldb.Db.exec db sql);
+      snapshots :=
+        (Twine_sim.Crashpoint.length log, crash_query db) :: !snapshots)
+    crash_workload;
+  Twine_sqldb.Db.close db;
+  let snapshots = List.rev !snapshots in
+  let journal_ns = Twine_obs.Ledger.ns (Machine.ledger machine) "ipfs.journal" in
+  let total_ns = Machine.now_ns machine in
+  let n_ops = Twine_sim.Crashpoint.length log in
+  Printf.printf "workload: %d transaction(s), %d backing op(s); \
+                 journal overhead %.2f%% of %.3f ms\n"
+    (List.length crash_workload + 1) n_ops
+    (100. *. float_of_int journal_ns /. float_of_int (max 1 total_ns))
+    (float_of_int total_ns /. 1e6);
+  (* 2. replay every prefix (clean and torn) and verify recovery *)
+  let failures = ref [] in
+  let recoveries = ref 0 and max_recovery_ns = ref 0 in
+  let verify ~torn at =
+    match
+      let b = replay_backing log ~at ~torn in
+      let m2, db2 = crash_stack b in
+      let got = crash_query db2 in
+      Twine_sqldb.Db.close db2;
+      (got, Twine_obs.Ledger.ns (Machine.ledger m2) "ipfs.recovery")
+    with
+    | exception e ->
+        failures := (at, torn, "exception " ^ Printexc.to_string e) :: !failures
+    | got, rec_ns ->
+        if rec_ns > 0 then begin
+          incr recoveries;
+          if rec_ns > !max_recovery_ns then max_recovery_ns := rec_ns
+        end;
+        (* acceptable: the last state committed within the prefix, or the
+           in-flight transaction when its commit writes all made the cut *)
+        let committed =
+          List.filter (fun (oplen, _) -> oplen <= at) snapshots
+          |> List.rev
+          |> function (_, s) :: _ -> Some s | [] -> None
+        in
+        let next =
+          List.find_opt (fun (oplen, _) -> oplen > at) snapshots
+          |> Option.map snd
+        in
+        let acceptable =
+          (match committed with Some s -> [ s ] | None -> [ None; Some [] ])
+          @ (match next with Some s -> [ s ] | None -> [])
+        in
+        if not (List.mem got acceptable) then
+          let desc =
+            match got with
+            | None -> "no table"
+            | Some rows -> Printf.sprintf "%d row(s)" (List.length rows)
+          in
+          failures := (at, torn, desc) :: !failures
+  in
+  for at = 0 to n_ops do
+    verify ~torn:false at;
+    if at < n_ops then verify ~torn:true at
+  done;
+  Printf.printf
+    "replayed %d crash point(s) (+%d torn): all recovered to a transaction \
+     boundary\n"
+    (n_ops + 1) n_ops;
+  Printf.printf "journal rollbacks: %d, worst recovery cost %.1f us\n"
+    !recoveries
+    (float_of_int !max_recovery_ns /. 1e3);
+  if !failures <> [] then begin
+    let oc = open_out "crash-failures.txt" in
+    Printf.fprintf oc "seed: %s\nworkload:\n" crash_seed;
+    List.iter (fun sql -> Printf.fprintf oc "  %s\n" sql) crash_workload;
+    List.iter
+      (fun (at, torn, desc) ->
+        Printf.fprintf oc "cut %d%s: recovered to NON-boundary state (%s)\n" at
+          (if torn then " (torn)" else "")
+          desc)
+      (List.rev !failures);
+    close_out oc;
+    Printf.printf
+      "CRASH MATRIX FAILED: %d bad crash point(s); plan in crash-failures.txt\n"
+      (List.length !failures);
+    exit 1
+  end;
+  (* 3. fault-plan determinism: same seed => same injections, same books *)
+  let plan =
+    Twine_sim.Fault.plan ~seed:crash_seed
+      [
+        Twine_sim.Fault.rule ~prob:0.05 "backing.write"
+          (Twine_sim.Fault.Delay 400);
+        Twine_sim.Fault.rule ~prob:0.03 "backing.read"
+          (Twine_sim.Fault.Delay 900);
+        Twine_sim.Fault.rule ~nth:7 "wasi.fd_write" Twine_sim.Fault.Fail;
+      ]
+  in
+  let injected_run () =
+    let machine, db = crash_stack (Twine_ipfs.Backing.memory ()) in
+    Machine.arm_faults machine plan;
+    Fun.protect ~finally:Machine.disarm_faults (fun () ->
+        ignore
+          (Twine_sqldb.Db.exec db "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)");
+        List.iter (fun sql -> ignore (Twine_sqldb.Db.exec db sql)) crash_workload;
+        Twine_sqldb.Db.close db);
+    ( Twine_sim.Fault.injections plan,
+      Twine_obs.Ledger.to_string
+        (Twine_obs.Ledger.snapshot (Machine.ledger machine)),
+      machine )
+  in
+  let inj1, books1, m1 = injected_run () in
+  let inj2, books2, _ = injected_run () in
+  if inj1 <> inj2 || books1 <> books2 then begin
+    Printf.printf
+      "FAULT PLAN NOT DETERMINISTIC: %d vs %d injection(s), books %s\n"
+      (List.length inj1) (List.length inj2)
+      (if books1 = books2 then "equal" else "differ");
+    exit 1
+  end;
+  Printf.printf
+    "fault plan '%s': %d injection(s), identical sequence and ledger across \
+     two runs\n"
+    crash_seed (List.length inj1);
+  List.iter
+    (fun acct ->
+      let ns = Twine_obs.Ledger.ns (Machine.ledger m1) acct in
+      if ns > 0 then Printf.printf "  %-22s %8d ns booked under injection\n" acct ns)
+    [ "fault.backing.write"; "fault.backing.read"; "fault.wasi.fd_write" ]
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable baseline: `bench json` / `bench check`             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1087,4 +1290,5 @@ let () =
   if want "micro" then bechamel_suite ();
   if want "report" then audited "report" report;
   if want "profile" then audited "profile" profile_section;
+  if want "crash" then audited "crash" crash_section;
   Printf.printf "\ndone.\n"

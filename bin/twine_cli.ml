@@ -43,6 +43,11 @@ let run_cmd =
   let args =
     Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"ARG" ~doc:"Argument passed to the guest.")
   in
+  let fuel_limit =
+    Arg.(value & opt (some int) None & info [ "fuel-limit" ] ~docv:"N"
+           ~doc:"Trap the guest deterministically after executing $(docv) \
+                 instructions (same trap point in both engines).")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print enclave statistics after the run.") in
   let profile =
     Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
@@ -70,8 +75,8 @@ let run_cmd =
                    with the conservation audit totals) as JSON to $(docv). \
                    Two such files feed $(b,twine diff).")
   in
-  let run path no_sgx interp strict dir args stats profile trace profile_wasm
-      ledger_out =
+  let run path no_sgx interp strict dir args fuel_limit stats profile trace
+      profile_wasm ledger_out =
     let module_ = load_module path in
     if no_sgx then begin
       let preopens =
@@ -129,7 +134,9 @@ let run_cmd =
         | _ -> ()
       in
       let r =
-        try Twine.Runtime.run ~args:(Filename.basename path :: args) ?profile:prof rt
+        try
+          Twine.Runtime.run ~args:(Filename.basename path :: args) ?profile:prof
+            ?fuel_limit rt
         with Twine_wasm.Values.Trap _ as e ->
           Printf.eprintf "twine: guest trap: %s\n" (Twine_wasm.Interp.trap_message e);
           (* the profile up to the trap point is still valid (the shadow
@@ -195,8 +202,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a WASI command inside the simulated TWINE enclave.")
-    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ stats $ profile
-          $ trace $ profile_wasm $ ledger_out)
+    Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ fuel_limit
+          $ stats $ profile $ trace $ profile_wasm $ ledger_out)
 
 (* --- diff --- *)
 

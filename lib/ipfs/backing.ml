@@ -1,6 +1,11 @@
+open Twine_sim
+
 type mem_file = { mutable data : Bytes.t; mutable len : int }
 
-type impl = Memory of (string, mem_file) Hashtbl.t | Directory of string
+type impl =
+  | Memory of (string, mem_file) Hashtbl.t
+  | Directory of string
+  | Logged of Crashpoint.log * impl
 
 type t = impl
 
@@ -10,16 +15,27 @@ let directory root =
   if not (Sys.file_exists root) then Unix.mkdir root 0o755;
   Directory root
 
-(* Keys may contain '/'; encode them so everything stays flat in [root]. *)
+let logged log inner = Logged (log, inner)
+
+(* Keys may contain '/'; encode them so everything stays flat in [root].
+   A leading '.' is encoded too, so the keys "." and ".." (which would
+   name the root itself or escape it) and "" (which would vanish) map to
+   ordinary files. The scheme stays injective: '%' is itself escaped, so
+   no plain key can collide with an encoded one. *)
 let encode_key key =
-  let b = Buffer.create (String.length key) in
-  String.iter
-    (function
-      | '/' -> Buffer.add_string b "%2f"
-      | '%' -> Buffer.add_string b "%25"
-      | c -> Buffer.add_char b c)
-    key;
-  Buffer.contents b
+  if key = "" then "%empty"
+  else begin
+    let b = Buffer.create (String.length key) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '/' -> Buffer.add_string b "%2f"
+        | '%' -> Buffer.add_string b "%25"
+        | '.' when i = 0 -> Buffer.add_string b "%2e"
+        | c -> Buffer.add_char b c)
+      key;
+    Buffer.contents b
+  end
 
 let host_path root key = Filename.concat root (encode_key key)
 
@@ -41,9 +57,9 @@ let mem_ensure f n =
   (* Zero any gap between the current end and the write position. *)
   if n > f.len then Bytes.fill f.data f.len (n - f.len) '\000'
 
-let read t key ~pos ~len =
-  if pos < 0 || len < 0 then invalid_arg "Backing.read";
+let rec raw_read t key ~pos ~len =
   match t with
+  | Logged (_, inner) -> raw_read inner key ~pos ~len
   | Memory tbl -> (
       match Hashtbl.find_opt tbl key with
       | None -> ""
@@ -66,9 +82,22 @@ let read t key ~pos ~len =
             end)
       end)
 
-let write t key ~pos data =
-  if pos < 0 then invalid_arg "Backing.write";
+let read t key ~pos ~len =
+  if pos < 0 || len < 0 then invalid_arg "Backing.read";
+  let data = raw_read t key ~pos ~len in
+  match Fault.consult "backing.read" with
+  | None -> data
+  | Some Fault.Fail -> raise (Fault.Transient ("backing.read " ^ key))
+  | Some Fault.Crash -> raise (Fault.Crashed ("backing.read " ^ key))
+  | Some Fault.Drop -> ""
+  | Some ((Fault.Torn _ | Fault.Corrupt) as a) -> Fault.mutilate a data
+  | Some (Fault.Delay _) -> data
+
+let rec raw_write t key ~pos data =
   match t with
+  | Logged (log, inner) ->
+      Crashpoint.record log (Crashpoint.Write { file = key; pos; data });
+      raw_write inner key ~pos data
   | Memory tbl ->
       let f = mem_get tbl key in
       let endpos = pos + String.length data in
@@ -91,8 +120,20 @@ let write t key ~pos data =
           in
           loop 0 (Bytes.length b))
 
-let size t key =
+let write t key ~pos data =
+  if pos < 0 then invalid_arg "Backing.write";
+  match Fault.consult "backing.write" with
+  | None -> raw_write t key ~pos data
+  | Some Fault.Fail -> raise (Fault.Transient ("backing.write " ^ key))
+  | Some Fault.Crash -> raise (Fault.Crashed ("backing.write " ^ key))
+  | Some Fault.Drop -> ()
+  | Some ((Fault.Torn _ | Fault.Corrupt) as a) ->
+      raw_write t key ~pos (Fault.mutilate a data)
+  | Some (Fault.Delay _) -> raw_write t key ~pos data
+
+let rec size t key =
   match t with
+  | Logged (_, inner) -> size inner key
   | Memory tbl -> Option.map (fun f -> f.len) (Hashtbl.find_opt tbl key)
   | Directory root ->
       let path = host_path root key in
@@ -100,8 +141,11 @@ let size t key =
 
 let exists t key = size t key <> None
 
-let delete t key =
+let rec delete t key =
   match t with
+  | Logged (log, inner) ->
+      Crashpoint.record log (Crashpoint.Delete { file = key });
+      delete inner key
   | Memory tbl ->
       let existed = Hashtbl.mem tbl key in
       Hashtbl.remove tbl key;
@@ -114,8 +158,11 @@ let delete t key =
       end
       else false
 
-let truncate t key n =
+let rec truncate t key n =
   match t with
+  | Logged (log, inner) ->
+      Crashpoint.record log (Crashpoint.Truncate { file = key; size = n });
+      truncate inner key n
   | Memory tbl -> (
       match Hashtbl.find_opt tbl key with
       | None -> ()
@@ -124,7 +171,8 @@ let truncate t key n =
       let path = host_path root key in
       if Sys.file_exists path then Unix.truncate path n
 
-let list t =
+let rec list t =
   match t with
+  | Logged (_, inner) -> list inner
   | Memory tbl -> Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
   | Directory root -> Array.to_list (Sys.readdir root) |> List.sort String.compare

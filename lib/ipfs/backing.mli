@@ -8,13 +8,22 @@ val memory : unit -> t
 
 val directory : string -> t
 (** Store files under a real directory on the host file system. Path
-    separators in keys are encoded, so keys cannot escape the root. *)
+    separators, leading dots and the empty key are encoded, so keys
+    (including ["."], [".."] and [""]) cannot escape or name the root. *)
+
+val logged : Twine_sim.Crashpoint.log -> t -> t
+(** Record every mutation (write/truncate/delete) of the wrapped store
+    into a crash-point op log, for prefix-replay crash exploration. *)
 
 val read : t -> string -> pos:int -> len:int -> string
-(** Short reads at EOF return fewer bytes; a missing file reads as empty. *)
+(** Short reads at EOF return fewer bytes; a missing file reads as empty.
+    Fault site ["backing.read"]: injected faults shorten, corrupt or
+    fail the read. *)
 
 val write : t -> string -> pos:int -> string -> unit
-(** Extends the file with zero bytes if [pos] is past its current end. *)
+(** Extends the file with zero bytes if [pos] is past its current end.
+    Fault site ["backing.write"]: injected faults tear, corrupt, drop
+    or fail the write. *)
 
 val size : t -> string -> int option
 val exists : t -> string -> bool

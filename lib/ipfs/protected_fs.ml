@@ -7,9 +7,19 @@ let node_size = 4096
 let iv_len = 12
 let tag_len = 16
 let magic = "PFS1"
+let journal_magic = "PFSJ"
+let tombstone = "DEAD"
 
-(* Per-node sealing material kept in the encrypted header. *)
-type entry = { mutable iv : string; mutable tag : string; mutable present : bool }
+(* Per-node sealing material kept in the encrypted header. [present] is
+   the in-memory view (mutated as writes land); [c_present] is whether
+   the node exists under the last *committed* header — the pre-image
+   journal only needs to preserve nodes the committed state can see. *)
+type entry = {
+  mutable iv : string;
+  mutable tag : string;
+  mutable present : bool;
+  mutable c_present : bool;
+}
 
 type node = { plaintext : Bytes.t; mutable dirty : bool; slot : int }
 
@@ -33,6 +43,11 @@ type file = {
   mutable entries : entry array;
   cache : (int, node) Twine_sim.Lru.t;
   cache_base : int;  (* enclave address of the node cache region *)
+  mutable gen : int;  (* committed header generation (0 = none yet) *)
+  mutable live_slot : int;  (* slot holding generation [gen]; -1 = none *)
+  mutable jrnl_started : bool;  (* journal header written this txn *)
+  mutable jrnl_count : int;
+  journaled : (int, unit) Hashtbl.t;  (* node idx -> pre-image saved *)
   mutable closed : bool;
 }
 
@@ -45,7 +60,12 @@ let create enclave backing ?(variant = Stock) ?(cache_nodes = 48) () =
 let variant t = t.variant
 let enclave t = t.enclave
 
+(* Two header slots: a commit writes the inactive slot, so a torn header
+   write leaves the previous generation intact (old-or-new). *)
 let meta_path path = path ^ ".pfsmeta"
+let meta2_path path = path ^ ".pfsmeta2"
+let slot_path path slot = if slot = 0 then meta_path path else meta2_path path
+let journal_path path = path ^ ".pfsjrnl"
 
 let machine t = Enclave.machine t.enclave
 let obs t = (machine t).Machine.obs
@@ -55,9 +75,9 @@ let obs t = (machine t).Machine.obs
 let in_enclave t f =
   if Enclave.inside t.enclave then f () else Enclave.ecall t.enclave (fun _ -> f ())
 
-let charge_untrusted_io t label n =
+let charge_untrusted_io t ?(account = "ipfs.io") label n =
   let m = machine t in
-  Machine.charge m ~account:"ipfs.io" label
+  Machine.charge m ~account label
     (m.costs.untrusted_io_base_ns + Costs.bytes_ns m.costs.untrusted_io_ns_per_byte n)
 
 let charge_crypto t n =
@@ -86,35 +106,42 @@ let get_u64 s off =
   for i = 7 downto 0 do v := (!v lsl 8) lor Char.code s.[off + i] done;
   !v
 
-let serialize_header file =
-  let b = Buffer.create (16 + (Array.length file.entries * (iv_len + tag_len + 1))) in
-  put_u64 b file.size;
-  put_u32 b (Array.length file.entries);
+(* Header plaintext: [gen u64][size u64][count u32][entries...] — the
+   generation is under the header's authentication tag, so an attacker
+   cannot graft one generation's entry table onto another's. *)
+let serialize_header ~gen ~size entries =
+  let b = Buffer.create (20 + (Array.length entries * (iv_len + tag_len + 1))) in
+  put_u64 b gen;
+  put_u64 b size;
+  put_u32 b (Array.length entries);
   Array.iter
     (fun e ->
       Buffer.add_char b (if e.present then '\001' else '\000');
       Buffer.add_string b (if e.present then e.iv else String.make iv_len '\000');
       Buffer.add_string b (if e.present then e.tag else String.make tag_len '\000'))
-    file.entries;
+    entries;
   Buffer.contents b
 
 let deserialize_header s =
-  if String.length s < 12 then raise (Integrity_violation "header too short");
-  let size = get_u64 s 0 in
-  let count = get_u32 s 8 in
+  if String.length s < 20 then raise (Integrity_violation "header too short");
+  let gen = get_u64 s 0 in
+  let size = get_u64 s 8 in
+  let count = get_u32 s 16 in
   let stride = 1 + iv_len + tag_len in
-  if String.length s < 12 + (count * stride) then
+  if String.length s < 20 + (count * stride) then
     raise (Integrity_violation "header truncated");
   let entries =
     Array.init count (fun i ->
-        let off = 12 + (i * stride) in
+        let off = 20 + (i * stride) in
+        let present = s.[off] = '\001' in
         {
-          present = s.[off] = '\001';
+          present;
+          c_present = present;
           iv = String.sub s (off + 1) iv_len;
           tag = String.sub s (off + 1 + iv_len) tag_len;
         })
   in
-  (size, entries)
+  (gen, size, entries)
 
 (* --- Node encryption --- *)
 
@@ -148,11 +175,87 @@ let ensure_entry file idx =
     let grown =
       Array.init (max (idx + 1) (max 4 (2 * n))) (fun i ->
           if i < n then file.entries.(i)
-          else { iv = ""; tag = ""; present = false })
+          else { iv = ""; tag = ""; present = false; c_present = false })
     in
     file.entries <- grown
   end;
   file.entries.(idx)
+
+(* --- Node pre-image journal ---
+
+   In-place node writes are what make a torn commit unrecoverable: once
+   node k holds new ciphertext, the old header's (iv, tag) for k no
+   longer authenticates. Before the first overwrite of a committed node
+   in a commit interval, its on-disk ciphertext is appended to a journal
+   keyed by the committed generation; recovery at open rolls the
+   pre-images back iff the journal generation matches the live header
+   (i.e. the crash happened before the next header landed). The journal
+   shuffles ciphertext between untrusted files, so it costs OCALL + I/O
+   but no enclave copies or crypto. *)
+
+let jrnl_stride = 4 + 1 + node_size
+
+let journal_begin file =
+  if not file.jrnl_started then begin
+    let fs = file.fs in
+    let jp = journal_path file.path in
+    let b = Buffer.create 16 in
+    Buffer.add_string b journal_magic;
+    put_u64 b file.gen;
+    put_u32 b 0;
+    let hdr = Buffer.contents b in
+    Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+        charge_untrusted_io fs ~account:"ipfs.journal" "ipfs.journal"
+          (String.length hdr);
+        Backing.write fs.backing jp ~pos:0 hdr);
+    file.jrnl_started <- true;
+    file.jrnl_count <- 0
+  end
+
+let journal_node file idx =
+  if
+    idx < Array.length file.entries
+    && file.entries.(idx).c_present
+    && not (Hashtbl.mem file.journaled idx)
+  then begin
+    journal_begin file;
+    let fs = file.fs in
+    let jp = journal_path file.path in
+    let entry_pos = 16 + (file.jrnl_count * jrnl_stride) in
+    Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+        (* ciphertext-to-ciphertext, entirely in untrusted memory *)
+        charge_untrusted_io fs ~account:"ipfs.journal" "ipfs.journal"
+          (2 * node_size) ;
+        let old_ct =
+          Backing.read fs.backing file.path ~pos:(idx * node_size) ~len:node_size
+        in
+        let old_ct =
+          if String.length old_ct >= node_size then String.sub old_ct 0 node_size
+          else old_ct ^ String.make (node_size - String.length old_ct) '\000'
+        in
+        let b = Buffer.create jrnl_stride in
+        put_u32 b idx;
+        Buffer.add_char b '\001';
+        Buffer.add_string b old_ct;
+        Backing.write fs.backing jp ~pos:entry_pos (Buffer.contents b);
+        (* entry durable first, then the count that makes it visible *)
+        let c = Buffer.create 4 in
+        put_u32 c (file.jrnl_count + 1);
+        Backing.write fs.backing jp ~pos:12 (Buffer.contents c));
+    file.jrnl_count <- file.jrnl_count + 1;
+    Hashtbl.replace file.journaled idx ()
+  end
+
+let journal_end file =
+  if file.jrnl_started then begin
+    let fs = file.fs in
+    Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+        charge_untrusted_io fs ~account:"ipfs.journal" "ipfs.journal" 16;
+        ignore (Backing.delete fs.backing (journal_path file.path)));
+    file.jrnl_started <- false;
+    file.jrnl_count <- 0
+  end;
+  Hashtbl.reset file.journaled
 
 (* --- Cache management with cost accounting --- *)
 
@@ -160,6 +263,7 @@ let slot_addr file slot = file.cache_base + (slot * 2 * node_size)
 
 let write_back file idx (node : node) =
   let fs = file.fs in
+  journal_node file idx;
   let pt = Bytes.to_string node.plaintext in
   charge_crypto fs node_size;
   let iv, ct, tag = encrypt_node file idx pt in
@@ -199,7 +303,7 @@ let load_node file idx =
       if fs.variant = Stock then
         Enclave.memset fs.enclave ~label:"ipfs.memset" ((2 * node_size) + 64);
       let e = if idx < Array.length file.entries then file.entries.(idx) else
-          { iv = ""; tag = ""; present = false } in
+          { iv = ""; tag = ""; present = false; c_present = false } in
       let plaintext =
         if e.present then begin
           let ct =
@@ -228,9 +332,14 @@ let load_node file idx =
 
 (* --- Header I/O --- *)
 
+(* Commit point: serialize under the new generation and write the slot
+   NOT holding the live header. A torn write damages only the inactive
+   slot; the moment the blob is complete, the new generation wins slot
+   selection at open. *)
 let write_header file =
   let fs = file.fs in
-  let pt = serialize_header file in
+  let gen = file.gen + 1 in
+  let pt = serialize_header ~gen ~size:file.size file.entries in
   charge_crypto fs (String.length pt);
   let iv = Enclave.random fs.enclave iv_len in
   let ct, tag = Gcm.encrypt file.header_key ~iv ~aad:"header" pt in
@@ -241,35 +350,168 @@ let write_header file =
   Buffer.add_string b ct;
   Buffer.add_string b tag;
   let blob = Buffer.contents b in
+  let target = if file.live_slot = 0 then 1 else 0 in
   Enclave.copy_out fs.enclave ~label:"ipfs.write" (String.length blob);
   Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
       charge_untrusted_io fs "ipfs.write" (String.length blob);
-      Backing.truncate fs.backing (meta_path file.path) 0;
-      Backing.write fs.backing (meta_path file.path) ~pos:0 blob)
+      Backing.write fs.backing (slot_path file.path target) ~pos:0 blob);
+  file.gen <- gen;
+  file.live_slot <- target;
+  (* the journal belonged to the previous generation; retire it and
+     refresh the committed-present view *)
+  journal_end file;
+  Array.iter (fun e -> e.c_present <- e.present) file.entries
 
-let read_header fs ~path ~header_key =
-  let mp = meta_path path in
-  match Backing.size fs.backing mp with
-  | None -> None
-  | Some n ->
+(* One slot's state at open: a blob that parses and authenticates, an
+   explicit deletion tombstone, damage (torn write or tampering), or
+   nothing at all. *)
+type slot_state =
+  | Slot_valid of int * int * entry array  (* gen, size, entries *)
+  | Slot_dead
+  | Slot_invalid
+  | Slot_absent
+
+let read_slot fs ~path ~slot ~header_key =
+  let sp = slot_path path slot in
+  match Backing.size fs.backing sp with
+  | None -> Slot_absent
+  | Some n -> (
       let blob =
         Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
             charge_untrusted_io fs "ipfs.read" n;
-            Backing.read fs.backing mp ~pos:0 ~len:n)
+            Backing.read fs.backing sp ~pos:0 ~len:n)
       in
-      if String.length blob < 36 || String.sub blob 0 4 <> magic then
-        raise (Integrity_violation (path ^ ": bad header"));
-      let iv = String.sub blob 4 iv_len in
-      let ct_len = get_u32 blob (4 + iv_len) in
-      if String.length blob < 4 + iv_len + 4 + ct_len + tag_len then
-        raise (Integrity_violation (path ^ ": truncated header"));
-      let ct = String.sub blob (4 + iv_len + 4) ct_len in
-      let tag = String.sub blob (4 + iv_len + 4 + ct_len) tag_len in
-      Enclave.copy_in fs.enclave ~label:"ipfs.read" (String.length blob);
-      charge_crypto fs ct_len;
-      (match Gcm.decrypt header_key ~iv ~aad:"header" ~tag ct with
-      | Some pt -> Some (deserialize_header pt)
-      | None -> raise (Integrity_violation (path ^ ": header authentication failed")))
+      if String.length blob >= 4 && String.sub blob 0 4 = tombstone then Slot_dead
+      else if String.length blob < 36 || String.sub blob 0 4 <> magic then
+        Slot_invalid
+      else begin
+        let iv = String.sub blob 4 iv_len in
+        let ct_len = get_u32 blob (4 + iv_len) in
+        if String.length blob < 4 + iv_len + 4 + ct_len + tag_len then Slot_invalid
+        else begin
+          let ct = String.sub blob (4 + iv_len + 4) ct_len in
+          let tag = String.sub blob (4 + iv_len + 4 + ct_len) tag_len in
+          Enclave.copy_in fs.enclave ~label:"ipfs.read" (String.length blob);
+          charge_crypto fs ct_len;
+          match Gcm.decrypt header_key ~iv ~aad:"header" ~tag ct with
+          | Some pt ->
+              let gen, size, entries = deserialize_header pt in
+              Slot_valid (gen, size, entries)
+          | None -> Slot_invalid
+        end
+      end)
+
+(* The journal's generation, when a structurally sound journal exists. *)
+let read_journal_gen fs ~path =
+  let jp = journal_path path in
+  match Backing.size fs.backing jp with
+  | None -> None
+  | Some n when n < 16 -> None
+  | Some _ ->
+      let hdr =
+        Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+            charge_untrusted_io fs ~account:"ipfs.recovery" "ipfs.recovery" 16;
+            Backing.read fs.backing jp ~pos:0 ~len:16)
+      in
+      if String.length hdr = 16 && String.sub hdr 0 4 = journal_magic then
+        Some (get_u64 hdr 4)
+      else None
+
+(* Roll committed-generation pre-images back over the data file. The
+   count field is only advanced after its entry is complete, so every
+   entry below it replays whole; replaying twice is replaying once. *)
+let rollback_journal fs ~path =
+  let jp = journal_path path in
+  let hdr =
+    Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+        charge_untrusted_io fs ~account:"ipfs.recovery" "ipfs.recovery" 16;
+        Backing.read fs.backing jp ~pos:0 ~len:16)
+  in
+  let count = get_u32 hdr 12 in
+  for k = 0 to count - 1 do
+    Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+        charge_untrusted_io fs ~account:"ipfs.recovery" "ipfs.recovery"
+          (2 * node_size);
+        let entry =
+          Backing.read fs.backing jp ~pos:(16 + (k * jrnl_stride)) ~len:jrnl_stride
+        in
+        if String.length entry = jrnl_stride && entry.[4] = '\001' then begin
+          let idx = get_u32 entry 0 in
+          Backing.write fs.backing path ~pos:(idx * node_size)
+            (String.sub entry 5 node_size)
+        end)
+  done
+
+let delete_journal fs ~path =
+  Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+      charge_untrusted_io fs ~account:"ipfs.recovery" "ipfs.recovery" 16;
+      ignore (Backing.delete fs.backing (journal_path path)))
+
+(* Crash recovery at open: pick the newest authenticated header slot,
+   roll the pre-image journal back when it belongs to that generation
+   (the crash hit before the next header landed), and distinguish a
+   torn commit (forgiven: a journal proves a commit was in flight) from
+   tampering (both slots damaged with no journal: Integrity_violation).
+
+   Returns [None] when the file does not exist — including the window
+   where a crash interrupted its very first commit or its deletion. *)
+let read_header fs ~path ~header_key =
+  let s0 = read_slot fs ~path ~slot:0 ~header_key in
+  let s1 = read_slot fs ~path ~slot:1 ~header_key in
+  let jgen = read_journal_gen fs ~path in
+  let dead = s0 = Slot_dead || s1 = Slot_dead in
+  if dead then begin
+    (* deletion in flight: finish it *)
+    Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+        charge_untrusted_io fs ~account:"ipfs.recovery" "ipfs.recovery" 16;
+        ignore (Backing.delete fs.backing (meta_path path));
+        ignore (Backing.delete fs.backing (meta2_path path));
+        ignore (Backing.delete fs.backing (journal_path path)));
+    None
+  end
+  else begin
+    let best =
+      match (s0, s1) with
+      | Slot_valid (g0, sz0, e0), Slot_valid (g1, _, _) when g0 >= g1 ->
+          Some (g0, sz0, e0)
+      | _, Slot_valid (g1, sz1, e1) -> Some (g1, sz1, e1)
+      | Slot_valid (g0, sz0, e0), _ -> Some (g0, sz0, e0)
+      | _ -> None
+    in
+    match best with
+    | Some (gen, size, entries) ->
+        (match jgen with
+        | Some jg when jg = gen ->
+            (* crash after some in-place node writes, before the next
+               header: restore the generation's pre-images *)
+            rollback_journal fs ~path;
+            delete_journal fs ~path
+        | Some _ -> delete_journal fs ~path  (* committed; journal is stale *)
+        | None -> ());
+        let live_slot =
+          match (s0, s1) with
+          | Slot_valid (g0, _, _), _ when g0 = gen -> 0
+          | _ -> 1
+        in
+        Some (gen, size, entries, live_slot)
+    | None ->
+        if s0 = Slot_absent && s1 = Slot_absent then begin
+          (match jgen with Some _ -> delete_journal fs ~path | None -> ());
+          None
+        end
+        else if jgen = Some 0 then begin
+          (* torn very first commit: the file never existed durably *)
+          Enclave.ocall fs.enclave ~name:"ipfs.ocall" (fun () ->
+              charge_untrusted_io fs ~account:"ipfs.recovery" "ipfs.recovery" 16;
+              ignore (Backing.delete fs.backing (meta_path path));
+              ignore (Backing.delete fs.backing (meta2_path path));
+              ignore (Backing.delete fs.backing (journal_path path)));
+          None
+        end
+        else
+          (* a damaged slot with no evidence of an in-flight commit *)
+          raise (Integrity_violation (path ^ ": header authentication failed"))
+  end
 
 (* --- Public API --- *)
 
@@ -288,37 +530,67 @@ let derive_keys fs ?key ~path () =
   let header_raw = Hmac.derive ~key:master ~info:"pfs-header" ~length:16 in
   (Gcm.of_raw master, Aes.expand master, Gcm.of_raw header_raw)
 
+(* Tombstone both slots, then remove everything. The tombstones make a
+   half-finished deletion unambiguous at open: without them, removing
+   one slot would resurrect the other's older generation, whose nodes
+   may already be overwritten. *)
+let delete_keys fs path =
+  let existed =
+    Backing.exists fs.backing (meta_path path)
+    || Backing.exists fs.backing (meta2_path path)
+    || Backing.exists fs.backing path
+  in
+  List.iter
+    (fun sp ->
+      if Backing.exists fs.backing sp then Backing.write fs.backing sp ~pos:0 tombstone)
+    [ meta_path path; meta2_path path ];
+  ignore (Backing.delete fs.backing path);
+  ignore (Backing.delete fs.backing (meta_path path));
+  ignore (Backing.delete fs.backing (meta2_path path));
+  ignore (Backing.delete fs.backing (journal_path path));
+  existed
+
 let open_file t ?key ~mode path =
   in_enclave t (fun () ->
       let gcm_key, aes_key, header_key = derive_keys t ?key ~path () in
-      let file =
-        {
-          fs = t;
-          path;
-          gcm_key;
-          aes_key;
-          header_key;
-          size = 0;
-          pos = 0;
-          entries = [||];
-          cache = Twine_sim.Lru.create ~capacity:t.cache_nodes ();
-          cache_base = Enclave.alloc t.enclave (t.cache_nodes * 2 * node_size);
-          closed = false;
-        }
+      (* Read (and recover) the header before touching any state on [t]
+         or the enclave: a failed open leaves both exactly as they were. *)
+      let header =
+        match mode with
+        | `Trunc ->
+            ignore (delete_keys t path);
+            None
+        | `Rdonly | `Rdwr -> (
+            match read_header t ~path ~header_key with
+            | Some h -> Some h
+            | None ->
+                if mode = `Rdonly then
+                  raise (Sys_error (path ^ ": no such protected file"))
+                else None)
       in
-      (match mode with
-      | `Trunc ->
-          ignore (Backing.delete t.backing path);
-          ignore (Backing.delete t.backing (meta_path path))
-      | `Rdonly | `Rdwr -> (
-          match read_header t ~path ~header_key with
-          | Some (size, entries) ->
-              file.size <- size;
-              file.entries <- entries
-          | None ->
-              if mode = `Rdonly then
-                raise (Sys_error (path ^ ": no such protected file"))));
-      file)
+      let size, entries, gen, live_slot =
+        match header with
+        | Some (gen, size, entries, live_slot) -> (size, entries, gen, live_slot)
+        | None -> (0, [||], 0, -1)
+      in
+      {
+        fs = t;
+        path;
+        gcm_key;
+        aes_key;
+        header_key;
+        size;
+        pos = 0;
+        entries;
+        cache = Twine_sim.Lru.create ~capacity:t.cache_nodes ();
+        cache_base = Enclave.alloc t.enclave (t.cache_nodes * 2 * node_size);
+        gen;
+        live_slot;
+        jrnl_started = false;
+        jrnl_count = 0;
+        journaled = Hashtbl.create 8;
+        closed = false;
+      })
 
 let check_open file = if file.closed then invalid_arg "Protected_fs: file is closed"
 
@@ -383,6 +655,9 @@ let file_size file = file.size
 let flush file =
   check_open file;
   in_enclave file.fs (fun () ->
+      (* the journal header precedes any commit work, so a crash during
+         even the very first commit is recognisable as such at open *)
+      journal_begin file;
       Twine_sim.Lru.iter
         (fun idx node -> if node.dirty then write_back file idx node)
         file.cache;
@@ -397,11 +672,16 @@ let close file =
     file.closed <- true
   end
 
-let delete t path =
-  let a = Backing.delete t.backing path in
-  let b = Backing.delete t.backing (meta_path path) in
-  a || b
+let delete t path = delete_keys t path
 
-let exists t path = Backing.exists t.backing (meta_path path)
+let exists t path =
+  let alive sp =
+    match Backing.size t.backing sp with
+    | None -> false
+    | Some n ->
+        n < 4
+        || Backing.read t.backing sp ~pos:0 ~len:4 <> tombstone
+  in
+  alive (meta_path path) || alive (meta2_path path)
 
 let cache_stats t = (t.hits, t.misses)

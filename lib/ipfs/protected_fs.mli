@@ -16,6 +16,17 @@
       (MAC-then-encrypt) decrypting straight from the untrusted buffer,
       removing the cross-boundary copy. Up to 4.1× faster random reads.
 
+    Commits are crash-atomic: the metadata header alternates between two
+    generation-numbered slots (write-new-then-switch), and in-place node
+    overwrites are preceded by a ciphertext pre-image journal keyed by
+    the committed generation. {!open_file} recovers: it picks the newest
+    authenticated header slot and, when a journal for that generation
+    survives (the crash hit mid-commit), rolls the pre-images back — so
+    an interrupted {!flush} always yields the previous committed state,
+    never a half-written one and never a spurious authentication
+    failure. Recovery work is charged to the [ipfs.recovery] ledger
+    account, journal maintenance to [ipfs.journal].
+
     Known limitations faithfully reproduced: no rollback protection (an
     attacker replacing both data and metadata files with an older
     consistent pair is undetected) and metadata leakage (file size to node
@@ -51,9 +62,13 @@ val open_file :
     non-standard explicit-key open (§IV-E); by default the key is derived
     from the enclave sealing identity and the path, so the file can only
     be reopened by the same enclave on the same CPU.
+    Runs crash recovery first (see above); a failed open leaves the
+    enclave and the instance untouched — no cache memory is allocated
+    and no state registered until the header is read and verified.
     @raise Sys_error if [`Rdonly] and the file does not exist.
-    @raise Integrity_violation if the header fails authentication or the
-    supplied key is wrong. *)
+    @raise Integrity_violation if the header fails authentication with
+    no evidence of an interrupted commit, or the supplied key is
+    wrong. *)
 
 val read : file -> Bytes.t -> off:int -> len:int -> int
 (** Read from the current position; returns bytes read (0 at EOF). *)
@@ -70,13 +85,19 @@ val tell : file -> int
 val file_size : file -> int
 
 val flush : file -> unit
-(** Write back dirty nodes and the metadata header. *)
+(** Write back dirty nodes and commit the metadata header atomically:
+    after a crash anywhere inside [flush], reopening yields either the
+    previous committed state or (once the new header slot is complete)
+    the new one. *)
 
 val close : file -> unit
 (** Flush and drop cached nodes. Idempotent. *)
 
 val delete : t -> string -> bool
-(** Remove a protected file (data + metadata) from the backing store. *)
+(** Remove a protected file (data + both metadata slots + journal) from
+    the backing store. Both slots are tombstoned before removal, so a
+    crash mid-delete reads as "file absent", never as a stale older
+    generation. *)
 
 val exists : t -> string -> bool
 

@@ -10,12 +10,30 @@ type t = {
   mutable depth : int;  (* ecall nesting depth *)
   mutable transition_count : int;
   mutable destroyed : bool;
+  mutable poisoned : bool;
   drbg : Drbg.t;
 }
 
 exception Destroyed
+exception Poisoned
 
-let check t = if t.destroyed then raise Destroyed
+let check t =
+  if t.destroyed then raise Destroyed;
+  if t.poisoned then raise Poisoned
+
+(* Fault sites at the enclave boundary. [Fail] models a transient entry
+   failure (out of TCS slots and friends) the caller may retry; [Crash]
+   an asynchronous abort that loses the enclave — it stays poisoned, and
+   every later entry raises [Poisoned] until the host tears it down. *)
+let fault_gate t site =
+  match Twine_sim.Fault.consult site with
+  | None | Some (Twine_sim.Fault.Delay _) -> ()
+  | Some Twine_sim.Fault.Fail -> raise (Twine_sim.Fault.Transient site)
+  | Some
+      ( Twine_sim.Fault.Crash | Twine_sim.Fault.Torn _ | Twine_sim.Fault.Corrupt
+      | Twine_sim.Fault.Drop ) ->
+      t.poisoned <- true;
+      raise (Twine_sim.Fault.Crashed site)
 
 let fault_pages (t : t) ~addr ~len =
   if len > 0 then begin
@@ -55,6 +73,7 @@ let create machine ?(signer = "twine-vendor") ?(heap_bytes = 16 * 1024 * 1024)
       depth = 0;
       transition_count = 0;
       destroyed = false;
+      poisoned = false;
       drbg =
         Drbg.create ~personalization:"sgx-rdrand"
           ~seed:(machine.cpu_key ^ Sha256.digest code ^ string_of_int id)
@@ -106,7 +125,9 @@ let ecall t ?(name = "sgx.ecall") f =
     ~finally:(fun () ->
       t.depth <- t.depth - 1;
       if t.depth = 0 && not t.destroyed then crossing t ~account name)
-    (fun () -> Twine_obs.Obs.in_span obs name (fun () -> f t))
+    (fun () ->
+      fault_gate t "enclave.ecall";
+      Twine_obs.Obs.in_span obs name (fun () -> f t))
 
 let ocall t ?(name = "sgx.ocall") f =
   check t;
@@ -117,10 +138,13 @@ let ocall t ?(name = "sgx.ocall") f =
   crossing t ~account name;
   Fun.protect
     ~finally:(fun () -> if not t.destroyed then crossing t ~account name)
-    (fun () -> Twine_obs.Obs.in_span obs name f)
+    (fun () ->
+      fault_gate t "enclave.ocall";
+      Twine_obs.Obs.in_span obs name f)
 
 let inside t = t.depth > 0
 let transitions t = t.transition_count
+let poisoned t = t.poisoned
 
 (* The in-enclave allocator is costlier than a host malloc and its cost
    grows with the committed size (§IV-C observed above-linear behaviour

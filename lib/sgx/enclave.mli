@@ -9,6 +9,15 @@ exception Destroyed
     enclave memory from outside terminates the enclave (threat model
     §IV-A); we model the aftermath. *)
 
+exception Poisoned
+(** Raised when entering an enclave lost to an injected asynchronous
+    abort (fault sites ["enclave.ecall"] / ["enclave.ocall"], action
+    [Crash]). The enclave stays poisoned — in real SGX an aborted
+    enclave cannot be re-entered; the host must destroy and relaunch.
+    A [Fail] injection at the same sites instead raises
+    [Twine_sim.Fault.Transient] (a retryable entry failure) and leaves
+    the enclave usable. *)
+
 val create :
   Machine.t -> ?signer:string -> ?heap_bytes:int -> code:string -> unit -> t
 (** Build an enclave whose identity (MRENCLAVE) is the SHA-256 of [code].
@@ -45,6 +54,9 @@ val ocall : t -> ?name:string -> (unit -> 'a) -> 'a
 val inside : t -> bool
 val transitions : t -> int
 (** Count of one-way boundary crossings so far. *)
+
+val poisoned : t -> bool
+(** True once an injected abort has lost the enclave (see {!Poisoned}). *)
 
 (* Trusted memory *)
 

@@ -82,3 +82,20 @@ let attach_tracer ?capacity t =
   tr
 
 let set_software_mode t = t.costs <- Costs.software_mode t.costs
+
+(* Fault-plane wiring: every injection books into a [fault.<site>]
+   ledger account on this machine (a [Delay] charges its virtual ns,
+   everything else books a zero-ns event so the account still appears in
+   reports) and lands in the trace ring, keeping the conservation audit
+   balanced under injection. *)
+let arm_faults t plan =
+  Fault.arm plan
+    ~notify:(fun (inj : Fault.injection) ->
+      let ns = match inj.Fault.action with Fault.Delay n -> n | _ -> 0 in
+      charge t ~account:("fault." ^ inj.Fault.site) "fault.inject" ns;
+      Twine_obs.Obs.inc t.obs "fault.injected";
+      Twine_obs.Obs.emit t.obs ~cat:"fault"
+        ~args:[ ("op", inj.Fault.op) ]
+        ("fault." ^ inj.Fault.site))
+
+let disarm_faults () = Fault.disarm ()

@@ -56,3 +56,14 @@ val attach_tracer : ?capacity:int -> t -> Twine_obs.Trace.t
 
 val set_software_mode : t -> unit
 (** Switch the cost model to Fig 6's SGX software (simulation) mode. *)
+
+val arm_faults : t -> Twine_sim.Fault.plan -> unit
+(** Arm a fault plan with its injections booked on this machine: each
+    injected fault lands in a [fault.<site>] ledger account (so the
+    conservation audit still balances — [Delay] faults charge their
+    virtual ns, all others book a zero-ns event), bumps the
+    [fault.injected] counter and emits a trace instant when a flight
+    recorder is attached. Disarm with {!disarm_faults}. *)
+
+val disarm_faults : unit -> unit
+(** Disarm the global fault plan (idempotent). *)

@@ -1,0 +1,69 @@
+(* Crash-point op log and prefix replay (see the .mli). *)
+
+type op =
+  | Write of { file : string; pos : int; data : string }
+  | Truncate of { file : string; size : int }
+  | Delete of { file : string }
+  | Sync of { file : string }
+
+type log = { mutable rev : op list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let record l op =
+  l.rev <- op :: l.rev;
+  l.n <- l.n + 1
+
+let length l = l.n
+let ops l = List.rev l.rev
+
+let clear l =
+  l.rev <- [];
+  l.n <- 0
+
+let torn_write = function
+  | Write { file; pos; data } when data <> "" ->
+      Some (Write { file; pos; data = String.sub data 0 (String.length data / 2) })
+  | _ -> None
+
+let replay ?(torn = false) l ~at ~apply =
+  if at < 0 || at > l.n then invalid_arg "Crashpoint.replay: prefix out of range";
+  let all = ops l in
+  List.iteri (fun i op -> if i < at then apply op) all;
+  if torn && at < l.n then
+    match torn_write (List.nth all at) with Some w -> apply w | None -> ()
+
+(* Same generator family as Fault's, reseeded per replay so the dropped
+   subset is a pure function of (seed, prefix). *)
+let replay_unsynced ~seed l ~at ~apply =
+  if at < 0 || at > l.n then invalid_arg "Crashpoint.replay_unsynced: out of range";
+  let prefix = List.filteri (fun i _ -> i < at) (ops l) in
+  (* index of the op after the last sync barrier within the prefix *)
+  let barrier =
+    List.fold_left
+      (fun (i, b) op -> (i + 1, match op with Sync _ -> i + 1 | _ -> b))
+      (0, 0) prefix
+    |> snd
+  in
+  let state = ref (Fault.hash_seed (seed ^ ":" ^ string_of_int at)) in
+  let keep () =
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.logand (Int64.mul x 0x2545f4914f6cdd1dL) 1L = 0L
+  in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Write _ when i >= barrier -> if keep () then apply op
+      | _ -> apply op)
+    prefix
+
+let describe = function
+  | Write { file; pos; data } ->
+      Printf.sprintf "write %s @%d (%d bytes)" file pos (String.length data)
+  | Truncate { file; size } -> Printf.sprintf "truncate %s -> %d" file size
+  | Delete { file } -> "delete " ^ file
+  | Sync { file } -> "sync " ^ file

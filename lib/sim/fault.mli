@@ -1,0 +1,79 @@
+(** Deterministic fault-injection plane.
+
+    A {!plan} is a seeded set of rules targeting named {e sites} — fixed
+    strings such as ["backing.write"], ["svfs.sync"], ["enclave.ecall"]
+    or ["wasi.fd_read"] — that instrumented layers consult on every
+    operation. The plan is driven purely by per-site operation counters
+    and a private deterministic PRNG: no wall clock, no global
+    [Random] state, so the same seed and the same workload produce the
+    same injected-fault sequence, every time.
+
+    When no plan is armed, {!consult} is a single dereference and a
+    match — sites stay effectively free in production runs. *)
+
+type action =
+  | Torn of float
+      (** keep only this fraction of the payload (a torn write) *)
+  | Corrupt  (** flip one payload bit (detected by authentication) *)
+  | Drop  (** the operation is silently lost *)
+  | Fail  (** raise {!Transient} — a recoverable host-side error *)
+  | Crash  (** raise {!Crashed} — power loss / enclave abort *)
+  | Delay of int  (** charge this many virtual ns, then proceed *)
+
+type rule
+(** One targeting rule: which site, what to inject, and when. *)
+
+type injection = { site : string; op : int; action : action }
+(** One recorded injection: the site, its 1-based operation index at
+    the moment of injection, and the action taken. *)
+
+type plan
+
+exception Transient of string
+(** A recoverable fault (e.g. a failed untrusted I/O operation that a
+    caller may retry). *)
+
+exception Crashed of string
+(** An unrecoverable fault at this site: simulated power loss on a
+    storage path, or an asynchronous enclave abort on a transition. *)
+
+val rule : ?nth:int -> ?prob:float -> ?count:int -> string -> action -> rule
+(** [rule site action] fires [action] at [site]. [nth] fires on exactly
+    the n-th operation (1-based); otherwise each operation fires with
+    probability [prob] (default 0, i.e. never). [count] caps the total
+    number of injections from this rule (default 1 for [nth] rules,
+    unlimited for probabilistic ones). *)
+
+val plan : ?seed:string -> rule list -> plan
+(** Build a plan. [seed] (default ["fault"]) keys the PRNG used by
+    probabilistic rules. *)
+
+val arm : ?notify:(injection -> unit) -> plan -> unit
+(** Make [plan] the armed plan. [notify] runs at every injection, before
+    the action takes effect — the simulator uses it to book the fault
+    into the machine ledger and the trace ring. Arming resets the plan's
+    op counters and injection log, so a plan can be re-armed to replay
+    the identical sequence. *)
+
+val disarm : unit -> unit
+(** Disarm; all sites become no-ops again. Idempotent. *)
+
+val armed : unit -> bool
+
+val consult : string -> action option
+(** Site hook: advance the site's op counter and return the action to
+    inject here, if any. [None] (the common case, and always when
+    disarmed) means proceed normally. *)
+
+val injections : plan -> injection list
+(** The injection log accumulated since the plan was last armed, in
+    order. *)
+
+val hash_seed : string -> int64
+(** The seed-string hash used to key the plan PRNG (FNV-1a, never 0).
+    Exposed for {!Crashpoint}'s seeded replay variants. *)
+
+val mutilate : action -> string -> string
+(** Apply a payload-transforming action ([Torn]/[Corrupt]) to a write
+    payload; other actions return the payload unchanged. Deterministic:
+    the flipped bit and the torn length depend only on the payload. *)

@@ -11,6 +11,25 @@ let page_size = 4096
 let magic = "TWDB0001"
 let journal_magic = "TWJR0001"
 
+(* Journal entry: [page u32][pre-image page_size][cksum u32]. The
+   checksum lets recovery reject entries that were never made durable: a
+   power loss can drop an un-synced entry write while keeping the count
+   update, leaving a hole that reads back as zeros (or, torn, as a
+   prefix). Replaying such a hole would write garbage over live pages. *)
+let entry_size = 4 + page_size + 4
+
+(* FNV-1a over the page number and payload. A zeroed hole stores
+   checksum 0 but hashes to a non-zero value, so it never validates. *)
+let entry_cksum page_no payload =
+  let h = ref 0x811c9dc5 in
+  let mix b = h := (!h lxor b) * 0x01000193 land 0xffffffff in
+  mix (page_no land 0xff);
+  mix ((page_no lsr 8) land 0xff);
+  mix ((page_no lsr 16) land 0xff);
+  mix ((page_no lsr 24) land 0xff);
+  String.iter (fun c -> mix (Char.code c)) payload;
+  !h
+
 exception Corrupt of string
 
 type hooks = {
@@ -84,11 +103,19 @@ let recover vfs path =
       let orig_pages = Int32.to_int (String.get_int32_le hdr 12) in
       let db = vfs.Svfs.v_open path in
       for k = 0 to count - 1 do
-        let pos = 16 + (k * (4 + page_size)) in
-        let entry = j.Svfs.v_read ~pos ~len:(4 + page_size) in
-        if String.length entry = 4 + page_size then begin
+        let pos = 16 + (k * entry_size) in
+        let entry = j.Svfs.v_read ~pos ~len:entry_size in
+        if String.length entry = entry_size then begin
           let page_no = Int32.to_int (String.get_int32_le entry 0) in
-          db.Svfs.v_write ~pos:(page_no * page_size) (String.sub entry 4 page_size)
+          let payload = String.sub entry 4 page_size in
+          let cksum =
+            Int32.to_int (String.get_int32_le entry (4 + page_size))
+            land 0xffffffff
+          in
+          if
+            page_no >= 0 && page_no < orig_pages
+            && cksum = entry_cksum page_no payload
+          then db.Svfs.v_write ~pos:(page_no * page_size) payload
         end
       done;
       db.Svfs.v_truncate (orig_pages * page_size);
@@ -186,6 +213,20 @@ let begin_txn t =
   t.journal_count <- 0;
   t.journal <- None
 
+let append_entry t j page_no payload =
+  let entry = Bytes.create entry_size in
+  Bytes.set_int32_le entry 0 (Int32.of_int page_no);
+  Bytes.blit_string payload 0 entry 4 page_size;
+  Bytes.set_int32_le entry (4 + page_size)
+    (Int32.of_int (entry_cksum page_no payload));
+  j.Svfs.v_write ~pos:(16 + (t.journal_count * entry_size)) (Bytes.to_string entry);
+  record ~page:page_no t "sqldb.journal_write";
+  t.journal_count <- t.journal_count + 1;
+  let cnt = Bytes.create 4 in
+  Bytes.set_int32_le cnt 0 (Int32.of_int t.journal_count);
+  j.Svfs.v_write ~pos:8 (Bytes.to_string cnt);
+  Hashtbl.replace t.journaled page_no ()
+
 let ensure_journal t =
   match t.journal with
   | Some j -> j
@@ -197,6 +238,10 @@ let ensure_journal t =
       Bytes.set_int32_le hdr 12 (Int32.of_int t.txn_orig_pages);
       j.Svfs.v_write ~pos:0 (Bytes.to_string hdr);
       t.journal <- Some j;
+      (* entry 0: pre-image of the header page, so rollback restores
+         n_pages and the freelist head along with the data pages *)
+      let raw = t.file.Svfs.v_read ~pos:0 ~len:page_size in
+      append_entry t j 0 (raw ^ String.make (page_size - String.length raw) '\000');
       j
 
 let journal_page t i =
@@ -209,16 +254,7 @@ let journal_page t i =
           let raw = t.file.Svfs.v_read ~pos:(i * page_size) ~len:page_size in
           raw ^ String.make (page_size - String.length raw) '\000'
     in
-    let entry = Bytes.create (4 + page_size) in
-    Bytes.set_int32_le entry 0 (Int32.of_int i);
-    Bytes.blit_string current 0 entry 4 page_size;
-    j.Svfs.v_write ~pos:(16 + (t.journal_count * (4 + page_size))) (Bytes.to_string entry);
-    record ~page:i t "sqldb.journal_write";
-    t.journal_count <- t.journal_count + 1;
-    let cnt = Bytes.create 4 in
-    Bytes.set_int32_le cnt 0 (Int32.of_int t.journal_count);
-    j.Svfs.v_write ~pos:8 (Bytes.to_string cnt);
-    Hashtbl.replace t.journaled i ()
+    append_entry t j i current
   end
 
 (* Get a page for modification: journals the pre-image and marks dirty. *)
@@ -259,6 +295,16 @@ let free t i =
 
 let commit t =
   if not t.in_txn then invalid_arg "Pager.commit: not in a transaction";
+  (* Any transaction that touches storage gets a journal — even one that
+     only appended fresh pages (no pre-images to take) needs the header
+     pre-image, or a crash mid-commit could leave a header referencing
+     pages whose writes never became durable. *)
+  if Hashtbl.length t.dirty > 0 then ignore (ensure_journal t);
+  (* The journal must be durable before any dirty page lands on the
+     database: under power loss, un-synced writes may vanish, and an
+     incomplete journal next to a half-updated database is
+     unrecoverable. SQLite syncs the journal at the same point. *)
+  (match t.journal with Some j -> j.Svfs.v_sync () | None -> ());
   (* write all dirty pages, then header, sync, then drop the journal *)
   let dirty_pages =
     Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare
@@ -276,6 +322,17 @@ let commit t =
   t.file.Svfs.v_sync ();
   (match t.journal with
   | Some j ->
+      (* Invalidate the header before deleting: a crash between the two
+         steps then leaves a journal recovery ignores (bad magic), and a
+         journal held in a storage layer with its own commit granularity
+         (e.g. a protected file) never exposes a valid magic once the
+         transaction is committed. *)
+      j.Svfs.v_write ~pos:0 (String.make 16 '\000');
+      (* also shrink it where the layer supports truncation, so a later
+         journal for the same path can never expose this one's stale
+         entries through write holes *)
+      j.Svfs.v_truncate 0;
+      j.Svfs.v_sync ();
       j.Svfs.v_close ();
       t.vfs.Svfs.v_delete (journal_path t.path)
   | None -> ());

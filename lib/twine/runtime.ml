@@ -203,7 +203,7 @@ let attach_profile prof machine (module_ : Ast.module_) (inst : Instance.t) =
           (fun i -> Twine_obs.Profile.exit prof ~fuel:inst.Instance.fuel_used i);
       }
 
-let run ?(args = [ "app" ]) ?env ?profile t =
+let run ?(args = [ "app" ]) ?env ?profile ?fuel_limit t =
   match t.deployed with
   | None -> raise (Deploy_error "no module deployed")
   | Some (module_, _addr) ->
@@ -226,6 +226,11 @@ let run ?(args = [ "app" ]) ?env ?profile t =
           let obs = t.machine.Machine.obs in
           let ctx = Api.create ~args ?env ~preopens ~providers ~obs () in
           let inst = Interp.instantiate ~imports:(Api.imports ctx) module_ in
+          (match fuel_limit with
+          | Some l ->
+              if l < 0 then invalid_arg "Runtime.run: negative fuel limit";
+              inst.Instance.fuel_limit <- l
+          | None -> ());
           (* charge AoT code generation or set up interpretation *)
           (match t.config.engine with
           | Aot ->
@@ -284,3 +289,21 @@ let run ?(args = [ "app" ]) ?env ?profile t =
           if fuel > 0 then
             Twine_obs.Obs.emit obs ~cat:"twine" ~args:[ ("fuel", fuel) ] "twine.fuel";
           { exit_code; stdout = Buffer.contents out; fuel })
+
+(* --- fault containment --- *)
+
+type run_error =
+  | Guest_trap of string  (* the guest trapped; the enclave survives *)
+  | Enclave_lost of string  (* injected abort: destroy and relaunch *)
+
+(* Typed-result execution: a guest trap (including deterministic fuel
+   exhaustion) is contained — the ECALL unwinds cleanly, hooks and
+   ledger context are detached by [run]'s protections, and the enclave
+   stays reusable for the next [run]. An injected enclave abort instead
+   poisons the enclave; it is reported once as [Enclave_lost] and every
+   later attempt short-circuits to the same error. *)
+let run_safe ?args ?env ?profile ?fuel_limit t =
+  try Ok (run ?args ?env ?profile ?fuel_limit t) with
+  | Values.Trap _ as e -> Error (Guest_trap (Interp.trap_message e))
+  | Twine_sim.Fault.Crashed msg -> Error (Enclave_lost msg)
+  | Enclave.Poisoned -> Error (Enclave_lost "enclave poisoned by earlier abort")

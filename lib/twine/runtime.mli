@@ -89,6 +89,7 @@ val run :
   ?args:string list ->
   ?env:(string * string) list ->
   ?profile:Twine_obs.Profile.t ->
+  ?fuel_limit:int ->
   t ->
   run_outcome
 (** Execute the deployed module's WASI start routine inside one ECALL.
@@ -97,4 +98,27 @@ val run :
     is recorded into the profiler (symbols from the module's name
     section; hostcall time charged to the calling Wasm frame). The
     hooks are detached when the call returns.
+    With [fuel_limit], the guest traps deterministically ("fuel
+    exhausted") once it has executed that many instructions; both
+    engines trap at the identical fuel value.
     @raise Deploy_error if nothing is deployed or [_start] is missing. *)
+
+type run_error =
+  | Guest_trap of string
+      (** the guest trapped (including fuel exhaustion); the enclave
+          unwound cleanly and stays reusable *)
+  | Enclave_lost of string
+      (** an injected enclave abort; the enclave is poisoned — destroy
+          and relaunch. Subsequent calls keep returning this error. *)
+
+val run_safe :
+  ?args:string list ->
+  ?env:(string * string) list ->
+  ?profile:Twine_obs.Profile.t ->
+  ?fuel_limit:int ->
+  t ->
+  (run_outcome, run_error) result
+(** Like {!run} but containing guest traps and injected enclave faults
+    as a typed error instead of an exception. A transient injected
+    entry failure ([Twine_sim.Fault.Transient]) still propagates: it is
+    the caller's retry decision. *)

@@ -136,10 +136,37 @@ let providers ?(strict = false) (enclave : Enclave.t) : Api.providers =
   let machine = Enclave.machine enclave in
   let last_mono = ref 0L in
   let generic_ocall name f =
-    (* generic POSIX layer: leave the enclave, call, come back *)
+    (* generic POSIX layer: leave the enclave, call, come back.
+       Transient untrusted-host failures (fault site ["host.ocall"], or
+       a [Fault.Transient] surfacing from the host body) are retried a
+       bounded number of times; each retry charges virtual backoff time
+       under the [fault.retry] ledger account, so retries are visible
+       in reports and the conservation audit still balances. *)
     if strict then invalid_arg ("strict mode: untrusted call " ^ name)
-    else if Enclave.inside enclave then Enclave.ocall enclave ~name:"wasi.ocall" f
-    else f ()
+    else begin
+      let attempt () =
+        (match Twine_sim.Fault.consult "host.ocall" with
+        | Some Twine_sim.Fault.Fail ->
+            raise (Twine_sim.Fault.Transient ("host.ocall " ^ name))
+        | Some Twine_sim.Fault.Crash ->
+            raise (Twine_sim.Fault.Crashed ("host.ocall " ^ name))
+        | _ -> ());
+        f ()
+      in
+      let call () =
+        if Enclave.inside enclave then
+          Enclave.ocall enclave ~name:"wasi.ocall" attempt
+        else attempt ()
+      in
+      let rec go tries =
+        try call ()
+        with Twine_sim.Fault.Transient _ when tries < 3 ->
+          Machine.charge machine ~account:"fault.retry" "host.retry"
+            (1000 * (tries + 1));
+          go (tries + 1)
+      in
+      go 0
+    end
   in
   {
     Api.clock_realtime =

@@ -265,7 +265,41 @@ let open_flags oflags fdflags =
 (* Build all 45 host functions for a context. *)
 let functions t =
   let m () = memory t in
+  (* Hostcall hardening: no exception from a provider or the hostcall
+     body may unwind into (and tear down) the guest. Calls that return
+     an errno turn an injected transient fault (site ["wasi.<name>"])
+     into EAGAIN and any unexpected host exception into EIO, both
+     recorded in the telemetry registry. [Proc_exit], guest traps and
+     injected power loss ([Fault.Crashed]) pass through: they ARE the
+     control flow. Calls with no result (proc_exit) cannot absorb
+     errors and keep their raising behaviour. *)
+  let contain name f args =
+    let note kind =
+      match t.obs with
+      | Some o ->
+          Twine_obs.Obs.inc o ("wasi.fault." ^ kind);
+          Twine_obs.Obs.emit o ~cat:"wasi" ("wasi.fault." ^ name)
+      | None -> ()
+    in
+    match Twine_sim.Fault.consult ("wasi." ^ name) with
+    | Some Twine_sim.Fault.Fail ->
+        note "injected";
+        errno Errno.eagain
+    | Some Twine_sim.Fault.Crash ->
+        raise (Twine_sim.Fault.Crashed ("wasi." ^ name))
+    | _ -> (
+        try f args
+        with
+        | ( Proc_exit _ | Values.Trap _ | Twine_sim.Fault.Crashed _
+          | Invalid_argument _ (* host policy (e.g. strict mode), not I/O *)
+          | Out_of_memory | Stack_overflow ) as e ->
+            raise e
+        | _ ->
+            note "contained";
+            errno Errno.eio)
+  in
   let fn name params results f =
+    let f = if results = [] then f else contain name f in
     ( name,
       Instance.host_func ~name
         { Types.params; results = (match results with [] -> [] | r -> r) }

@@ -31,6 +31,7 @@ let eff base (m : memarg) =
 let metered inst (s : step) : step =
  fun l stack ->
   inst.fuel_used <- inst.fuel_used + 1;
+  if inst.fuel_used > inst.fuel_limit then trap "fuel exhausted";
   s l stack
 
 (* Compile a sequence into a single step. *)

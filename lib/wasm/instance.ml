@@ -16,6 +16,10 @@ type t = {
   globals : global_inst array;
   exports : (string, export_desc) Hashtbl.t;
   mutable fuel_used : int;  (* executed instruction counter (metering) *)
+  mutable fuel_limit : int;
+      (* trap deterministically once [fuel_used] exceeds this; [max_int]
+         means unmetered. Both engines check at the same point, so the
+         trapping fuel value is engine-independent. *)
   mutable hooks : hooks option;
       (* call-boundary observer (shadow call stack); [None] costs one
          branch per call *)
@@ -135,6 +139,7 @@ let build ?(imports : imports = []) (m : module_) =
       globals;
       exports;
       fuel_used = 0;
+      fuel_limit = max_int;
       hooks = None;
     }
   in

@@ -87,6 +87,7 @@ and exec_block frame body stack ~is_loop ~(bt : blocktype) =
 and exec_instr frame (i : instr) stack =
   let inst = frame.inst in
   inst.fuel_used <- inst.fuel_used + 1;
+  if inst.fuel_used > inst.fuel_limit then trap "fuel exhausted";
   match i with
   | Unreachable -> trap "unreachable executed"
   | Nop -> stack

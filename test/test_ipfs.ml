@@ -46,6 +46,68 @@ let test_backing_directory () =
   ignore (Backing.delete b "a/b");
   Unix.rmdir dir
 
+let test_backing_key_escapes () =
+  (* hostile keys must stay inside the root as ordinary flat files *)
+  let dir = Filename.temp_file "twine" "" in
+  Sys.remove dir;
+  let b = Backing.directory dir in
+  let keys = [ ".."; "."; ""; "%2f"; "a/../b"; ".hidden" ] in
+  List.iteri (fun i k -> Backing.write b k ~pos:0 (string_of_int i)) keys;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check string)
+        (Printf.sprintf "key %S kept distinct" k)
+        (string_of_int i)
+        (Backing.read b k ~pos:0 ~len:8))
+    keys;
+  Alcotest.(check int) "one flat file per key" (List.length keys)
+    (List.length (Backing.list b));
+  let parent = Filename.dirname dir in
+  Alcotest.(check bool) "\"..\" did not write outside the root" false
+    (Sys.file_exists (Filename.concat parent "0"));
+  List.iter (fun k -> ignore (Backing.delete b k)) keys;
+  Unix.rmdir dir
+
+let test_backing_short_read_zero_extend () =
+  (* the directory backend must match the in-memory reference semantics:
+     short read at EOF, zero-fill for gaps left by sparse writes *)
+  let dir = Filename.temp_file "twine" "" in
+  Sys.remove dir;
+  let mem = Backing.memory () in
+  let on_disk = Backing.directory dir in
+  List.iter
+    (fun b ->
+      Backing.write b "f" ~pos:0 "head";
+      Backing.write b "f" ~pos:10 "tail")
+    [ mem; on_disk ];
+  List.iter
+    (fun (what, b) ->
+      Alcotest.(check string) (what ^ ": gap reads as zeros")
+        "head\000\000\000\000\000\000tail"
+        (Backing.read b "f" ~pos:0 ~len:14);
+      Alcotest.(check string) (what ^ ": short read at eof") "ail"
+        (Backing.read b "f" ~pos:11 ~len:64);
+      Alcotest.(check string) (what ^ ": read past eof") ""
+        (Backing.read b "f" ~pos:100 ~len:8);
+      Alcotest.(check (option int)) (what ^ ": size") (Some 14)
+        (Backing.size b "f"))
+    [ ("memory", mem); ("directory", on_disk) ];
+  ignore (Backing.delete on_disk "f");
+  Unix.rmdir dir
+
+let test_backing_logged_records_mutations_only () =
+  let log = Twine_sim.Crashpoint.create () in
+  let b = Backing.logged log (Backing.memory ()) in
+  Backing.write b "f" ~pos:0 "data";
+  ignore (Backing.read b "f" ~pos:0 ~len:4);
+  Backing.truncate b "f" 2;
+  ignore (Backing.delete b "f");
+  Alcotest.(check int) "write/truncate/delete logged, read not" 3
+    (Twine_sim.Crashpoint.length log);
+  Alcotest.(check (list string)) "op order"
+    [ "write f @0 (4 bytes)"; "truncate f -> 2"; "delete f" ]
+    (List.map Twine_sim.Crashpoint.describe (Twine_sim.Crashpoint.ops log))
+
 (* --- Protected files: functional behaviour --- *)
 
 let test_pfs_write_read_roundtrip () =
@@ -356,6 +418,11 @@ let suite =
       Alcotest.test_case "read/write/gap" `Quick test_backing_rw;
       Alcotest.test_case "delete/truncate" `Quick test_backing_delete_truncate;
       Alcotest.test_case "directory backend" `Quick test_backing_directory;
+      Alcotest.test_case "hostile key escapes" `Quick test_backing_key_escapes;
+      Alcotest.test_case "short read / zero extend" `Quick
+        test_backing_short_read_zero_extend;
+      Alcotest.test_case "logged backend records mutations" `Quick
+        test_backing_logged_records_mutations_only;
     ]);
     ("protected_fs", [
       Alcotest.test_case "roundtrip" `Quick test_pfs_write_read_roundtrip;

@@ -113,6 +113,49 @@ let prop_crash_recovery =
       Db.close db2;
       after = baseline)
 
+(* Journal recovery must be idempotent: whatever backing-op prefix a
+   power loss left behind, running recovery twice is indistinguishable
+   from running it once (the second pass finds no hot journal). *)
+let prop_recovery_idempotent =
+  QCheck.Test.make ~name:"recovery is idempotent at any crash point" ~count:40
+    QCheck.(pair (int_range 1 25) (int_range 0 10_000))
+    (fun (txn_rows, cut_salt) ->
+      let log = Twine_sim.Crashpoint.create () in
+      let vfs = Svfs.recording log (Svfs.memory ()) in
+      let db = Db.open_db ~vfs ~cache_pages:16 "i.db" in
+      ignore (Db.exec db "CREATE TABLE t(a INTEGER PRIMARY KEY, b TEXT)");
+      for i = 1 to txn_rows do
+        ignore (Db.exec db (Printf.sprintf "INSERT INTO t VALUES (%d, 'r%d')" i i))
+      done;
+      ignore (Db.exec db "UPDATE t SET b = 'x' WHERE a = 1");
+      Db.close db;
+      let at = cut_salt mod (Twine_sim.Crashpoint.length log + 1) in
+      let target = Svfs.memory () in
+      Twine_sim.Crashpoint.replay log ~at
+        ~apply:(fun op ->
+          match op with
+          | Twine_sim.Crashpoint.Write { file; pos; data } ->
+              let f = target.Svfs.v_open file in
+              f.Svfs.v_write ~pos data;
+              f.Svfs.v_close ()
+          | Twine_sim.Crashpoint.Truncate { file; size } ->
+              let f = target.Svfs.v_open file in
+              f.Svfs.v_truncate size;
+              f.Svfs.v_close ()
+          | Twine_sim.Crashpoint.Delete { file } -> target.Svfs.v_delete file
+          | Twine_sim.Crashpoint.Sync _ -> ());
+      let db_bytes () =
+        let f = target.Svfs.v_open "i.db" in
+        let s = f.Svfs.v_read ~pos:0 ~len:(f.Svfs.v_size ()) in
+        f.Svfs.v_close ();
+        s
+      in
+      Pager.recover target "i.db";
+      let once = db_bytes () in
+      let journal_gone = not (target.Svfs.v_exists "i.db-journal") in
+      Pager.recover target "i.db";
+      journal_gone && db_bytes () = once)
+
 (* ------------------------------------------------------------------ *)
 (* SQL engine vs list model for filters and aggregates                  *)
 (* ------------------------------------------------------------------ *)
@@ -364,6 +407,7 @@ let suite =
   [ ("storage-model", [
       qc prop_btree_model;
       qc prop_crash_recovery;
+      qc prop_recovery_idempotent;
       qc prop_sql_filter_model;
       qc prop_sql_order_model;
       qc prop_index_consistency;
