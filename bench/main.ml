@@ -15,6 +15,8 @@
      report  per-run telemetry report of a WASI-heavy workload (table+JSON)
      profile guest-level profiler: hot functions, interp-vs-AoT parity,
              folded stacks written to polybench-atax.folded
+     serve   multi-enclave serving fleet on one shared EPC: open-loop
+             replay, ECALL batching, throughput-vs-fleet-size cliff
 
    Run everything with `dune exec bench/main.exe`, or a single section by
    passing its name (e.g. `dune exec bench/main.exe fig5`).
@@ -38,10 +40,7 @@ let hr () = print_endline (String.make 78 '-')
    clock-advance site, so any residue means a charge bypassed the
    ledger — a bookkeeping bug worth failing the whole harness over. *)
 let audited name f =
-  Machine.track_machines true;
-  f ();
-  let machines = Machine.tracked_machines () in
-  Machine.track_machines false;
+  let (), machines = Machine.with_tracked f in
   let bad =
     List.filter
       (fun m -> not (Twine_obs.Ledger.balanced (Machine.ledger m)))
@@ -1002,6 +1001,83 @@ let crash_section () =
     [ "fault.backing.write"; "fault.backing.read"; "fault.wasi.fd_write" ]
 
 (* ------------------------------------------------------------------ *)
+(* serve: a multi-enclave serving fleet on one shared EPC              *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper evaluates one enclave at a time; this section scales the
+   same stack out. N TWINE runtimes share one machine — one virtual
+   clock, one EPC, one ledger — while a run-to-completion scheduler
+   replays a seeded open-loop workload, coalescing queued requests
+   behind single ECALLs. Three measurements: the gated 100k-request
+   operating point, throughput vs fleet size over a shrunk EPC (the
+   contention cliff), and the batched-vs-unbatched ledger diff that
+   shows transition amortisation. *)
+
+let serve_requests = 100_000
+let serve_sweep_requests = 20_000
+let serve_cliff_epc_bytes = 288 * 4096
+
+let serve_gated_config =
+  { Twine_serve.Serve.default_config with Twine_serve.Serve.requests = serve_requests }
+
+let serve_section () =
+  let open Twine_serve in
+  section "serve: multi-enclave fleet, shared EPC, ECALL batching";
+  let stats = Serve.run serve_gated_config in
+  print_string (Serve.render stats);
+  Printf.printf
+    "(the whole fleet shares ONE machine; the audit line below counts every \
+     machine this section created)\n";
+  hr ();
+  Printf.printf
+    "throughput vs fleet size (%d requests, EPC shrunk to %d pages):\n\n"
+    serve_sweep_requests
+    (serve_cliff_epc_bytes / 4096);
+  Printf.printf "  %-9s %12s %12s %14s %10s %11s\n" "enclaves" "req/s" "p50 (ns)"
+    "p99 (ns)" "faults" "evictions";
+  List.iter
+    (fun enclaves ->
+      let s =
+        Serve.run
+          {
+            Serve.default_config with
+            Serve.enclaves;
+            requests = serve_sweep_requests;
+            epc_bytes = serve_cliff_epc_bytes;
+          }
+      in
+      Printf.printf "  %-9d %12.0f %12d %14d %10d %11d\n" enclaves
+        s.Serve.throughput_rps s.Serve.p50_ns s.Serve.p99_ns s.Serve.epc_faults
+        s.Serve.epc_evictions)
+    [ 1; 2; 4; 8; 12; 16 ];
+  Printf.printf
+    "\n(the drop past the EPC capacity is the paper's §V-D paging cliff, here \
+     hit by the fleet's aggregate working set)\n";
+  hr ();
+  Printf.printf "ECALL batching (8 enclaves, %d requests):\n\n" serve_sweep_requests;
+  let run_batch batch =
+    Serve.run
+      { Serve.default_config with Serve.requests = serve_sweep_requests; batch }
+  in
+  let unbatched = run_batch 1 in
+  let batched = run_batch 16 in
+  let per_req s = s.Serve.ecall_ns / s.Serve.requests in
+  Printf.printf
+    "  batch <= 1:  %6d ecalls, %5d ns/request in sgx.transition.ecall\n"
+    unbatched.Serve.ecalls (per_req unbatched);
+  Printf.printf
+    "  batch <= 16: %6d ecalls, %5d ns/request in sgx.transition.ecall\n"
+    batched.Serve.ecalls (per_req batched);
+  if per_req batched >= per_req unbatched then begin
+    Printf.printf "BATCHING DID NOT AMORTISE TRANSITIONS\n";
+    exit 1
+  end;
+  Printf.printf "\nwhere the batched run's time moved (vs unbatched):\n";
+  print_string
+    (Twine_obs.Ledger.render_diff ~top:8 ~base:unbatched.Serve.ledger
+       ~current:batched.Serve.ledger ())
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable baseline: `bench json` / `bench check`             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1066,6 +1142,23 @@ let collect_baseline () =
       s.Microbench.points;
     put_ledger "micro" machine
   in
+  (* -- serving fleet: the gated 100k-request operating point -- *)
+  let serve_snap =
+    let s = Twine_serve.Serve.run serve_gated_config in
+    let open Twine_serve in
+    put (Baseline.v ~tol:0.0 "serve.requests" s.Serve.requests);
+    put (Baseline.v ~tol:0.02 "serve.p50_ns" s.Serve.p50_ns);
+    put (Baseline.v ~tol:0.02 "serve.p99_ns" s.Serve.p99_ns);
+    put (Baseline.v ~tol:0.02 "serve.throughput_rps"
+           (int_of_float s.Serve.throughput_rps));
+    put (Baseline.v ~tol:0.02 "serve.batches" s.Serve.batches);
+    put (Baseline.v ~tol:0.02 "serve.ecalls" s.Serve.ecalls);
+    put (Baseline.v ~tol:0.02 "serve.transitions_per_request_x1000"
+           (int_of_float (s.Serve.transitions_per_request *. 1000.)));
+    put (Baseline.v ~tol:0.02 "serve.epc_faults" s.Serve.epc_faults);
+    put (Baseline.v ~tol:0.02 "serve.epc_evictions" s.Serve.epc_evictions);
+    put_ledger "serve" s.Serve.machine
+  in
   (* -- protected-FS breakdown, stock vs optimised (§V-F) -- *)
   let () =
     List.iter
@@ -1109,7 +1202,7 @@ let collect_baseline () =
           ("wasm_factor", string_of_float baseline_wasm_factor);
           ("note", "virtual-clock metrics; regenerate with: dune exec bench/main.exe -- json") ]
       (List.rev !metrics),
-    [ report_snap; micro_snap ] )
+    [ report_snap; micro_snap; serve_snap ] )
 
 let default_baseline_file = "BENCH_twine.json"
 
@@ -1221,6 +1314,7 @@ let bench_check file =
       in
       if has "report." || has "ledger.report." then Some "report"
       else if has "micro." || has "ledger.micro." then Some "micro"
+      else if has "serve." || has "ledger.serve." then Some "serve"
       else None
     in
     let blamed =
@@ -1291,4 +1385,5 @@ let () =
   if want "report" then audited "report" report;
   if want "profile" then audited "profile" profile_section;
   if want "crash" then audited "crash" crash_section;
+  if want "serve" then audited "serve" serve_section;
   Printf.printf "\ndone.\n"

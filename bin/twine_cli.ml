@@ -205,6 +205,101 @@ let run_cmd =
     Term.(const run $ path_arg $ no_sgx $ interp $ strict $ dir $ args $ fuel_limit
           $ stats $ profile $ trace $ profile_wasm $ ledger_out)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let enclaves =
+    Arg.(value & opt int 8 & info [ "enclaves" ] ~docv:"N"
+           ~doc:"Fleet size: enclaves sharing one machine (and one EPC).")
+  in
+  let requests =
+    Arg.(value & opt int 100_000 & info [ "requests" ] ~docv:"N"
+           ~doc:"Synthetic client requests to replay.")
+  in
+  let batch =
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N"
+           ~doc:"Max requests coalesced behind one ECALL (1 = unbatched).")
+  in
+  let seed =
+    Arg.(value & opt string "twine-serve" & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Workload seed; the same seed replays byte-identically.")
+  in
+  let epc_kib =
+    Arg.(value & opt (some int) None & info [ "epc-kib" ] ~docv:"KIB"
+           ~doc:"Override the shared EPC size (KiB) to move the paging cliff.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the serving phase in the flight recorder and write \
+                 Chrome trace-event JSON (loadable in ui.perfetto.dev) to $(docv).")
+  in
+  let ledger_out =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Write the serving-phase cycle ledger as JSON to $(docv); \
+                 two such files feed $(b,twine diff) (e.g. batched vs not).")
+  in
+  let run enclaves requests batch seed epc_kib trace ledger_out =
+    if enclaves <= 0 || batch <= 0 || requests < 0 then begin
+      prerr_endline "twine serve: --enclaves and --batch must be positive, --requests non-negative";
+      exit 2
+    end;
+    let cfg =
+      {
+        Twine_serve.Serve.default_config with
+        Twine_serve.Serve.enclaves;
+        requests;
+        batch;
+        seed;
+        epc_bytes =
+          (match epc_kib with
+          | Some k -> k * 1024
+          | None -> Twine_serve.Serve.default_config.Twine_serve.Serve.epc_bytes);
+      }
+    in
+    let tracer = ref None in
+    let prepare m =
+      if trace <> None then tracer := Some (Twine_sgx.Machine.attach_tracer m)
+    in
+    let stats = Twine_serve.Serve.run ~prepare cfg in
+    print_string (Twine_serve.Serve.render stats);
+    if not (Twine_obs.Ledger.balanced (Twine_sgx.Machine.ledger stats.Twine_serve.Serve.machine))
+    then begin
+      prerr_endline "twine serve: ledger conservation audit FAILED";
+      exit 1
+    end;
+    (match ledger_out with
+    | Some file -> (
+        try
+          let oc = open_out file in
+          output_string oc (Twine_obs.Ledger.to_string stats.Twine_serve.Serve.ledger);
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "twine serve: ledger written to %s\n" file
+        with Sys_error msg ->
+          Printf.eprintf "twine serve: cannot write ledger: %s\n" msg;
+          exit 2)
+    | None -> ());
+    (match (trace, !tracer) with
+    | Some file, Some tr -> (
+        try
+          Twine_obs.Trace_export.to_file ~process_name:"twine-serve" tr file;
+          Printf.eprintf "twine serve: trace: %d event(s) written to %s (%d dropped)\n"
+            (Twine_obs.Trace.length tr) file (Twine_obs.Trace.dropped tr)
+        with Sys_error msg ->
+          Printf.eprintf "twine serve: cannot write trace: %s\n" msg;
+          exit 2)
+    | _ -> ());
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Replay a seeded open-loop workload against a fleet of TWINE \
+             enclaves sharing one simulated machine, coalescing queued \
+             requests behind single ECALLs. Prints throughput, p50/p99 \
+             latency and shared-EPC interference. Exit codes: 0 success, \
+             1 conservation-audit failure, 2 bad arguments or I/O error.")
+    Term.(const run $ enclaves $ requests $ batch $ seed $ epc_kib $ trace $ ledger_out)
+
 (* --- diff --- *)
 
 let diff_cmd =
@@ -316,4 +411,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; diff_cmd; validate_cmd; wat2wasm_cmd; inspect_cmd ]))
+       (Cmd.group info
+          [ run_cmd; serve_cmd; diff_cmd; validate_cmd; wat2wasm_cmd; inspect_cmd ]))

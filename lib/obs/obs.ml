@@ -14,7 +14,28 @@ type histogram = {
   mutable h_sum : int;
   mutable h_min : int;
   mutable h_max : int;
+  h_buckets : int array;
+      (* power-of-two buckets: index = bit length of the sample, so
+         bucket i holds samples in [2^(i-1), 2^i). Deterministic and
+         O(1) per observation; quantiles read off the cumulative
+         counts. 63 buckets cover every non-negative OCaml int. *)
 }
+
+let bucket_count = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    min !b (bucket_count - 1)
+  end
+
+(* Inclusive upper bound of a bucket: the largest value it can hold. *)
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
 
 type span = {
   mutable sp_count : int;
@@ -89,10 +110,14 @@ let observe t name v =
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum + v;
       if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
+      if v > h.h_max then h.h_max <- v;
+      let b = h.h_buckets in
+      b.(bucket_of v) <- b.(bucket_of v) + 1
   | None ->
+      let b = Array.make bucket_count 0 in
+      b.(bucket_of v) <- 1;
       Hashtbl.add t.histograms name
-        { h_count = 1; h_sum = v; h_min = v; h_max = v }
+        { h_count = 1; h_sum = v; h_min = v; h_max = v; h_buckets = b }
 
 type hstat = { count : int; sum : int; min : int; max : int }
 
@@ -100,6 +125,26 @@ let hstat t name =
   match Hashtbl.find_opt t.histograms name with
   | Some h -> Some { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
   | None -> None
+
+let quantile t name q =
+  if q < 0. || q > 1. then invalid_arg "Obs.quantile: q outside [0,1]";
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some h ->
+      (* smallest bucket whose cumulative count covers rank(q); the
+         estimate is the bucket's upper bound, clamped into the observed
+         range so q=0/q=1 report the exact min/max *)
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int h.h_count)) in
+        if r < 1 then 1 else r
+      in
+      let rec go i acc =
+        if i >= bucket_count then h.h_max
+        else
+          let acc = acc + h.h_buckets.(i) in
+          if acc >= rank then bucket_upper i else go (i + 1) acc
+      in
+      Some (min h.h_max (max h.h_min (go 0 0)))
 
 (* --- spans --- *)
 

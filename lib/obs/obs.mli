@@ -49,6 +49,13 @@ type hstat = { count : int; sum : int; min : int; max : int }
 
 val hstat : t -> string -> hstat option
 
+val quantile : t -> string -> float -> int option
+(** [quantile t name q] estimates the [q]-quantile of a histogram from
+    its power-of-two buckets (upper bound of the covering bucket,
+    clamped to the observed min/max — so [q = 0.] and [q = 1.] are
+    exact). Deterministic; [None] when nothing was observed.
+    @raise Invalid_argument when [q] is outside [0, 1]. *)
+
 (** {2 Spans} *)
 
 val in_span : t -> string -> (unit -> 'a) -> 'a

@@ -1,0 +1,343 @@
+(* Deterministic multi-enclave serving simulator.
+
+   A fleet of TWINE runtimes shares ONE simulated machine — one virtual
+   clock, one EPC, one ledger — so the fleet contends for the Enclave
+   Page Cache exactly as co-located enclaves do on real hardware
+   (paper §III-A/V-D). The scheduler is run-to-completion on the single
+   simulated core: it round-robins over per-enclave FIFO queues, lifts
+   up to [batch] queued requests behind a single ECALL
+   ({!Twine.Runtime.serve}), and advances the clock only through
+   [Machine.charge] — so the conservation audit covers the serving phase
+   and a (seed, config) pair replays to a byte-identical ledger.
+
+   Batching is the measurement the paper's §V transition costs motivate:
+   an enclave crossing costs ~13,100 cycles each way, so N coalesced
+   requests pay 2 crossings instead of 2N. Protected-FS work triggered
+   inside the batch nests for free (nested ECALLs charge nothing), which
+   is what makes the amortisation visible in [sgx.transition.ecall]. *)
+
+open Twine_sgx
+open Twine_sqldb
+
+type config = {
+  enclaves : int;
+  requests : int;
+  batch : int;  (* max requests coalesced behind one ECALL; 1 = unbatched *)
+  seed : string;
+  mean_gap_ns : int;
+  rows : int;
+  span : int;
+  payload_bytes : int;
+  cache_pages : int;
+  epc_bytes : int;
+  mix : Workload.mix;
+  wasm_factor : float;
+      (* pinned, never wall-clock calibrated: reproducibility first *)
+  ns_per_work : float;
+  trace_requests : bool;
+}
+
+let default_config =
+  {
+    enclaves = 8;
+    requests = 100_000;
+    batch = 16;
+    seed = "twine-serve";
+    mean_gap_ns = 5_000;
+    rows = 512;
+    span = 16;
+    payload_bytes = 96;
+    cache_pages = 256;
+    epc_bytes = 768 * 4096;
+    mix = Workload.default_mix;
+    wasm_factor = 2.5;
+    ns_per_work = 60.;
+    trace_requests = true;
+  }
+
+let shape_of (c : config) : Workload.shape =
+  {
+    Workload.enclaves = c.enclaves;
+    requests = c.requests;
+    mean_gap_ns = c.mean_gap_ns;
+    rows = c.rows;
+    span = c.span;
+    mix = c.mix;
+  }
+
+type stats = {
+  requests : int;
+  enclaves : int;
+  batch : int;
+  elapsed_ns : int;  (* serving-phase virtual time (setup books dropped) *)
+  idle_ns : int;
+  throughput_rps : float;
+  mean_ns : int;
+  p50_ns : int;
+  p99_ns : int;
+  max_ns : int;
+  batches : int;
+  ecalls : int;
+  ocalls : int;
+  transitions_per_request : float;
+  ecall_ns : int;  (* ledger [sgx.transition.ecall], serving phase *)
+  epc_faults : int;
+  epc_evictions : int;
+  epc_limit_pages : int;
+  epc_resident_pages : int;
+  evictions_by_enclave : (int * int) list;
+      (* (enclave id, times one of its pages was the victim) *)
+  ledger : Twine_obs.Ledger.snapshot;
+  machine : Machine.t;
+}
+
+type worker = {
+  rt : Twine.Runtime.t;
+  db : Db.t;
+  queue : (int * Workload.req) Queue.t;  (* (arrival ns, request) *)
+  pager_work : int ref;
+  eid : int;
+}
+
+let sql_of_req = function
+  | Workload.Kv_get k -> Printf.sprintf "SELECT v FROM kv WHERE k = %d" k
+  | Workload.Sql_point k -> Printf.sprintf "SELECT b, c FROM t WHERE a = %d" k
+  | Workload.Sql_range (lo, span) ->
+      Printf.sprintf "SELECT count(*), sum(b) FROM t WHERE a >= %d AND a < %d"
+        lo (lo + span)
+
+let value_bytes = function
+  | Value.Null -> 4
+  | Value.Int _ | Value.Real _ -> 8
+  | Value.Text s | Value.Blob s -> String.length s
+
+let response_bytes (r : Db.result) =
+  List.fold_left
+    (fun acc row -> List.fold_left (fun a v -> a + value_bytes v) acc row)
+    0 r.Db.rows
+
+(* Exact percentile (nearest-rank) over the sorted latency array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let make_worker (cfg : config) machine =
+  let config =
+    {
+      Twine.Runtime.default_config with
+      Twine.Runtime.heap_bytes = 1024 * 1024;
+      cache_nodes = 48;
+    }
+  in
+  let rt =
+    Twine.Runtime.create ~config ~backing:(Twine_ipfs.Backing.memory ()) machine
+  in
+  let e = Twine.Runtime.enclave rt in
+  let vfs = Twine.Bench_db.pfs_svfs (Twine.Runtime.fs rt) in
+  let hooks = Pager.default_hooks () in
+  let pager_work = ref 0 in
+  hooks.Pager.on_work <- (fun n -> pager_work := !pager_work + n);
+  (* The page cache is enclave memory: every page buffer access is an
+     EPC touch, so the fleet's aggregate hot set presses on the shared
+     EPC — the contention this simulator exists to measure. *)
+  let base = Enclave.reserve e (1 lsl 33) in
+  hooks.Pager.on_access <-
+    (fun page_no ->
+      Enclave.touch e ~addr:(base + (page_no * Pager.page_size)) ~len:Pager.page_size);
+  let db =
+    Db.open_db ~vfs ~cache_pages:cfg.cache_pages ~hooks
+      ~obs:machine.Machine.obs "serve.db"
+  in
+  { rt; db; queue = Queue.create (); pager_work; eid = Enclave.id e }
+
+let populate (cfg : config) w =
+  ignore (Db.exec w.db "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)");
+  ignore (Db.exec w.db "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)");
+  let payload j = Printf.sprintf "%0*d" cfg.payload_bytes j in
+  let chunk = 64 in
+  let buf = Buffer.create 8192 in
+  let insert table render =
+    let i = ref 0 in
+    while !i < cfg.rows do
+      let hi = min cfg.rows (!i + chunk) in
+      Buffer.clear buf;
+      Buffer.add_string buf "INSERT INTO ";
+      Buffer.add_string buf table;
+      Buffer.add_string buf " VALUES ";
+      for j = !i to hi - 1 do
+        if j > !i then Buffer.add_char buf ',';
+        Buffer.add_string buf (render j)
+      done;
+      ignore (Db.exec w.db (Buffer.contents buf));
+      i := hi
+    done
+  in
+  ignore (Db.exec w.db "BEGIN");
+  insert "kv" (fun j -> Printf.sprintf "(%d,'%s')" j (payload j));
+  insert "t" (fun j -> Printf.sprintf "(%d,%d,'%s')" j (j * 7) (payload j));
+  ignore (Db.exec w.db "COMMIT")
+
+let rec take_batch q n acc =
+  if n = 0 || Queue.is_empty q then List.rev acc
+  else take_batch q (n - 1) (Queue.pop q :: acc)
+
+let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
+  if cfg.enclaves <= 0 then invalid_arg "Serve.run: enclaves <= 0";
+  if cfg.batch <= 0 then invalid_arg "Serve.run: batch <= 0";
+  let machine = Machine.create ~epc_bytes:cfg.epc_bytes ~seed:cfg.seed () in
+  Twine.Bench_db.set_wasm_factor cfg.wasm_factor;
+  let workers = Array.init cfg.enclaves (fun _ -> make_worker cfg machine) in
+  Array.iter (populate cfg) workers;
+  let arrivals = Workload.generate ~seed:cfg.seed (shape_of cfg) in
+  (* Setup (launch, population) is not the measurement: restart the
+     books so the serving phase audits clean on its own. The EPC keeps
+     its resident set — workers start warm, as a real fleet would. *)
+  let ledger = Machine.ledger machine in
+  let obs = Machine.obs machine in
+  Twine_obs.Ledger.reset ledger;
+  Twine_obs.Obs.reset obs;
+  let epc = machine.Machine.epc in
+  let evict0 =
+    Array.map (fun w -> Epc.evictions_of epc w.eid) workers
+  in
+  prepare machine;
+  let t0 = Machine.now_ns machine in
+  let n = cfg.requests in
+  let q = Twine_sim.Eventq.create () in
+  (* workload times are relative to the start of serving: rebase onto
+     the machine clock (setup already consumed virtual time) *)
+  Array.iter
+    (fun a ->
+      Twine_sim.Eventq.add q ~at:(t0 + a.Workload.at)
+        (a.Workload.enclave, a.Workload.req))
+    arrivals;
+  let latencies = Array.make (max 1 n) 0 in
+  let completed = ref 0 in
+  let pending = ref 0 in
+  let batches = ref 0 in
+  let rr = ref 0 in
+  let charge account work =
+    Machine.charge machine ~account "serve.sql"
+      (int_of_float
+         (Float.round (float_of_int work *. cfg.ns_per_work *. cfg.wasm_factor)))
+  in
+  let serve_one w e (at, req) =
+    let sql = sql_of_req req in
+    Enclave.copy_in e ~label:"serve.req" (String.length sql);
+    Db.reset_work w.db;
+    let res = Db.exec w.db sql in
+    charge "serve.exec" (Db.work w.db);
+    if !(w.pager_work) > 0 then begin
+      charge "serve.pager" !(w.pager_work);
+      w.pager_work := 0
+    end;
+    Enclave.copy_out e ~label:"serve.resp" (response_bytes res);
+    let lat = Machine.now_ns machine - at in
+    latencies.(!completed) <- lat;
+    incr completed;
+    Twine_obs.Obs.observe obs "serve.latency_ns" lat;
+    if cfg.trace_requests then
+      Twine_obs.Obs.emit obs ~cat:"serve"
+        ~args:[ ("enclave", w.eid); ("lat_ns", lat) ]
+        "serve.req"
+  in
+  let drain () =
+    Twine_sim.Eventq.drain_until q ~now:(Machine.now_ns machine) (fun ~at (enc, req) ->
+        Queue.add (at, req) workers.(enc).queue;
+        incr pending)
+  in
+  while !completed < n do
+    drain ();
+    if !pending = 0 then
+      (* nothing runnable: the simulated core sleeps until the next
+         arrival — booked, so the audit still balances to elapsed time *)
+      match Twine_sim.Eventq.peek_time q with
+      | Some t ->
+          let dt = t - Machine.now_ns machine in
+          Machine.charge machine ~account:"serve.idle" "serve.idle" dt
+      | None -> assert false (* completed < n implies arrivals remain *)
+    else begin
+      let k = cfg.enclaves in
+      let rec find i tries =
+        if tries = 0 then None
+        else if Queue.is_empty workers.(i mod k).queue then
+          find (i + 1) (tries - 1)
+        else Some (i mod k)
+      in
+      match find !rr k with
+      | None -> assert false (* pending > 0 implies a non-empty queue *)
+      | Some i ->
+          rr := (i + 1) mod k;
+          let w = workers.(i) in
+          let batch = take_batch w.queue cfg.batch [] in
+          pending := !pending - List.length batch;
+          incr batches;
+          Twine_obs.Obs.observe obs "serve.batch_fill" (List.length batch);
+          Twine.Runtime.serve w.rt (fun e -> List.iter (serve_one w e) batch)
+    end
+  done;
+  let elapsed_ns = Machine.now_ns machine - t0 in
+  let sorted = Array.sub latencies 0 n in
+  Array.sort compare sorted;
+  let sum = Array.fold_left ( + ) 0 sorted in
+  let ecalls = Twine_obs.Obs.value obs "sgx.ecall" in
+  let ocalls = Twine_obs.Obs.value obs "sgx.ocall" in
+  let stats =
+    {
+      requests = n;
+      enclaves = cfg.enclaves;
+      batch = cfg.batch;
+      elapsed_ns;
+      idle_ns = Twine_obs.Ledger.ns ledger "serve.idle";
+      throughput_rps =
+        (if elapsed_ns = 0 then 0.
+         else float_of_int n /. (float_of_int elapsed_ns /. 1e9));
+      mean_ns = (if n = 0 then 0 else sum / n);
+      p50_ns = percentile sorted 0.50;
+      p99_ns = percentile sorted 0.99;
+      max_ns = (if n = 0 then 0 else sorted.(n - 1));
+      batches = !batches;
+      ecalls;
+      ocalls;
+      transitions_per_request =
+        (if n = 0 then 0. else float_of_int (2 * (ecalls + ocalls)) /. float_of_int n);
+      ecall_ns = Twine_obs.Ledger.ns ledger "sgx.transition.ecall";
+      epc_faults = Twine_obs.Obs.value obs "epc.fault";
+      epc_evictions = Twine_obs.Obs.value obs "epc.evict";
+      epc_limit_pages = Epc.limit_pages epc;
+      epc_resident_pages = Epc.resident_pages epc;
+      evictions_by_enclave =
+        Array.to_list
+          (Array.mapi
+             (fun i w -> (w.eid, Epc.evictions_of epc w.eid - evict0.(i)))
+             workers);
+      ledger = Twine_obs.Ledger.snapshot ledger;
+      machine;
+    }
+  in
+  Array.iter (fun w -> Db.close w.db) workers;
+  stats
+
+let render (s : stats) =
+  let b = Buffer.create 512 in
+  let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  f "serve: %d requests over %d enclaves (batch <= %d)\n" s.requests s.enclaves
+    s.batch;
+  f "  elapsed          %d ns (idle %d ns)\n" s.elapsed_ns s.idle_ns;
+  f "  throughput       %.0f req/s\n" s.throughput_rps;
+  f "  latency          p50 %d ns  p99 %d ns  mean %d ns  max %d ns\n" s.p50_ns
+    s.p99_ns s.mean_ns s.max_ns;
+  f "  batches          %d (%.2f req/batch)\n" s.batches
+    (if s.batches = 0 then 0. else float_of_int s.requests /. float_of_int s.batches);
+  f "  transitions      %d ecalls, %d ocalls (%.3f one-way/req)\n" s.ecalls
+    s.ocalls s.transitions_per_request;
+  f "  ecall cycles     %d ns booked to sgx.transition.ecall\n" s.ecall_ns;
+  f "  epc              %d/%d pages resident, %d faults, %d evictions\n"
+    s.epc_resident_pages s.epc_limit_pages s.epc_faults s.epc_evictions;
+  f "  evictions by enclave:";
+  List.iter (fun (id, v) -> f " e%d=%d" id v) s.evictions_by_enclave;
+  f "\n";
+  Buffer.contents b

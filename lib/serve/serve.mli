@@ -1,0 +1,71 @@
+(** Deterministic multi-enclave serving simulator.
+
+    A fleet of TWINE runtimes shares one simulated machine — one virtual
+    clock, one EPC, one ledger — and a run-to-completion scheduler
+    replays a seeded open-loop workload ({!Workload}) against it,
+    coalescing up to [batch] queued requests behind a single ECALL
+    ({!Twine.Runtime.serve}) so a batch pays one enclave round-trip.
+    Everything is booked through [Machine.charge], so the serving phase
+    passes the ledger's conservation audit and a (seed, config) pair
+    replays to byte-identical books and tail latencies. *)
+
+type config = {
+  enclaves : int;
+  requests : int;
+  batch : int;  (** max requests coalesced behind one ECALL; 1 = unbatched *)
+  seed : string;
+  mean_gap_ns : int;  (** mean client inter-arrival (open loop) *)
+  rows : int;  (** per-enclave dataset rows *)
+  span : int;  (** range-slice width *)
+  payload_bytes : int;
+  cache_pages : int;  (** per-enclave page-cache capacity *)
+  epc_bytes : int;  (** the machine-wide EPC the fleet contends for *)
+  mix : Workload.mix;
+  wasm_factor : float;
+      (** pinned Wasm slowdown (never wall-clock calibrated here) *)
+  ns_per_work : float;
+  trace_requests : bool;
+      (** emit a trace instant per request when a recorder is attached *)
+}
+
+val default_config : config
+(** 100k requests, 8 enclaves, batch 16, 288-page EPC, factor 2.5. *)
+
+val shape_of : config -> Workload.shape
+
+type stats = {
+  requests : int;
+  enclaves : int;
+  batch : int;
+  elapsed_ns : int;  (** serving-phase virtual time (setup books dropped) *)
+  idle_ns : int;
+  throughput_rps : float;
+  mean_ns : int;
+  p50_ns : int;  (** exact nearest-rank percentiles over all latencies *)
+  p99_ns : int;
+  max_ns : int;
+  batches : int;
+  ecalls : int;
+  ocalls : int;
+  transitions_per_request : float;  (** one-way crossings per request *)
+  ecall_ns : int;  (** ledger [sgx.transition.ecall], serving phase *)
+  epc_faults : int;
+  epc_evictions : int;
+  epc_limit_pages : int;
+  epc_resident_pages : int;
+  evictions_by_enclave : (int * int) list;
+      (** [(enclave id, times one of its pages was the eviction victim)] —
+          the cross-enclave interference measure of the shared EPC *)
+  ledger : Twine_obs.Ledger.snapshot;
+  machine : Twine_sgx.Machine.t;
+}
+
+val run : ?prepare:(Twine_sgx.Machine.t -> unit) -> config -> stats
+(** Build the fleet on one fresh machine, populate each enclave's
+    database, reset the books (the serving phase audits on its own;
+    workers keep their warm EPC pages), call [prepare] (attach a flight
+    recorder here), then replay the workload to completion.
+    @raise Invalid_argument on a non-positive fleet or batch size. *)
+
+val render : stats -> string
+(** Human-readable summary block. *)

@@ -1,0 +1,63 @@
+(* Seeded open-loop workload: the synthetic client population of the
+   serving simulator. Arrival times, target enclaves and request bodies
+   all derive from one HMAC_DRBG stream, so a (seed, shape) pair names a
+   workload reproducibly — replaying it yields byte-identical ledgers. *)
+
+type req =
+  | Kv_get of int  (** key-value point lookup *)
+  | Sql_point of int  (** rowid point query *)
+  | Sql_range of int * int  (** Speedtest1-style slice: [lo, lo+span) aggregate *)
+
+type mix = { kv_get : int; sql_point : int; sql_range : int }
+
+let default_mix = { kv_get = 6; sql_point = 3; sql_range = 1 }
+
+let req_name = function
+  | Kv_get _ -> "kv_get"
+  | Sql_point _ -> "sql_point"
+  | Sql_range _ -> "sql_range"
+
+type arrival = { at : int; enclave : int; req : req }
+
+type shape = {
+  enclaves : int;
+  requests : int;
+  mean_gap_ns : int;
+  rows : int;  (** per-enclave dataset rows; keys draw from [0, rows) *)
+  span : int;  (** range-slice width *)
+  mix : mix;
+}
+
+(* Open loop: clients fire on their own schedule regardless of server
+   progress (queueing delay shows up as latency, not as back-pressure).
+   Inter-arrival gaps are uniform on [0, 2*mean] so the mean rate is
+   exactly [1 / mean_gap_ns] without floating point in the stream. *)
+let generate ~seed shape =
+  if shape.enclaves <= 0 then invalid_arg "Workload.generate: enclaves <= 0";
+  if shape.requests < 0 then invalid_arg "Workload.generate: requests < 0";
+  if shape.rows <= 0 then invalid_arg "Workload.generate: rows <= 0";
+  let m = shape.mix in
+  let weight_total = m.kv_get + m.sql_point + m.sql_range in
+  if weight_total <= 0 then invalid_arg "Workload.generate: empty mix";
+  let g = Twine_crypto.Drbg.create ~personalization:"twine.serve.workload" ~seed () in
+  let now = ref 0 in
+  let pick_req () =
+    let w = Twine_crypto.Drbg.int_below g weight_total in
+    if w < m.kv_get then Kv_get (Twine_crypto.Drbg.int_below g shape.rows)
+    else if w < m.kv_get + m.sql_point then
+      Sql_point (Twine_crypto.Drbg.int_below g shape.rows)
+    else
+      let lo = Twine_crypto.Drbg.int_below g shape.rows in
+      Sql_range (lo, max 1 shape.span)
+  in
+  Array.init shape.requests (fun _ ->
+      let gap =
+        if shape.mean_gap_ns <= 0 then 0
+        else Twine_crypto.Drbg.int_below g ((2 * shape.mean_gap_ns) + 1)
+      in
+      now := !now + gap;
+      {
+        at = !now;
+        enclave = Twine_crypto.Drbg.int_below g shape.enclaves;
+        req = pick_req ();
+      })

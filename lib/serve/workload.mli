@@ -1,0 +1,35 @@
+(** Seeded open-loop workload generator for the serving simulator.
+
+    A [shape] plus a seed names a reproducible client population: the
+    same pair always yields the same arrival array, so two runs of the
+    fleet over it produce byte-identical ledgers. *)
+
+type req =
+  | Kv_get of int  (** key-value point lookup *)
+  | Sql_point of int  (** rowid point query *)
+  | Sql_range of int * int  (** Speedtest1-style slice: [lo, lo+span) aggregate *)
+
+type mix = { kv_get : int; sql_point : int; sql_range : int }
+(** Relative weights of the request kinds. *)
+
+val default_mix : mix
+(** 6 : 3 : 1 — read-heavy, like the paper's macro workloads. *)
+
+val req_name : req -> string
+
+type arrival = { at : int; enclave : int; req : req }
+
+type shape = {
+  enclaves : int;
+  requests : int;
+  mean_gap_ns : int;  (** mean inter-arrival; 0 = all at time zero *)
+  rows : int;  (** per-enclave dataset rows; keys draw from [0, rows) *)
+  span : int;  (** range-slice width *)
+  mix : mix;
+}
+
+val generate : seed:string -> shape -> arrival array
+(** Arrival times are nondecreasing (uniform gaps on [0, 2*mean]); the
+    enclave assignment is uniform. Deterministic in [(seed, shape)].
+    @raise Invalid_argument on a non-positive fleet, negative request
+    count, non-positive [rows] or an all-zero mix. *)

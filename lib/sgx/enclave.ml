@@ -42,10 +42,12 @@ let fault_pages (t : t) ~addr ~len =
     for page_no = first to last do
       match Epc.touch m.epc (Epc.page_of ~enclave_id:t.id ~page_no) with
       | `Hit -> ()
-      | `Fault evicted ->
+      | `Fault victim ->
           (* same cost either way; the ledger splits plain page-ins from
              the capacity-pressure path that had to encrypt a page out *)
-          let account = if evicted then "epc.evict" else "epc.fault" in
+          let account =
+            match victim with Some _ -> "epc.evict" | None -> "epc.fault"
+          in
           Machine.charge_cycles m ~account "sgx.epc_fault"
             m.costs.epc_fault_cycles
     done

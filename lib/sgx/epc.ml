@@ -2,12 +2,38 @@ open Twine_sim
 
 type page = int
 
+(* --- enclave/page tag packing ---
+
+   A global page identifier packs the owning enclave id above the page
+   number. The encode/decode lives here, in one place, because the tag
+   scheme is load-bearing at fleet scale: an enclave id spilling into the
+   page bits would silently alias another enclave's pages (an EPC "hit"
+   on memory the enclave never touched) and corrupt every per-enclave
+   statistic derived from the tag. [page_of] is the only encoder and it
+   bounds-checks both halves. *)
+
+let page_no_bits = 40
+let max_page_no = (1 lsl page_no_bits) - 1
+let max_enclave_id = max_int lsr page_no_bits
+
+let page_of ~enclave_id ~page_no =
+  if page_no < 0 || page_no > max_page_no then
+    invalid_arg "Epc.page_of: page_no out of range";
+  if enclave_id < 0 || enclave_id > max_enclave_id then
+    invalid_arg "Epc.page_of: enclave_id out of range";
+  (enclave_id lsl page_no_bits) lor page_no
+
+let enclave_of_page p = p lsr page_no_bits
+let page_no_of_page p = p land max_page_no
+
 type t = {
   resident : (page, unit) Lru.t;
   obs : Twine_obs.Obs.t option;
   mutable hit_count : int;
   mutable fault_count : int;
   mutable eviction_count : int;
+  victim_counts : (int, int) Hashtbl.t;
+      (* enclave id -> times one of its pages was evicted *)
 }
 
 let create ?obs ~limit_bytes () =
@@ -19,6 +45,7 @@ let create ?obs ~limit_bytes () =
     hit_count = 0;
     fault_count = 0;
     eviction_count = 0;
+    victim_counts = Hashtbl.create 16;
   }
 
 let limit_pages t = Lru.capacity t.resident
@@ -30,17 +57,26 @@ let record t name =
 (* Timeline events for the paging that the aggregate counters summarise:
    each fault/eviction lands as an instant tagged with the enclave and
    page number, plus a resident-pages counter track. Hits stay off the
-   timeline — they dominate event volume and carry no cliff signal. *)
-let trace_paging t name page =
+   timeline — they dominate event volume and carry no cliff signal. An
+   eviction is tagged with the *victim* page (the one encrypted out),
+   plus the enclave whose fault forced it, so cross-enclave interference
+   is visible per event. *)
+let trace_paging t ?by name page =
   match t.obs with
   | Some o ->
-      Twine_obs.Obs.emit o ~cat:"epc"
-        ~args:
-          [ ("enclave", page lsr 40); ("page", page land ((1 lsl 40) - 1)) ]
-        name;
+      let args =
+        [ ("enclave", enclave_of_page page); ("page", page_no_of_page page) ]
+        @ match by with Some e -> [ ("by", e) ] | None -> []
+      in
+      Twine_obs.Obs.emit o ~cat:"epc" ~args name;
       Twine_obs.Obs.emit_counter o ~cat:"epc" "epc.resident"
         [ ("pages", Lru.length t.resident) ]
   | None -> ()
+
+let note_victim t victim =
+  let owner = enclave_of_page victim in
+  let n = try Hashtbl.find t.victim_counts owner with Not_found -> 0 in
+  Hashtbl.replace t.victim_counts owner (n + 1)
 
 let touch t page =
   match Lru.find t.resident page with
@@ -51,25 +87,27 @@ let touch t page =
   | None ->
       t.fault_count <- t.fault_count + 1;
       record t "epc.fault";
-      let evicted =
+      let victim =
         match Lru.put t.resident page () with
-        | Some _ ->
+        | Some (victim, ()) ->
             t.eviction_count <- t.eviction_count + 1;
+            note_victim t victim;
             record t "epc.evict";
-            trace_paging t "epc.evict" page;
-            true
-        | None -> false
+            trace_paging t ~by:(enclave_of_page page) "epc.evict" victim;
+            Some victim
+        | None -> None
       in
       trace_paging t "epc.fault" page;
-      `Fault evicted
-
-let page_of ~enclave_id ~page_no = (enclave_id lsl 40) lor page_no
+      `Fault victim
 
 let release_enclave t enclave_id =
-  let belongs (page, ()) = page lsr 40 = enclave_id in
+  let belongs (page, ()) = enclave_of_page page = enclave_id in
   let doomed = List.filter belongs (Lru.to_list t.resident) in
   List.iter (fun (page, ()) -> ignore (Lru.remove t.resident page)) doomed
 
 let hits t = t.hit_count
 let faults t = t.fault_count
 let evictions t = t.eviction_count
+
+let evictions_of t enclave_id =
+  try Hashtbl.find t.victim_counts enclave_id with Not_found -> 0

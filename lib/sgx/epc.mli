@@ -4,12 +4,27 @@
     enclaves. When a page that is not resident is touched, the kernel
     evicts the least-recently-used resident page (encrypting it out) and
     loads the requested one — the dominant cost once an enclave's working
-    set exceeds the EPC (paper §III-A, §V-D). *)
+    set exceeds the EPC (paper §III-A, §V-D). Because the pool is shared,
+    one enclave's fault can evict {e another} enclave's page; the trace
+    events and {!evictions_of} attribute each eviction to the enclave
+    that owned the victim page. *)
 
 type t
 
 type page = int
-(** Global page identifier: [(enclave_id lsl 40) lor page_number]. *)
+(** Global page identifier: [(enclave_id lsl 40) lor page_number].
+    Encode with {!page_of} (bounds-checked), decode with
+    {!enclave_of_page} / {!page_no_of_page}. *)
+
+val page_of : enclave_id:int -> page_no:int -> page
+(** The only encoder. @raise Invalid_argument when [page_no] exceeds 40
+    bits or [enclave_id] would overflow into the page bits — a collision
+    that would silently alias pages between enclaves at fleet scale. *)
+
+val enclave_of_page : page -> int
+val page_no_of_page : page -> int
+val max_page_no : int
+val max_enclave_id : int
 
 val create : ?obs:Twine_obs.Obs.t -> limit_bytes:int -> unit -> t
 (** @raise Invalid_argument if the limit is below one page. When [obs] is
@@ -18,10 +33,11 @@ val create : ?obs:Twine_obs.Obs.t -> limit_bytes:int -> unit -> t
 val limit_pages : t -> int
 val resident_pages : t -> int
 
-val touch : t -> page -> [ `Hit | `Fault of bool ]
-(** Access one page, promoting it; [`Fault evicted] means it had to be
-    brought in, with [evicted = true] when the EPC was full and another
-    page was encrypted out to make room (the expensive EWB path). *)
+val touch : t -> page -> [ `Hit | `Fault of page option ]
+(** Access one page, promoting it; [`Fault victim] means it had to be
+    brought in, with [victim = Some p] when the EPC was full and page
+    [p] — possibly belonging to a different enclave — was encrypted out
+    to make room (the expensive EWB path). *)
 
 val release_enclave : t -> int -> unit
 (** Drop all resident pages belonging to an enclave id (EREMOVE). *)
@@ -35,4 +51,7 @@ val faults : t -> int
 val evictions : t -> int
 (** Total pages evicted (encrypted out) to make room since creation. *)
 
-val page_of : enclave_id:int -> page_no:int -> page
+val evictions_of : t -> int -> int
+(** [evictions_of t id]: how many times one of enclave [id]'s pages was
+    the eviction victim — the measure of cross-enclave EPC
+    interference a shared fleet cares about. *)

@@ -16,15 +16,26 @@ let usable_epc_bytes = 93 * 1024 * 1024 (* paper §V-A: 128 MiB EPC, 93 usable *
 (* Opt-in registry so a bench driver can audit every machine a section
    created (conservation check) without threading them through every
    helper's return value. Off by default: unit tests create throwaway
-   machines by the hundred. *)
+   machines by the hundred.
+
+   Tracking is *scoped*: [with_tracked] snapshots the registry state and
+   restores it on the way out (exception-safe), so one section can never
+   see — and re-audit — machines created by an earlier section, and
+   nested scopes each observe exactly their own machines. *)
 let tracking = ref false
 let tracked : t list ref = ref []
 
-let track_machines on =
-  tracking := on;
-  tracked := []
-
-let tracked_machines () = List.rev !tracked
+let with_tracked f =
+  let prev_tracking = !tracking and prev_tracked = !tracked in
+  tracking := true;
+  tracked := [];
+  Fun.protect
+    ~finally:(fun () ->
+      tracking := prev_tracking;
+      tracked := prev_tracked)
+    (fun () ->
+      let r = f () in
+      (r, List.rev !tracked))
 
 let create ?(costs = Costs.default) ?(epc_bytes = usable_epc_bytes)
     ?(seed = "twine-machine") () =

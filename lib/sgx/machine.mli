@@ -42,12 +42,13 @@ val obs : t -> Twine_obs.Obs.t
 
 val ledger : t -> Twine_obs.Ledger.t
 
-val track_machines : bool -> unit
-(** Enable (or disable) the global machine registry used by the bench
-    driver to audit every machine a section created. Clears the list. *)
-
-val tracked_machines : unit -> t list
-(** Machines created since [track_machines true], in creation order. *)
+val with_tracked : (unit -> 'a) -> 'a * t list
+(** [with_tracked f] runs [f] with machine tracking enabled and returns
+    its result together with exactly the machines created during the
+    call, in creation order. The registry state is snapshotted and
+    restored on exit (also on exceptions), so scopes compose: a bench
+    section can never re-audit machines created by an earlier section,
+    and a nested scope observes only its own machines. *)
 
 val attach_tracer : ?capacity:int -> t -> Twine_obs.Trace.t
 (** Create a flight recorder on the machine's virtual clock, attach it

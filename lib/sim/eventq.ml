@@ -1,0 +1,85 @@
+(* Discrete-event queue for the virtual clock: a binary min-heap of
+   events keyed on (time, insertion sequence). The sequence number makes
+   ties deterministic — two events scheduled for the same nanosecond pop
+   in insertion order, so a simulation driven off this queue replays
+   identically for a given seed regardless of heap-internal layout. *)
+
+type 'a t = {
+  mutable heap : (int * int * 'a) array;  (* (time, seq, payload) *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let before (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~at payload =
+  if at < 0 then invalid_arg "Eventq.add: negative time";
+  if t.size = Array.length t.heap then begin
+    let cap = max 16 (2 * Array.length t.heap) in
+    let bigger = Array.make cap (0, 0, payload) in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- (at, t.next_seq, payload);
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some (let at, _, p = t.heap.(0) in (at, p))
+
+let peek_time t = if t.size = 0 then None else Some (let at, _, _ = t.heap.(0) in at)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let at, _, p = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (at, p)
+  end
+
+(* Pop every event due at or before [now], in order. *)
+let drain_until t ~now f =
+  let rec go () =
+    match peek_time t with
+    | Some at when at <= now -> (
+        match pop t with
+        | Some (at, p) ->
+            f ~at p;
+            go ()
+        | None -> ())
+    | _ -> ()
+  in
+  go ()

@@ -1,0 +1,30 @@
+(** Discrete-event queue on the virtual clock.
+
+    A binary min-heap of [(time, payload)] events. Ties on time break by
+    insertion order (a monotone sequence number), so a scheduler driven
+    off this queue is deterministic: the same seed produces the same pop
+    order, independent of heap-internal layout. The serving simulator
+    ({!Twine_serve}) uses one for request arrivals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> at:int -> 'a -> unit
+(** Schedule a payload at virtual time [at] (ns).
+    @raise Invalid_argument on negative [at]. *)
+
+val peek : 'a t -> (int * 'a) option
+(** Earliest event without removing it. *)
+
+val peek_time : 'a t -> int option
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event. *)
+
+val drain_until : 'a t -> now:int -> (at:int -> 'a -> unit) -> unit
+(** Pop every event with [time <= now], earliest first, calling [f] on
+    each. *)

@@ -290,6 +290,17 @@ let run ?(args = [ "app" ]) ?env ?profile ?fuel_limit t =
             Twine_obs.Obs.emit obs ~cat:"twine" ~args:[ ("fuel", fuel) ] "twine.fuel";
           { exit_code; stdout = Buffer.contents out; fuel })
 
+(* --- request serving --- *)
+
+(* The reusable request-service entry point: one ECALL brackets an
+   entire batch of client requests, so N queued requests pay a single
+   ≈13,100-cycle enclave round-trip instead of N (the paper's #1 cost,
+   amortised Occlum-style by multiplexing work inside the enclave). The
+   thunk runs with the enclave entered; nested ecalls (e.g. per-request
+   helpers that defensively enter) are free, and the serving layer
+   charges per-request work while inside. *)
+let serve t ?(name = "twine.serve") f = Enclave.ecall t.enclave ~name f
+
 (* --- fault containment --- *)
 
 type run_error =

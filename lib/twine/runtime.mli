@@ -103,6 +103,14 @@ val run :
     engines trap at the identical fuel value.
     @raise Deploy_error if nothing is deployed or [_start] is missing. *)
 
+val serve : t -> ?name:string -> (Twine_sgx.Enclave.t -> 'a) -> 'a
+(** The request-service entry point: run the thunk inside one ECALL
+    (default span/account name ["twine.serve"]). The serving fleet
+    ({!Twine_serve}) batches N queued requests behind a single call, so
+    the whole batch pays one enclave round-trip — the transition
+    amortisation the paper's §V costs motivate. Charges raised inside
+    (SQL work, EPC paging, boundary copies) book normally. *)
+
 type run_error =
   | Guest_trap of string
       (** the guest trapped (including fuel exhaustion); the enclave

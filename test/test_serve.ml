@@ -1,0 +1,165 @@
+(* The serving fleet: deterministic replay, shared-EPC interference
+   across runtimes, ECALL batching amortisation, and the scoped machine
+   auditor seeing exactly the fleet's machine. *)
+
+open Twine_sgx
+open Twine_serve
+
+let small_config =
+  {
+    Serve.default_config with
+    Serve.enclaves = 4;
+    requests = 2_000;
+    rows = 256;
+    epc_bytes = 256 * 4096;
+  }
+
+(* -- workload generator -- *)
+
+let test_workload_deterministic () =
+  let shape = Serve.shape_of small_config in
+  let a = Workload.generate ~seed:"w" shape in
+  let b = Workload.generate ~seed:"w" shape in
+  Alcotest.(check bool) "same seed, same arrivals" true (a = b);
+  let c = Workload.generate ~seed:"other" shape in
+  Alcotest.(check bool) "different seed differs" false (a = c);
+  Array.iteri
+    (fun i x ->
+      if i > 0 then
+        Alcotest.(check bool) "arrival times nondecreasing" true
+          (x.Workload.at >= a.(i - 1).Workload.at);
+      Alcotest.(check bool) "enclave in range" true
+        (x.Workload.enclave >= 0 && x.Workload.enclave < shape.Workload.enclaves))
+    a
+
+let test_workload_validates () =
+  let shape = Serve.shape_of small_config in
+  Alcotest.check_raises "empty mix"
+    (Invalid_argument "Workload.generate: empty mix") (fun () ->
+      ignore
+        (Workload.generate ~seed:"w"
+           { shape with Workload.mix = { kv_get = 0; sql_point = 0; sql_range = 0 } }))
+
+(* -- deterministic replay: byte-identical books and equal tails -- *)
+
+let test_replay_identical () =
+  let s1 = Serve.run small_config in
+  let s2 = Serve.run small_config in
+  Alcotest.(check string) "byte-identical ledger snapshots"
+    (Twine_obs.Ledger.to_string s1.Serve.ledger)
+    (Twine_obs.Ledger.to_string s2.Serve.ledger);
+  Alcotest.(check int) "p50 equal" s1.Serve.p50_ns s2.Serve.p50_ns;
+  Alcotest.(check int) "p99 equal" s1.Serve.p99_ns s2.Serve.p99_ns;
+  Alcotest.(check int) "elapsed equal" s1.Serve.elapsed_ns s2.Serve.elapsed_ns;
+  let s3 = Serve.run { small_config with Serve.seed = "another" } in
+  Alcotest.(check bool) "different seed, different books" false
+    (Twine_obs.Ledger.to_string s1.Serve.ledger
+    = Twine_obs.Ledger.to_string s3.Serve.ledger)
+
+let test_serving_books_balance () =
+  let s = Serve.run small_config in
+  Alcotest.(check bool) "conservation audit holds" true
+    (Twine_obs.Ledger.balanced (Machine.ledger s.Serve.machine));
+  Alcotest.(check int) "every request measured" small_config.Serve.requests
+    s.Serve.requests;
+  Alcotest.(check bool) "exec time booked" true
+    (Twine_obs.Ledger.ns (Machine.ledger s.Serve.machine) "serve.exec" > 0)
+
+(* -- scoped tracking: the auditor sees exactly the fleet's machine -- *)
+
+let test_tracked_sees_fleet () =
+  let stats, machines = Machine.with_tracked (fun () -> Serve.run small_config) in
+  Alcotest.(check int) "one shared machine for the whole fleet" 1
+    (List.length machines);
+  Alcotest.(check bool) "and it is the fleet's machine" true
+    (match machines with [ m ] -> m == stats.Serve.machine | _ -> false)
+
+(* -- batching amortises enclave transitions -- *)
+
+let test_batching_amortises_ecalls () =
+  let unbatched = Serve.run { small_config with Serve.batch = 1 } in
+  let batched = Serve.run { small_config with Serve.batch = 16 } in
+  Alcotest.(check int) "unbatched: one ecall per request"
+    small_config.Serve.requests unbatched.Serve.ecalls;
+  Alcotest.(check bool) "batched: fewer ecalls" true
+    (batched.Serve.ecalls < unbatched.Serve.ecalls);
+  let per_req s = s.Serve.ecall_ns / s.Serve.requests in
+  Alcotest.(check bool) "batched: cheaper transitions per request" true
+    (per_req batched < per_req unbatched);
+  Alcotest.(check bool) "same work either way" true
+    (Twine_obs.Ledger.ns (Machine.ledger batched.Serve.machine) "serve.exec"
+    = Twine_obs.Ledger.ns (Machine.ledger unbatched.Serve.machine) "serve.exec")
+
+(* -- two runtimes, one machine: shared-EPC eviction interference -- *)
+
+let test_shared_epc_interference () =
+  (* A machine whose EPC holds 32 pages. Runtime A touches a working
+     set that fills it; runtime B then touches its own pages, which
+     must evict A's — and the EPC books every victim to A. *)
+  let machine = Machine.create ~seed:"interference" ~epc_bytes:(32 * 4096) () in
+  let config =
+    { Twine.Runtime.default_config with Twine.Runtime.heap_bytes = 4096 }
+  in
+  let ra = Twine.Runtime.create ~config machine in
+  let rb = Twine.Runtime.create ~config machine in
+  let ea = Twine.Runtime.enclave ra and eb = Twine.Runtime.enclave rb in
+  let epc = machine.Machine.epc in
+  let base_a = Enclave.reserve ea (64 * 4096) in
+  let base_b = Enclave.reserve eb (64 * 4096) in
+  (* A faults in 32 pages of its own: EPC now entirely A's *)
+  Enclave.touch ea ~addr:base_a ~len:(32 * 4096);
+  let evicted_a_before = Epc.evictions_of epc (Enclave.id ea) in
+  let faults_before = Epc.faults epc in
+  (* B faults in ~8 pages (the reserve base need not be page-aligned):
+     the EPC is full of A's pages, so every one of B's faults must
+     evict one of A's *)
+  Enclave.touch eb ~addr:base_b ~len:(8 * 4096);
+  let b_faults = Epc.faults epc - faults_before in
+  Alcotest.(check bool) "B faulted" true (b_faults >= 8);
+  Alcotest.(check int) "B's faults evicted exactly A's pages" b_faults
+    (Epc.evictions_of epc (Enclave.id ea) - evicted_a_before);
+  Alcotest.(check int) "B suffered no evictions" 0
+    (Epc.evictions_of epc (Enclave.id eb));
+  (* interference is booked on the shared machine's ledger *)
+  Alcotest.(check bool) "evict cost booked" true
+    (Twine_obs.Ledger.ns (Machine.ledger machine) "epc.evict" > 0)
+
+let test_fleet_interference_attribution () =
+  (* In a full serving run over a too-small EPC, eviction victims land
+     on fleet members — and only on fleet members. *)
+  let s =
+    Serve.run
+      { small_config with Serve.enclaves = 4; epc_bytes = 64 * 4096 }
+  in
+  let total = List.fold_left (fun a (_, v) -> a + v) 0 s.Serve.evictions_by_enclave in
+  Alcotest.(check bool) "the fleet thrashes" true (s.Serve.epc_evictions > 0);
+  Alcotest.(check int) "every serving-phase victim belongs to a fleet enclave"
+    s.Serve.epc_evictions total
+
+let () =
+  Alcotest.run "twine_serve"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "validates" `Quick test_workload_validates;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "byte-identical books" `Quick test_replay_identical;
+          Alcotest.test_case "books balance" `Quick test_serving_books_balance;
+          Alcotest.test_case "tracked sees the fleet" `Quick test_tracked_sees_fleet;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "amortises ecalls" `Quick
+            test_batching_amortises_ecalls;
+        ] );
+      ( "shared-epc",
+        [
+          Alcotest.test_case "cross-enclave eviction" `Quick
+            test_shared_epc_interference;
+          Alcotest.test_case "fleet attribution" `Quick
+            test_fleet_interference_attribution;
+        ] );
+    ]

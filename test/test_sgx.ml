@@ -23,14 +23,77 @@ let test_epc_eviction () =
   let p i = Epc.page_of ~enclave_id:1 ~page_no:i in
   ignore (Epc.touch epc (p 0));
   ignore (Epc.touch epc (p 1));
-  ignore (Epc.touch epc (p 2));  (* evicts p0 *)
+  (match Epc.touch epc (p 2) with
+  | `Fault (Some victim) ->
+      Alcotest.(check int) "LRU page is the victim" (p 0) victim
+  | `Fault None -> Alcotest.fail "full EPC must evict"
+  | `Hit -> Alcotest.fail "cold page cannot hit");
   let refault =
     match Epc.touch epc (p 0) with
-    | `Fault evicted -> evicted  (* full EPC: the refault also evicts *)
-    | `Hit -> false
+    | `Fault (Some _) -> true  (* full EPC: the refault also evicts *)
+    | `Fault None | `Hit -> false
   in
   Alcotest.(check bool) "evicted page refaults (and evicts)" true refault;
   Alcotest.(check int) "resident bounded" 2 (Epc.resident_pages epc)
+
+(* Regression: the epc.evict trace instant must carry the *victim* page
+   (the one encrypted out), not the incoming page that caused the fault.
+   Before the fix, the event's enclave/page args described the incoming
+   page, so cross-enclave interference was invisible and the timeline
+   blamed the wrong enclave. *)
+let test_epc_evict_trace_names_victim () =
+  let m = fresh_machine ~epc_bytes:(2 * page) () in
+  let tr = Machine.attach_tracer m in
+  let epc = Epc.create ~obs:m.Machine.obs ~limit_bytes:(2 * page) () in
+  (* enclave 1 owns both resident pages; enclave 2 faults one in *)
+  ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:7));
+  ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:8));
+  ignore (Epc.touch epc (Epc.page_of ~enclave_id:2 ~page_no:3));
+  let evicts =
+    List.filter
+      (fun (e : Twine_obs.Trace.event) -> e.Twine_obs.Trace.name = "epc.evict")
+      (Twine_obs.Trace.events tr)
+  in
+  match evicts with
+  | [ e ] ->
+      let arg k = List.assoc k e.Twine_obs.Trace.args in
+      Alcotest.(check int) "victim enclave is 1" 1 (arg "enclave");
+      Alcotest.(check int) "victim page is the LRU page" 7 (arg "page");
+      Alcotest.(check int) "faulting enclave recorded" 2 (arg "by")
+  | l -> Alcotest.failf "expected exactly one epc.evict event, got %d" (List.length l)
+
+let test_epc_victim_attribution () =
+  (* shared-EPC interference: enclave 2's faults evict enclave 1's pages,
+     and the books say so (victim counts, not toucher counts) *)
+  let epc = Epc.create ~limit_bytes:(4 * page) () in
+  for i = 0 to 3 do
+    ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:i))
+  done;
+  for i = 0 to 1 do
+    ignore (Epc.touch epc (Epc.page_of ~enclave_id:2 ~page_no:i))
+  done;
+  Alcotest.(check int) "enclave 1 lost two pages" 2 (Epc.evictions_of epc 1);
+  Alcotest.(check int) "enclave 2 lost none" 0 (Epc.evictions_of epc 2);
+  Alcotest.(check int) "totals agree" 2 (Epc.evictions epc)
+
+let test_epc_page_packing () =
+  let p = Epc.page_of ~enclave_id:5 ~page_no:77 in
+  Alcotest.(check int) "enclave decodes" 5 (Epc.enclave_of_page p);
+  Alcotest.(check int) "page decodes" 77 (Epc.page_no_of_page p);
+  let max_p = Epc.page_of ~enclave_id:Epc.max_enclave_id ~page_no:Epc.max_page_no in
+  Alcotest.(check int) "max enclave decodes" Epc.max_enclave_id
+    (Epc.enclave_of_page max_p);
+  Alcotest.(check int) "max page decodes" Epc.max_page_no
+    (Epc.page_no_of_page max_p);
+  Alcotest.check_raises "page_no overflow would alias another enclave"
+    (Invalid_argument "Epc.page_of: page_no out of range") (fun () ->
+      ignore (Epc.page_of ~enclave_id:1 ~page_no:(Epc.max_page_no + 1)));
+  Alcotest.check_raises "enclave_id overflow would corrupt the tag"
+    (Invalid_argument "Epc.page_of: enclave_id out of range") (fun () ->
+      ignore (Epc.page_of ~enclave_id:(Epc.max_enclave_id + 1) ~page_no:0));
+  Alcotest.check_raises "negative page_no"
+    (Invalid_argument "Epc.page_of: page_no out of range") (fun () ->
+      ignore (Epc.page_of ~enclave_id:1 ~page_no:(-1)))
 
 let test_epc_release_enclave () =
   let epc = Epc.create ~limit_bytes:(8 * page) () in
@@ -254,6 +317,10 @@ let suite =
   [ ("epc", [
       Alcotest.test_case "fault then hit" `Quick test_epc_fault_then_hit;
       Alcotest.test_case "lru eviction" `Quick test_epc_eviction;
+      Alcotest.test_case "evict trace names victim" `Quick
+        test_epc_evict_trace_names_victim;
+      Alcotest.test_case "victim attribution" `Quick test_epc_victim_attribution;
+      Alcotest.test_case "page packing bounds" `Quick test_epc_page_packing;
       Alcotest.test_case "release enclave" `Quick test_epc_release_enclave;
     ]);
     ("enclave", [

@@ -112,6 +112,57 @@ let prop_lru_model =
         ops
       && Twine_sim.Lru.to_list lru = !model)
 
+(* --- Eventq --- *)
+
+let test_eventq_order () =
+  let q = Twine_sim.Eventq.create () in
+  Twine_sim.Eventq.add q ~at:30 "c";
+  Twine_sim.Eventq.add q ~at:10 "a";
+  Twine_sim.Eventq.add q ~at:20 "b";
+  Alcotest.(check int) "length" 3 (Twine_sim.Eventq.length q);
+  Alcotest.(check (option (pair int string))) "peek" (Some (10, "a"))
+    (Twine_sim.Eventq.peek q);
+  Alcotest.(check (option (pair int string))) "pop a" (Some (10, "a"))
+    (Twine_sim.Eventq.pop q);
+  Alcotest.(check (option (pair int string))) "pop b" (Some (20, "b"))
+    (Twine_sim.Eventq.pop q);
+  Alcotest.(check (option (pair int string))) "pop c" (Some (30, "c"))
+    (Twine_sim.Eventq.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (Twine_sim.Eventq.pop q)
+
+let test_eventq_ties_fifo () =
+  (* same timestamp: insertion order decides — scheduler determinism *)
+  let q = Twine_sim.Eventq.create () in
+  List.iter (fun s -> Twine_sim.Eventq.add q ~at:5 s) [ "x"; "y"; "z" ];
+  let popped = List.init 3 (fun _ -> snd (Option.get (Twine_sim.Eventq.pop q))) in
+  Alcotest.(check (list string)) "fifo among ties" [ "x"; "y"; "z" ] popped
+
+let test_eventq_drain_until () =
+  let q = Twine_sim.Eventq.create () in
+  List.iteri (fun i s -> Twine_sim.Eventq.add q ~at:(i * 10) s) [ "a"; "b"; "c"; "d" ];
+  let seen = ref [] in
+  Twine_sim.Eventq.drain_until q ~now:20 (fun ~at s -> seen := (at, s) :: !seen);
+  Alcotest.(check (list (pair int string))) "due events, earliest first"
+    [ (0, "a"); (10, "b"); (20, "c") ]
+    (List.rev !seen);
+  Alcotest.(check int) "one left" 1 (Twine_sim.Eventq.length q);
+  Alcotest.check_raises "negative time" (Invalid_argument "Eventq.add: negative time")
+    (fun () -> Twine_sim.Eventq.add q ~at:(-1) "bad")
+
+let prop_eventq_sorted =
+  QCheck.Test.make ~name:"eventq pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Twine_sim.Eventq.create () in
+      List.iter (fun t -> Twine_sim.Eventq.add q ~at:t t) times;
+      let rec drain acc =
+        match Twine_sim.Eventq.pop q with
+        | Some (t, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
 let qc = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -124,6 +175,12 @@ let suite =
       Alcotest.test_case "set_capacity" `Quick test_lru_set_capacity;
       Alcotest.test_case "clear" `Quick test_lru_clear;
       qc prop_lru_model;
+    ]);
+    ("eventq", [
+      Alcotest.test_case "time order" `Quick test_eventq_order;
+      Alcotest.test_case "ties are fifo" `Quick test_eventq_ties_fifo;
+      Alcotest.test_case "drain_until" `Quick test_eventq_drain_until;
+      qc prop_eventq_sorted;
     ]);
   ]
 
