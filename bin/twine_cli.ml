@@ -238,7 +238,24 @@ let serve_cmd =
            ~doc:"Write the serving-phase cycle ledger as JSON to $(docv); \
                  two such files feed $(b,twine diff) (e.g. batched vs not).")
   in
-  let run enclaves requests batch seed epc_kib trace ledger_out =
+  let blame =
+    Arg.(value & flag & info [ "blame" ]
+           ~doc:"Print the tail-latency blame report: the slowest requests \
+                 with their exact per-request cycle slices, the dominant \
+                 component of each, the p99 dominant-account census and \
+                 cross-enclave EPC interference attribution.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"How many tail requests $(b,--blame) ranks (default 10).")
+  in
+  let timeline =
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE"
+           ~doc:"Like $(b,--trace), but with per-enclave request tracks and \
+                 the sampler's counter series (queue depth, EPC residency, \
+                 completed requests) named for Perfetto's track view.")
+  in
+  let run enclaves requests batch seed epc_kib trace ledger_out blame top timeline =
     if enclaves <= 0 || batch <= 0 || requests < 0 then begin
       prerr_endline "twine serve: --enclaves and --batch must be positive, --requests non-negative";
       exit 2
@@ -256,15 +273,27 @@ let serve_cmd =
           | None -> Twine_serve.Serve.default_config.Twine_serve.Serve.epc_bytes);
       }
     in
+    if top <= 0 then begin
+      prerr_endline "twine serve: --top must be positive";
+      exit 2
+    end;
     let tracer = ref None in
     let prepare m =
-      if trace <> None then tracer := Some (Twine_sgx.Machine.attach_tracer m)
+      if trace <> None || timeline <> None then
+        tracer := Some (Twine_sgx.Machine.attach_tracer m)
     in
     let stats = Twine_serve.Serve.run ~prepare cfg in
     print_string (Twine_serve.Serve.render stats);
+    if blame then print_string (Twine_serve.Serve.render_blame ~top stats);
     if not (Twine_obs.Ledger.balanced (Twine_sgx.Machine.ledger stats.Twine_serve.Serve.machine))
     then begin
       prerr_endline "twine serve: ledger conservation audit FAILED";
+      exit 1
+    end;
+    if stats.Twine_serve.Serve.attribution_residue_ns <> 0 then begin
+      Printf.eprintf
+        "twine serve: per-request attribution audit FAILED (residue %d ns)\n"
+        stats.Twine_serve.Serve.attribution_residue_ns;
       exit 1
     end;
     (match ledger_out with
@@ -279,16 +308,26 @@ let serve_cmd =
           Printf.eprintf "twine serve: cannot write ledger: %s\n" msg;
           exit 2)
     | None -> ());
-    (match (trace, !tracer) with
-    | Some file, Some tr -> (
-        try
-          Twine_obs.Trace_export.to_file ~process_name:"twine-serve" tr file;
-          Printf.eprintf "twine serve: trace: %d event(s) written to %s (%d dropped)\n"
-            (Twine_obs.Trace.length tr) file (Twine_obs.Trace.dropped tr)
-        with Sys_error msg ->
-          Printf.eprintf "twine serve: cannot write trace: %s\n" msg;
-          exit 2)
-    | _ -> ());
+    let write_trace file threads =
+      match !tracer with
+      | Some tr -> (
+          try
+            Twine_obs.Trace_export.to_file ~process_name:"twine-serve" ?threads
+              tr file;
+            Printf.eprintf
+              "twine serve: trace: %d event(s) written to %s (%d dropped, \
+               high water %d)\n"
+              (Twine_obs.Trace.length tr) file (Twine_obs.Trace.dropped tr)
+              (Twine_obs.Trace.high_water tr)
+          with Sys_error msg ->
+            Printf.eprintf "twine serve: cannot write trace: %s\n" msg;
+            exit 2)
+      | None -> ()
+    in
+    (match trace with Some file -> write_trace file None | None -> ());
+    (match timeline with
+    | Some file -> write_trace file (Some (Twine_serve.Serve.threads stats))
+    | None -> ());
     exit 0
   in
   Cmd.v
@@ -296,9 +335,12 @@ let serve_cmd =
        ~doc:"Replay a seeded open-loop workload against a fleet of TWINE \
              enclaves sharing one simulated machine, coalescing queued \
              requests behind single ECALLs. Prints throughput, p50/p99 \
-             latency and shared-EPC interference. Exit codes: 0 success, \
-             1 conservation-audit failure, 2 bad arguments or I/O error.")
-    Term.(const run $ enclaves $ requests $ batch $ seed $ epc_kib $ trace $ ledger_out)
+             latency and shared-EPC interference; $(b,--blame) adds \
+             per-request tail attribution. Exit codes: 0 success, 1 \
+             conservation-audit or attribution-residue failure, 2 bad \
+             arguments or I/O error.")
+    Term.(const run $ enclaves $ requests $ batch $ seed $ epc_kib $ trace
+          $ ledger_out $ blame $ top $ timeline)
 
 (* --- diff --- *)
 

@@ -10,6 +10,7 @@ type t = {
   mutable booked : int;
   mutable start_ns : int;
   mutable ctx : string option;
+  mutable tap : (string -> int -> unit) option;
   matrix_tbl : (string, (string, int) Hashtbl.t) Hashtbl.t;
 }
 
@@ -20,6 +21,7 @@ let create ?(now = fun () -> 0) () =
     booked = 0;
     start_ns = now ();
     ctx = None;
+    tap = None;
     matrix_tbl = Hashtbl.create 8;
   }
 
@@ -37,6 +39,7 @@ let book t name ns =
   a.a_ns <- a.a_ns + ns;
   a.a_events <- a.a_events + 1;
   t.booked <- t.booked + ns;
+  (match t.tap with None -> () | Some f -> f name ns);
   match t.ctx with
   | None -> ()
   | Some ctx ->
@@ -53,6 +56,8 @@ let book t name ns =
 
 let set_context t c = t.ctx <- c
 let context t = t.ctx
+let set_tap t f = t.tap <- f
+let tap t = t.tap
 
 type entry = { ns : int; events : int }
 
@@ -81,6 +86,7 @@ let reset t =
   Hashtbl.reset t.matrix_tbl;
   t.booked <- 0;
   t.ctx <- None;
+  t.tap <- None;
   t.start_ns <- t.now ()
 
 (* --- snapshots --- *)

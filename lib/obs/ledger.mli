@@ -33,6 +33,17 @@ val set_context : t -> string option -> unit
 
 val context : t -> string option
 
+val set_tap : t -> (string -> int -> unit) option -> unit
+(** Install (or clear) a booking tap: a callback invoked on {e every}
+    {!book} with the account name and nanoseconds, after the account and
+    running total are updated. This is the per-request slicing primitive
+    of the serving fleet ({!Twine_serve}): while a request is live, its
+    tap routes each booking into that request's cycle breakdown, so the
+    per-request slices sum to the ledger total by construction — O(1)
+    per charge, no per-request snapshots. Cleared by {!reset}. *)
+
+val tap : t -> (string -> int -> unit) option
+
 type entry = { ns : int; events : int }
 
 val ns : t -> string -> int

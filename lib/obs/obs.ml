@@ -19,7 +19,13 @@ type histogram = {
          bucket i holds samples in [2^(i-1), 2^i). Deterministic and
          O(1) per observation; quantiles read off the cumulative
          counts. 63 buckets cover every non-negative OCaml int. *)
+  h_exemplars : int list array;
+      (* per-bucket exemplar ids (newest first, capped): the caller can
+         tag a sample with an id (e.g. a request id) and later ask which
+         ids landed in the bucket covering a quantile. *)
 }
+
+let exemplar_cap = 8
 
 let bucket_count = 63
 
@@ -104,20 +110,39 @@ let value t name =
 
 (* --- histograms --- *)
 
-let observe t name v =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h ->
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum + v;
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v;
-      let b = h.h_buckets in
-      b.(bucket_of v) <- b.(bucket_of v) + 1
-  | None ->
-      let b = Array.make bucket_count 0 in
-      b.(bucket_of v) <- 1;
-      Hashtbl.add t.histograms name
-        { h_count = 1; h_sum = v; h_min = v; h_max = v; h_buckets = b }
+let note_exemplar h bucket id =
+  let kept =
+    let xs = h.h_exemplars.(bucket) in
+    if List.length xs >= exemplar_cap then
+      List.filteri (fun i _ -> i < exemplar_cap - 1) xs
+    else xs
+  in
+  h.h_exemplars.(bucket) <- id :: kept
+
+let observe ?exemplar t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h ->
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum + v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v;
+        let b = h.h_buckets in
+        b.(bucket_of v) <- b.(bucket_of v) + 1;
+        h
+    | None ->
+        let b = Array.make bucket_count 0 in
+        b.(bucket_of v) <- 1;
+        let h =
+          { h_count = 1; h_sum = v; h_min = v; h_max = v; h_buckets = b;
+            h_exemplars = Array.make bucket_count [] }
+        in
+        Hashtbl.add t.histograms name h;
+        h
+  in
+  match exemplar with
+  | Some id -> note_exemplar h (bucket_of v) id
+  | None -> ()
 
 type hstat = { count : int; sum : int; min : int; max : int }
 
@@ -126,25 +151,40 @@ let hstat t name =
   | Some h -> Some { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
   | None -> None
 
+(* Smallest bucket whose cumulative count covers rank(q). Nearest-rank:
+   rank = ceil(q * count), clamped to [1, count]. The epsilon guards
+   against float representation pushing an exact product just above the
+   integer (0.99 *. 100. = 99.000…01, whose ceil would wrongly be 100 —
+   one whole rank, i.e. a whole sample, too high). *)
+let covering_bucket h q =
+  let rank =
+    let r = int_of_float (ceil ((q *. float_of_int h.h_count) -. 1e-9)) in
+    if r < 1 then 1 else if r > h.h_count then h.h_count else r
+  in
+  let rec go i acc =
+    if i >= bucket_count - 1 then i
+    else
+      let acc = acc + h.h_buckets.(i) in
+      if acc >= rank then i else go (i + 1) acc
+  in
+  go 0 0
+
 let quantile t name q =
   if q < 0. || q > 1. then invalid_arg "Obs.quantile: q outside [0,1]";
   match Hashtbl.find_opt t.histograms name with
   | None -> None
   | Some h ->
-      (* smallest bucket whose cumulative count covers rank(q); the
-         estimate is the bucket's upper bound, clamped into the observed
-         range so q=0/q=1 report the exact min/max *)
-      let rank =
-        let r = int_of_float (ceil (q *. float_of_int h.h_count)) in
-        if r < 1 then 1 else r
-      in
-      let rec go i acc =
-        if i >= bucket_count then h.h_max
-        else
-          let acc = acc + h.h_buckets.(i) in
-          if acc >= rank then bucket_upper i else go (i + 1) acc
-      in
-      Some (min h.h_max (max h.h_min (go 0 0)))
+      (* the estimate is the covering bucket's upper bound, clamped into
+         the observed range so q=0/q=1 report the exact min/max *)
+      Some (min h.h_max (max h.h_min (bucket_upper (covering_bucket h q))))
+
+let quantile_exemplars t name q =
+  if q < 0. || q > 1. then invalid_arg "Obs.quantile_exemplars: q outside [0,1]";
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some h ->
+      let b = covering_bucket h q in
+      Some (min h.h_max (max h.h_min (bucket_upper b)), h.h_exemplars.(b))
 
 (* --- spans --- *)
 

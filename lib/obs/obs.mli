@@ -42,8 +42,12 @@ val value : t -> string -> int
 
 (** {2 Histograms} *)
 
-val observe : t -> string -> int -> unit
-(** Record one sample (e.g. the nanosecond cost of one charge). *)
+val observe : ?exemplar:int -> t -> string -> int -> unit
+(** Record one sample (e.g. the nanosecond cost of one charge). An
+    optional [exemplar] id (e.g. a request id) is kept with the sample's
+    bucket — newest first, bounded per bucket — so a tail quantile can
+    name the concrete samples that landed there
+    ({!quantile_exemplars}). *)
 
 type hstat = { count : int; sum : int; min : int; max : int }
 
@@ -55,6 +59,12 @@ val quantile : t -> string -> float -> int option
     clamped to the observed min/max — so [q = 0.] and [q = 1.] are
     exact). Deterministic; [None] when nothing was observed.
     @raise Invalid_argument when [q] is outside [0, 1]. *)
+
+val quantile_exemplars : t -> string -> float -> (int * int list) option
+(** The {!quantile} estimate together with the exemplar ids recorded in
+    the covering bucket (newest first, bounded — an empty list when no
+    sample there carried an exemplar). [None] when nothing was
+    observed. @raise Invalid_argument when [q] is outside [0, 1]. *)
 
 (** {2 Spans} *)
 

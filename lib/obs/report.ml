@@ -79,6 +79,18 @@ let render ?(title = "per-run cost report") ?profile ?ledger obs =
         line "%-28s %10d %12.4f %12.4f" name s.calls (ms s.total_ns) (ms s.self_ns))
       spans
   end;
+  (match Obs.tracer obs with
+  | Some tr ->
+      line "-- trace ring --";
+      line "%-28s %12d" "trace.capacity" (Trace.capacity tr);
+      line "%-28s %12d" "trace.recorded" (Trace.total tr);
+      line "%-28s %12d" "trace.held" (Trace.length tr);
+      line "%-28s %12d" "trace.high_water" (Trace.high_water tr);
+      line "%-28s %12d" "trace.dropped" (Trace.dropped tr);
+      if Trace.dropped tr > 0 then
+        line "WARNING: ring wrapped — the %d oldest event(s) were overwritten"
+          (Trace.dropped tr)
+  | None -> ());
   (match profile with
   | Some prof -> Buffer.add_string b (profile_table prof)
   | None -> ());
@@ -119,6 +131,20 @@ let json_obj b fields =
 let to_json ?profile ?ledger obs =
   let b = Buffer.create 1024 in
   let int n buf = Buffer.add_string buf (string_of_int n) in
+  let trace_fields =
+    match Obs.tracer obs with
+    | None -> []
+    | Some tr ->
+        [ ( "trace",
+            fun buf ->
+              json_obj buf
+                [ ("capacity", int (Trace.capacity tr));
+                  ("recorded", int (Trace.total tr));
+                  ("held", int (Trace.length tr));
+                  ("high_water", int (Trace.high_water tr));
+                  ("dropped", int (Trace.dropped tr));
+                  ("lost", int (Trace.lost tr)) ] ) ]
+  in
   let ledger_fields =
     match ledger with
     | None -> []
@@ -175,5 +201,5 @@ let to_json ?profile ?ledger obs =
                          ("self_ns", int s.self_ns) ] ))
                (Obs.spans obs)) );
     ]
-    @ profile_fields @ ledger_fields);
+    @ trace_fields @ profile_fields @ ledger_fields);
   Buffer.contents b

@@ -29,6 +29,8 @@ type t = {
   buf : event array;
   mutable head : int;  (* next write slot *)
   mutable total : int;  (* events ever recorded *)
+  mutable lost : int;  (* events overwritten by wrap, across clears *)
+  mutable hwm : int;  (* most events ever held at once (survives clear) *)
   mutable enabled : bool;
 }
 
@@ -37,7 +39,7 @@ let default_capacity = 65536
 let create ?(capacity = default_capacity) ?(enabled = true) ~now () =
   if capacity < 1 then invalid_arg "Trace.create: capacity below 1";
   { now; capacity; buf = Array.make capacity dummy_event; head = 0; total = 0;
-    enabled }
+    lost = 0; hwm = 0; enabled }
 
 let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
@@ -45,9 +47,12 @@ let capacity t = t.capacity
 
 let record t ~cat ~phase ?(args = []) name =
   if t.enabled then begin
+    if t.total >= t.capacity then t.lost <- t.lost + 1;
     t.buf.(t.head) <- { ts = t.now (); name; cat; phase; args };
     t.head <- (t.head + 1) mod t.capacity;
-    t.total <- t.total + 1
+    t.total <- t.total + 1;
+    let held = min t.total t.capacity in
+    if held > t.hwm then t.hwm <- held
   end
 
 let instant t ~cat ?args name = record t ~cat ~phase:Instant ?args name
@@ -58,6 +63,8 @@ let counter t ~cat name args = record t ~cat ~phase:Counter ~args name
 let total t = t.total
 let length t = min t.total t.capacity
 let dropped t = max 0 (t.total - t.capacity)
+let lost t = t.lost
+let high_water t = t.hwm
 
 let clear t =
   t.head <- 0;

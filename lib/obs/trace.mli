@@ -48,7 +48,22 @@ val length : t -> int
 (** Events currently held (at most the capacity). *)
 
 val dropped : t -> int
-(** Events lost to ring wrap-around: [total - length]. *)
+(** Events lost to ring wrap-around since the last {!clear}:
+    [total - length]. A non-zero value means the exported timeline is
+    truncated at its start — {!Trace_export} stamps it into the trace
+    metadata and {!Report} surfaces it, so a wrapped trace can never
+    pass for a complete one. *)
+
+val lost : t -> int
+(** Events ever overwritten by wrap-around, accumulated across
+    {!clear}s (which themselves discard intentionally and do not
+    count). *)
+
+val high_water : t -> int
+(** Most events the ring ever held at once (survives {!clear}). Below
+    the capacity, the ring never filled and nothing can have wrapped;
+    at capacity, the ring filled — check {!dropped}/{!lost} for how
+    much history was overwritten. *)
 
 val clear : t -> unit
 

@@ -5,12 +5,21 @@
     begin/end pairs become nested slices, instants become markers,
     counter events become counter tracks. Timestamps are the
     simulator's virtual nanoseconds expressed in the format's
-    microsecond unit. *)
+    microsecond unit.
 
-val to_json : ?process_name:string -> Trace.t -> Json.t
-val to_string : ?process_name:string -> Trace.t -> string
+    Events land on pid 1 / tid 1 unless they carry a reserved ["tid"]
+    arg, which assigns the event to that track instead (and is stripped
+    from the exported args) — the serving fleet puts each enclave's
+    request spans on its own track this way. [threads] names those extra
+    tracks via [thread_name] metadata. [otherData] carries the ring's
+    health ([recorded]/[dropped]/[lost]/[high_water]/[capacity]) so a
+    truncated timeline is detectable from the artifact alone. *)
 
-val to_file : ?process_name:string -> Trace.t -> string -> unit
+val to_json : ?process_name:string -> ?threads:(int * string) list -> Trace.t -> Json.t
+val to_string : ?process_name:string -> ?threads:(int * string) list -> Trace.t -> string
+
+val to_file :
+  ?process_name:string -> ?threads:(int * string) list -> Trace.t -> string -> unit
 (** Write [to_string] plus a trailing newline to a path. *)
 
 val folded : ?metric:[ `Fuel | `Cycles ] -> Profile.t -> string

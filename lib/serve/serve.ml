@@ -14,7 +14,27 @@
    an enclave crossing costs ~13,100 cycles each way, so N coalesced
    requests pay 2 crossings instead of 2N. Protected-FS work triggered
    inside the batch nests for free (nested ECALLs charge nothing), which
-   is what makes the amortisation visible in [sgx.transition.ecall]. *)
+   is what makes the amortisation visible in [sgx.transition.ecall].
+
+   -- per-request attribution --
+
+   Every arrival carries a request id (its index in the workload). While
+   a request is being served, a {!Twine_obs.Ledger} tap routes EVERY
+   booking into that request's cycle breakdown; bookings raised inside a
+   batch but outside any single request (the batch's entry/exit ECALL
+   crossings) accumulate per account and are split across the batch's
+   requests (equal integer shares, remainder to the first request);
+   bookings outside any batch (scheduler idle) land in a phase-level
+   bucket. Because the clock only advances through [Machine.charge] and
+   every charge hits the tap exactly once, the slices satisfy a
+   structural conservation law with NO residue:
+
+     sum over requests of attributed_ns  +  unattributed_ns (idle)
+       =  serving-phase booked total  =  serving-phase elapsed time
+
+   and per request: latency = queue wait + own service time, where the
+   service time equals the request's direct (pre-overhead-share)
+   attribution exactly. *)
 
 open Twine_sgx
 open Twine_sqldb
@@ -35,6 +55,7 @@ type config = {
       (* pinned, never wall-clock calibrated: reproducibility first *)
   ns_per_work : float;
   trace_requests : bool;
+  sample_every_ns : int;  (* virtual-time metrics sampling period; 0 = off *)
 }
 
 let default_config =
@@ -53,6 +74,7 @@ let default_config =
     wasm_factor = 2.5;
     ns_per_work = 60.;
     trace_requests = true;
+    sample_every_ns = 1_000_000;
   }
 
 let shape_of (c : config) : Workload.shape =
@@ -64,6 +86,57 @@ let shape_of (c : config) : Workload.shape =
     span = c.span;
     mix = c.mix;
   }
+
+(* --- per-request records --- *)
+
+type breakdown = {
+  mutable transition_ns : int;  (* sgx.transition.* *)
+  mutable exec_ns : int;  (* serve.exec *)
+  mutable pager_ns : int;  (* serve.pager *)
+  mutable epc_fault_ns : int;
+  mutable epc_evict_ns : int;
+  mutable crypto_ns : int;  (* ipfs.crypto + mee.* *)
+  mutable other_ns : int;  (* everything else (alloc, ipfs.io, ...) *)
+}
+
+let zero_breakdown () =
+  { transition_ns = 0; exec_ns = 0; pager_ns = 0; epc_fault_ns = 0;
+    epc_evict_ns = 0; crypto_ns = 0; other_ns = 0 }
+
+let credit b account ns =
+  if account = "serve.exec" then b.exec_ns <- b.exec_ns + ns
+  else if account = "serve.pager" then b.pager_ns <- b.pager_ns + ns
+  else if account = "epc.fault" then b.epc_fault_ns <- b.epc_fault_ns + ns
+  else if account = "epc.evict" then b.epc_evict_ns <- b.epc_evict_ns + ns
+  else if String.length account >= 14 && String.sub account 0 14 = "sgx.transition"
+  then b.transition_ns <- b.transition_ns + ns
+  else if
+    account = "ipfs.crypto"
+    || (String.length account >= 4 && String.sub account 0 4 = "mee.")
+  then b.crypto_ns <- b.crypto_ns + ns
+  else b.other_ns <- b.other_ns + ns
+
+let breakdown_total b =
+  b.transition_ns + b.exec_ns + b.pager_ns + b.epc_fault_ns + b.epc_evict_ns
+  + b.crypto_ns + b.other_ns
+
+type request = {
+  rid : int;
+  enclave : int;
+  kind : string;
+  arrival_ns : int;
+  start_ns : int;
+  mutable finish_ns : int;
+  breakdown : breakdown;
+  mutable interference : (int * int) list;
+      (* evictor enclave -> cross-enclave refaults this request paid for,
+         sorted by enclave id once the request completes *)
+}
+
+let latency_ns r = r.finish_ns - r.arrival_ns
+let queue_ns r = r.start_ns - r.arrival_ns
+let service_ns r = r.finish_ns - r.start_ns
+let attributed_ns r = breakdown_total r.breakdown
 
 type stats = {
   requests : int;
@@ -87,6 +160,19 @@ type stats = {
   epc_resident_pages : int;
   evictions_by_enclave : (int * int) list;
       (* (enclave id, times one of its pages was the victim) *)
+  (* per-request attribution *)
+  requests_log : request array;  (* indexed by rid *)
+  attributed_ns : int;  (* sum over requests of their cycle slices *)
+  unattributed_ns : int;  (* booked outside any batch: scheduler idle *)
+  attribution_residue_ns : int;  (* booked - attributed - unattributed: 0 *)
+  cross_refaults : int;
+  interference_by_evictor : (int * int) list;
+  p99_exemplar_rids : int list;
+  (* virtual-time sampler *)
+  sampler_samples : int;
+  queue_depth_hwm : int;
+  queue_depth_hwm_by_enclave : (int * int) list;
+  epc_resident_by_enclave : (int * int) list;
   ledger : Twine_obs.Ledger.snapshot;
   machine : Machine.t;
 }
@@ -94,8 +180,9 @@ type stats = {
 type worker = {
   rt : Twine.Runtime.t;
   db : Db.t;
-  queue : (int * Workload.req) Queue.t;  (* (arrival ns, request) *)
+  queue : (int * int * Workload.req) Queue.t;  (* (rid, arrival ns, request) *)
   pager_work : int ref;
+  mutable depth_hwm : int;
   eid : int;
 }
 
@@ -124,6 +211,9 @@ let percentile sorted q =
     let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
+(* Request spans render on one Perfetto track per enclave. *)
+let request_track eid = 100 + eid
+
 let make_worker (cfg : config) machine =
   let config =
     {
@@ -151,7 +241,8 @@ let make_worker (cfg : config) machine =
     Db.open_db ~vfs ~cache_pages:cfg.cache_pages ~hooks
       ~obs:machine.Machine.obs "serve.db"
   in
-  { rt; db; queue = Queue.create (); pager_work; eid = Enclave.id e }
+  { rt; db; queue = Queue.create (); pager_work; depth_hwm = 0;
+    eid = Enclave.id e }
 
 let populate (cfg : config) w =
   ignore (Db.exec w.db "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)");
@@ -184,6 +275,14 @@ let rec take_batch q n acc =
   if n = 0 || Queue.is_empty q then List.rev acc
   else take_batch q (n - 1) (Queue.pop q :: acc)
 
+let bump_assoc l key d =
+  let rec go = function
+    | [] -> [ (key, d) ]
+    | (k, v) :: rest when k = key -> (k, v + d) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go l
+
 let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   if cfg.enclaves <= 0 then invalid_arg "Serve.run: enclaves <= 0";
   if cfg.batch <= 0 then invalid_arg "Serve.run: batch <= 0";
@@ -203,16 +302,39 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   let evict0 =
     Array.map (fun w -> Epc.evictions_of epc w.eid) workers
   in
+  let n = cfg.requests in
+  (* -- per-request ledger slicing: the tap routes every booking -- *)
+  let req_log : request option array = Array.make (max 1 n) None in
+  let cur : request option ref = ref None in
+  let in_batch = ref false in
+  let overhead : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let outside = ref 0 in
+  Twine_obs.Ledger.set_tap ledger
+    (Some
+       (fun account ns ->
+         match !cur with
+         | Some r -> credit r.breakdown account ns
+         | None ->
+             if !in_batch then
+               Hashtbl.replace overhead account
+                 (ns + Option.value ~default:0 (Hashtbl.find_opt overhead account))
+             else outside := !outside + ns));
+  (* -- cross-enclave eviction provenance lands on the live request -- *)
+  Epc.set_refault_hook epc
+    (Some
+       (fun ~owner:_ ~evictor ->
+         match !cur with
+         | Some r -> r.interference <- bump_assoc r.interference evictor 1
+         | None -> ()));
   prepare machine;
   let t0 = Machine.now_ns machine in
-  let n = cfg.requests in
   let q = Twine_sim.Eventq.create () in
   (* workload times are relative to the start of serving: rebase onto
      the machine clock (setup already consumed virtual time) *)
   Array.iter
     (fun a ->
       Twine_sim.Eventq.add q ~at:(t0 + a.Workload.at)
-        (a.Workload.enclave, a.Workload.req))
+        (a.Workload.rid, a.Workload.enclave, a.Workload.req))
     arrivals;
   let latencies = Array.make (max 1 n) 0 in
   let completed = ref 0 in
@@ -224,7 +346,28 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       (int_of_float
          (Float.round (float_of_int work *. cfg.ns_per_work *. cfg.wasm_factor)))
   in
-  let serve_one w e (at, req) =
+  let tracer = Twine_obs.Obs.tracer obs in
+  let serve_one w e (rid, at, req) =
+    let start = Machine.now_ns machine in
+    let r =
+      {
+        rid;
+        enclave = w.eid;
+        kind = Workload.req_name req;
+        arrival_ns = at;
+        start_ns = start;
+        finish_ns = start;
+        breakdown = zero_breakdown ();
+        interference = [];
+      }
+    in
+    (match tracer with
+    | Some tr when cfg.trace_requests ->
+        Twine_obs.Trace.begin_span tr ~cat:"serve"
+          ~args:[ ("tid", request_track w.eid); ("rid", rid) ]
+          r.kind
+    | _ -> ());
+    cur := Some r;
     let sql = sql_of_req req in
     Enclave.copy_in e ~label:"serve.req" (String.length sql);
     Db.reset_work w.db;
@@ -235,22 +378,64 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       w.pager_work := 0
     end;
     Enclave.copy_out e ~label:"serve.resp" (response_bytes res);
-    let lat = Machine.now_ns machine - at in
+    cur := None;
+    r.finish_ns <- Machine.now_ns machine;
+    r.interference <- List.sort compare r.interference;
+    (match tracer with
+    | Some tr when cfg.trace_requests ->
+        Twine_obs.Trace.end_span tr ~cat:"serve"
+          ~args:[ ("tid", request_track w.eid) ]
+          r.kind
+    | _ -> ());
+    let lat = latency_ns r in
     latencies.(!completed) <- lat;
     incr completed;
-    Twine_obs.Obs.observe obs "serve.latency_ns" lat;
+    req_log.(rid) <- Some r;
+    Twine_obs.Obs.observe ~exemplar:rid obs "serve.latency_ns" lat;
     if cfg.trace_requests then
       Twine_obs.Obs.emit obs ~cat:"serve"
-        ~args:[ ("enclave", w.eid); ("lat_ns", lat) ]
-        "serve.req"
+        ~args:[ ("rid", rid); ("enclave", w.eid); ("lat_ns", lat) ]
+        "serve.req";
+    r
   in
   let drain () =
-    Twine_sim.Eventq.drain_until q ~now:(Machine.now_ns machine) (fun ~at (enc, req) ->
-        Queue.add (at, req) workers.(enc).queue;
+    Twine_sim.Eventq.drain_until q ~now:(Machine.now_ns machine)
+      (fun ~at (rid, enc, req) ->
+        let w = workers.(enc) in
+        Queue.add (rid, at, req) w.queue;
+        let d = Queue.length w.queue in
+        if d > w.depth_hwm then w.depth_hwm <- d;
         incr pending)
+  in
+  (* -- virtual-time metrics sampler: per-enclave counter time-series
+     (sample-and-hold: one sample per crossed boundary batch) -- *)
+  let samples = ref 0 in
+  let next_sample = ref (t0 + cfg.sample_every_ns) in
+  let maybe_sample () =
+    if cfg.sample_every_ns > 0 then begin
+      let now = Machine.now_ns machine in
+      if now >= !next_sample then begin
+        incr samples;
+        (match tracer with
+        | Some _ ->
+            let per f = Array.to_list (Array.map f workers) in
+            Twine_obs.Obs.emit_counter obs ~cat:"serve" "serve.queue_depth"
+              (per (fun w ->
+                   (Printf.sprintf "e%d" w.eid, Queue.length w.queue)));
+            Twine_obs.Obs.emit_counter obs ~cat:"serve" "serve.epc_resident"
+              (per (fun w ->
+                   (Printf.sprintf "e%d" w.eid, Epc.resident_of epc w.eid)));
+            Twine_obs.Obs.emit_counter obs ~cat:"serve" "serve.completed"
+              [ ("requests", !completed) ]
+        | None -> ());
+        let period = cfg.sample_every_ns in
+        next_sample := now - ((now - t0) mod period) + period
+      end
+    end
   in
   while !completed < n do
     drain ();
+    maybe_sample ();
     if !pending = 0 then
       (* nothing runnable: the simulated core sleeps until the next
          arrival — booked, so the audit still balances to elapsed time *)
@@ -276,15 +461,70 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
           pending := !pending - List.length batch;
           incr batches;
           Twine_obs.Obs.observe obs "serve.batch_fill" (List.length batch);
-          Twine.Runtime.serve w.rt (fun e -> List.iter (serve_one w e) batch)
+          let batch_ctx =
+            if cfg.trace_requests then
+              match (batch, List.rev batch) with
+              | (first, _, _) :: _, (last, _, _) :: _ ->
+                  Some
+                    [ ("enclave", w.eid); ("size", List.length batch);
+                      ("rid_first", first); ("rid_last", last) ]
+              | _ -> None
+            else None
+          in
+          in_batch := true;
+          let served =
+            Twine.Runtime.serve w.rt ?batch:batch_ctx (fun e ->
+                List.map (serve_one w e) batch)
+          in
+          in_batch := false;
+          (* The batch's entry/exit crossings (and any other booking not
+             inside a single request) are shared overhead: split each
+             account evenly over the batch, remainder to the first
+             request, so the split is exact in integers. *)
+          let k_served = List.length served in
+          if k_served > 0 then
+            Hashtbl.iter
+              (fun account ns ->
+                let per = ns / k_served and rem = ns mod k_served in
+                List.iteri
+                  (fun j r ->
+                    credit r.breakdown account (per + if j = 0 then rem else 0))
+                  served)
+              overhead;
+          Hashtbl.reset overhead
     end
   done;
+  Twine_obs.Ledger.set_tap ledger None;
+  Epc.set_refault_hook epc None;
   let elapsed_ns = Machine.now_ns machine - t0 in
   let sorted = Array.sub latencies 0 n in
   Array.sort compare sorted;
   let sum = Array.fold_left ( + ) 0 sorted in
   let ecalls = Twine_obs.Obs.value obs "sgx.ecall" in
   let ocalls = Twine_obs.Obs.value obs "sgx.ocall" in
+  let requests_log =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> invalid_arg "Serve.run: request never served")
+      (if n = 0 then [||] else req_log)
+  in
+  let attributed =
+    Array.fold_left (fun acc r -> acc + attributed_ns r) 0 requests_log
+  in
+  let booked = (Twine_obs.Ledger.audit ledger).Twine_obs.Ledger.booked_ns in
+  let interference_by_evictor =
+    Array.fold_left
+      (fun acc r ->
+        List.fold_left (fun acc (e, c) -> bump_assoc acc e c) acc r.interference)
+      [] requests_log
+    |> List.sort compare
+  in
+  let p99_exemplar_rids =
+    match Twine_obs.Obs.quantile_exemplars obs "serve.latency_ns" 0.99 with
+    | Some (_, rids) -> rids
+    | None -> []
+  in
   let stats =
     {
       requests = n;
@@ -314,12 +554,146 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
           (Array.mapi
              (fun i w -> (w.eid, Epc.evictions_of epc w.eid - evict0.(i)))
              workers);
+      requests_log;
+      attributed_ns = attributed;
+      unattributed_ns = !outside;
+      attribution_residue_ns = booked - attributed - !outside;
+      cross_refaults = Twine_obs.Obs.value obs "epc.refault.cross";
+      interference_by_evictor;
+      p99_exemplar_rids;
+      sampler_samples = !samples;
+      queue_depth_hwm =
+        Array.fold_left (fun a w -> max a w.depth_hwm) 0 workers;
+      queue_depth_hwm_by_enclave =
+        Array.to_list (Array.map (fun w -> (w.eid, w.depth_hwm)) workers);
+      epc_resident_by_enclave =
+        Array.to_list (Array.map (fun w -> (w.eid, Epc.resident_of epc w.eid)) workers);
       ledger = Twine_obs.Ledger.snapshot ledger;
       machine;
     }
   in
   Array.iter (fun w -> Db.close w.db) workers;
   stats
+
+(* Thread-name metadata for {!Twine_obs.Trace_export}: one request
+   track per enclave, in enclave-id order. *)
+let threads (s : stats) =
+  List.map
+    (fun (eid, _) -> (request_track eid, Printf.sprintf "enclave %d requests" eid))
+    s.evictions_by_enclave
+
+(* --- tail-latency blame --- *)
+
+(* Dominant component of a request's latency: queue wait vs the cycle
+   slices. Ties break toward the earlier entry of this fixed order, so
+   the verdict is deterministic. *)
+let components r =
+  [ ("queue", queue_ns r);
+    ("transition", r.breakdown.transition_ns);
+    ("exec", r.breakdown.exec_ns);
+    ("pager", r.breakdown.pager_ns);
+    ("epc.fault", r.breakdown.epc_fault_ns);
+    ("epc.evict", r.breakdown.epc_evict_ns);
+    ("crypto", r.breakdown.crypto_ns);
+    ("other", r.breakdown.other_ns) ]
+
+let dominant r =
+  List.fold_left
+    (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+    ("queue", min_int) (components r)
+
+type blame = { b_request : request; b_dominant : string; b_dominant_ns : int }
+
+let by_latency_desc a b =
+  match compare (latency_ns b) (latency_ns a) with
+  | 0 -> compare a.rid b.rid
+  | c -> c
+
+let blame ?(top = 10) (s : stats) =
+  let reqs = Array.copy s.requests_log in
+  Array.sort by_latency_desc reqs;
+  Array.to_list (Array.sub reqs 0 (min top (Array.length reqs)))
+  |> List.map (fun r ->
+         let d, v = dominant r in
+         { b_request = r; b_dominant = d; b_dominant_ns = v })
+
+(* Dominant-account census over the p99 tail (the slowest 1%, at least
+   one request): the aggregate answer to "why is p99 what it is". *)
+let blame_summary (s : stats) =
+  let n = Array.length s.requests_log in
+  if n = 0 then []
+  else begin
+    let reqs = Array.copy s.requests_log in
+    Array.sort by_latency_desc reqs;
+    let k = max 1 (n / 100) in
+    let counts = ref [] in
+    for i = 0 to k - 1 do
+      let d, _ = dominant reqs.(i) in
+      counts := bump_assoc !counts d 1
+    done;
+    List.sort
+      (fun (an, av) (bn, bv) ->
+        match compare bv av with 0 -> compare an bn | c -> c)
+      !counts
+  end
+
+let render_interference l =
+  if l = [] then "-"
+  else String.concat "," (List.map (fun (e, c) -> Printf.sprintf "e%d:%d" e c) l)
+
+let render_blame ?(top = 10) (s : stats) =
+  let b = Buffer.create 1024 in
+  let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  f "-- serve blame: top %d of %d requests by latency --\n"
+    (min top (Array.length s.requests_log))
+    (Array.length s.requests_log);
+  f "%5s %8s %4s %-9s %12s %12s %12s %-10s %s\n" "rank" "rid" "enc" "kind"
+    "lat(ns)" "queue(ns)" "service(ns)" "dominant" "interference";
+  List.iteri
+    (fun i { b_request = r; b_dominant = d; b_dominant_ns = v } ->
+      f "%5d %8d %4d %-9s %12d %12d %12d %-10s %s\n" (i + 1) r.rid r.enclave
+        r.kind (latency_ns r) (queue_ns r) (service_ns r)
+        (Printf.sprintf "%s:%d" d v)
+        (render_interference r.interference))
+    (blame ~top s);
+  f "p99 tail dominants:";
+  List.iter (fun (name, c) -> f " %s=%d" name c) (blame_summary s);
+  f "\n";
+  f "p99 exemplar rids:";
+  List.iter (fun rid -> f " %d" rid) s.p99_exemplar_rids;
+  f "\n";
+  f "attribution: booked %d ns = requests %d ns + idle %d ns + residue %d ns%s\n"
+    (s.attributed_ns + s.unattributed_ns + s.attribution_residue_ns)
+    s.attributed_ns s.unattributed_ns s.attribution_residue_ns
+    (if s.attribution_residue_ns = 0 then " (slices conserve)"
+     else " (UNATTRIBUTED TIME)");
+  f "cross-enclave refaults: %d" s.cross_refaults;
+  List.iter
+    (fun (e, c) -> f " by-e%d=%d" e c)
+    s.interference_by_evictor;
+  f "\n";
+  Buffer.contents b
+
+(* --- canonical request-trace text (byte-identical across replays) --- *)
+
+let request_trace_schema = "twine-request-trace/v1"
+
+let render_requests (s : stats) =
+  let b = Buffer.create 4096 in
+  let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  f "# %s\n" request_trace_schema;
+  f "# rid enclave kind arrival start finish queue transition exec pager \
+     epc_fault epc_evict crypto other interference\n";
+  Array.iter
+    (fun r ->
+      f "%d %d %s %d %d %d %d %d %d %d %d %d %d %d %s\n" r.rid r.enclave r.kind
+        r.arrival_ns r.start_ns r.finish_ns (queue_ns r)
+        r.breakdown.transition_ns r.breakdown.exec_ns r.breakdown.pager_ns
+        r.breakdown.epc_fault_ns r.breakdown.epc_evict_ns
+        r.breakdown.crypto_ns r.breakdown.other_ns
+        (render_interference r.interference))
+    s.requests_log;
+  Buffer.contents b
 
 let render (s : stats) =
   let b = Buffer.create 512 in
@@ -340,4 +714,9 @@ let render (s : stats) =
   f "  evictions by enclave:";
   List.iter (fun (id, v) -> f " e%d=%d" id v) s.evictions_by_enclave;
   f "\n";
+  f "  attribution      %d requests: %d ns sliced + %d ns idle, residue %d ns\n"
+    s.requests s.attributed_ns s.unattributed_ns s.attribution_residue_ns;
+  f "  interference     %d cross-enclave refaults\n" s.cross_refaults;
+  f "  sampler          %d samples, queue depth high-water %d\n"
+    s.sampler_samples s.queue_depth_hwm;
   Buffer.contents b

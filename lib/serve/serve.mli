@@ -7,7 +7,29 @@
     ({!Twine.Runtime.serve}) so a batch pays one enclave round-trip.
     Everything is booked through [Machine.charge], so the serving phase
     passes the ledger's conservation audit and a (seed, config) pair
-    replays to byte-identical books and tail latencies. *)
+    replays to byte-identical books and tail latencies.
+
+    {2 Per-request attribution}
+
+    Every request carries its workload id ({!Workload.arrival.rid}) as a
+    span context from the event queue through queue wait, batch
+    assembly, the serving ECALL and everything it nests (SQL execution,
+    pager work, EPC paging, protected-FS crypto). While a request is
+    live, a {!Twine_obs.Ledger} tap routes {e every} booking into that
+    request's {!breakdown}; a batch's entry/exit crossings are split
+    evenly across its requests (integer shares, remainder to the first);
+    scheduler idle lands in a phase-level bucket. The slices obey a
+    structural conservation law with zero residue:
+
+    {v sum of attributed_ns over requests + unattributed_ns (idle)
+   = serving-phase booked total = serving-phase elapsed time v}
+
+    and per request [latency = queue wait + service time], with the
+    service time exactly equal to the request's direct attribution
+    (before overhead shares). {!blame} ranks the tail by dominant
+    component; cross-enclave EPC eviction provenance
+    ({!Twine_sgx.Epc.set_refault_hook}) names the enclave whose fault
+    evicted the pages a tail request had to fault back in. *)
 
 type config = {
   enclaves : int;
@@ -25,13 +47,59 @@ type config = {
       (** pinned Wasm slowdown (never wall-clock calibrated here) *)
   ns_per_work : float;
   trace_requests : bool;
-      (** emit a trace instant per request when a recorder is attached *)
+      (** emit request spans/instants when a recorder is attached *)
+  sample_every_ns : int;
+      (** virtual-time metrics sampling period (queue depth, per-enclave
+          EPC residency, completed requests as Perfetto counter tracks);
+          0 disables the sampler *)
 }
 
 val default_config : config
-(** 100k requests, 8 enclaves, batch 16, 288-page EPC, factor 2.5. *)
+(** 100k requests, 8 enclaves, batch 16, 768-page EPC, factor 2.5,
+    1 ms virtual sampling. *)
 
 val shape_of : config -> Workload.shape
+
+(** {2 Per-request records} *)
+
+type breakdown = {
+  mutable transition_ns : int;  (** [sgx.transition.*] *)
+  mutable exec_ns : int;  (** [serve.exec] *)
+  mutable pager_ns : int;  (** [serve.pager] *)
+  mutable epc_fault_ns : int;
+  mutable epc_evict_ns : int;
+  mutable crypto_ns : int;  (** [ipfs.crypto] + [mee.*] *)
+  mutable other_ns : int;  (** everything else (alloc, ipfs.io, ...) *)
+}
+(** One request's exact cycle slice of the serving-phase ledger, grouped
+    by account family. Mutable only while the run is in flight. *)
+
+val breakdown_total : breakdown -> int
+
+type request = {
+  rid : int;
+  enclave : int;
+  kind : string;  (** {!Workload.req_name} *)
+  arrival_ns : int;
+  start_ns : int;  (** when its batch reached the front and service began *)
+  mutable finish_ns : int;
+  breakdown : breakdown;
+  mutable interference : (int * int) list;
+      (** (evictor enclave, cross-enclave refaults this request paid
+          for), sorted by enclave id *)
+}
+
+val latency_ns : request -> int
+(** [finish - arrival]. *)
+
+val queue_ns : request -> int
+(** [start - arrival]. *)
+
+val service_ns : request -> int
+(** [finish - start]. *)
+
+val attributed_ns : request -> int
+(** {!breakdown_total} of the slice. *)
 
 type stats = {
   requests : int;
@@ -56,6 +124,21 @@ type stats = {
   evictions_by_enclave : (int * int) list;
       (** [(enclave id, times one of its pages was the eviction victim)] —
           the cross-enclave interference measure of the shared EPC *)
+  requests_log : request array;  (** indexed by rid; every request served *)
+  attributed_ns : int;  (** sum of all requests' cycle slices *)
+  unattributed_ns : int;  (** booked outside any batch: scheduler idle *)
+  attribution_residue_ns : int;
+      (** booked − attributed − unattributed; 0 is the conservation
+          invariant the bench gate pins *)
+  cross_refaults : int;
+  interference_by_evictor : (int * int) list;
+      (** (enclave, refaults its faults inflicted on others) *)
+  p99_exemplar_rids : int list;
+      (** request ids recorded in the latency histogram's p99 bucket *)
+  sampler_samples : int;
+  queue_depth_hwm : int;  (** deepest any enclave's queue ever got *)
+  queue_depth_hwm_by_enclave : (int * int) list;
+  epc_resident_by_enclave : (int * int) list;  (** at end of run *)
   ledger : Twine_obs.Ledger.snapshot;
   machine : Twine_sgx.Machine.t;
 }
@@ -64,8 +147,47 @@ val run : ?prepare:(Twine_sgx.Machine.t -> unit) -> config -> stats
 (** Build the fleet on one fresh machine, populate each enclave's
     database, reset the books (the serving phase audits on its own;
     workers keep their warm EPC pages), call [prepare] (attach a flight
-    recorder here), then replay the workload to completion.
+    recorder here; it must not advance the clock), then replay the
+    workload to completion.
     @raise Invalid_argument on a non-positive fleet or batch size. *)
 
 val render : stats -> string
 (** Human-readable summary block. *)
+
+(** {2 Tail-latency blame} *)
+
+type blame = {
+  b_request : request;
+  b_dominant : string;
+      (** ["queue"], ["transition"], ["exec"], ["pager"], ["epc.fault"],
+          ["epc.evict"], ["crypto"] or ["other"] — the largest component
+          of this request's latency (ties break toward that order) *)
+  b_dominant_ns : int;
+}
+
+val blame : ?top:int -> stats -> blame list
+(** The [top] (default 10) slowest requests, slowest first (ties by
+    rid), each with its dominant latency component. *)
+
+val blame_summary : stats -> (string * int) list
+(** Dominant-component census over the p99 tail (the slowest 1%, at
+    least one request), most common first (ties by name) — the
+    aggregate answer to "why is p99 what it is". *)
+
+val render_blame : ?top:int -> stats -> string
+(** The blame table plus the tail census, p99 exemplar rids, the
+    attribution conservation line and cross-enclave refault blame. *)
+
+(** {2 Request trace} *)
+
+val request_trace_schema : string
+
+val render_requests : stats -> string
+(** Canonical per-request trace: one line per rid with timestamps,
+    queue wait and the full cycle slice. Byte-identical across replays
+    of the same [(seed, config)] — the serialisable artifact of the
+    attribution layer. *)
+
+val threads : stats -> (int * string) list
+(** Thread-name metadata for {!Twine_obs.Trace_export.to_file}: the
+    per-enclave request tracks used by the serving-phase spans. *)

@@ -17,7 +17,7 @@ let req_name = function
   | Sql_point _ -> "sql_point"
   | Sql_range _ -> "sql_range"
 
-type arrival = { at : int; enclave : int; req : req }
+type arrival = { rid : int; at : int; enclave : int; req : req }
 
 type shape = {
   enclaves : int;
@@ -50,13 +50,14 @@ let generate ~seed shape =
       let lo = Twine_crypto.Drbg.int_below g shape.rows in
       Sql_range (lo, max 1 shape.span)
   in
-  Array.init shape.requests (fun _ ->
+  Array.init shape.requests (fun rid ->
       let gap =
         if shape.mean_gap_ns <= 0 then 0
         else Twine_crypto.Drbg.int_below g ((2 * shape.mean_gap_ns) + 1)
       in
       now := !now + gap;
       {
+        rid;
         at = !now;
         enclave = Twine_crypto.Drbg.int_below g shape.enclaves;
         req = pick_req ();

@@ -17,7 +17,11 @@ val default_mix : mix
 
 val req_name : req -> string
 
-type arrival = { at : int; enclave : int; req : req }
+type arrival = { rid : int; at : int; enclave : int; req : req }
+(** [rid] is the request id: the arrival's index in the generated
+    array, stable across replays of the same [(seed, shape)] — the span
+    context every per-request trace, exemplar and ledger slice keys
+    on. *)
 
 type shape = {
   enclaves : int;

@@ -34,6 +34,13 @@ type t = {
   mutable eviction_count : int;
   victim_counts : (int, int) Hashtbl.t;
       (* enclave id -> times one of its pages was evicted *)
+  resident_counts : (int, int) Hashtbl.t;
+      (* enclave id -> pages currently resident (sums to Lru.length) *)
+  evicted_by : (page, int) Hashtbl.t;
+      (* victim page -> enclave whose fault evicted it, kept only for
+         cross-enclave evictions until the owner faults it back in *)
+  mutable cross_refault_count : int;
+  mutable on_cross_refault : (owner:int -> evictor:int -> unit) option;
 }
 
 let create ?obs ~limit_bytes () =
@@ -46,6 +53,10 @@ let create ?obs ~limit_bytes () =
     fault_count = 0;
     eviction_count = 0;
     victim_counts = Hashtbl.create 16;
+    resident_counts = Hashtbl.create 16;
+    evicted_by = Hashtbl.create 64;
+    cross_refault_count = 0;
+    on_cross_refault = None;
   }
 
 let limit_pages t = Lru.capacity t.resident
@@ -73,10 +84,30 @@ let trace_paging t ?by name page =
         [ ("pages", Lru.length t.resident) ]
   | None -> ()
 
-let note_victim t victim =
-  let owner = enclave_of_page victim in
-  let n = try Hashtbl.find t.victim_counts owner with Not_found -> 0 in
-  Hashtbl.replace t.victim_counts owner (n + 1)
+let bump tbl key d =
+  let n = try Hashtbl.find tbl key with Not_found -> 0 in
+  Hashtbl.replace tbl key (n + d)
+
+let note_victim t victim = bump t.victim_counts (enclave_of_page victim) 1
+
+(* A refault of a page that a *different* enclave's fault pushed out is
+   the per-request face of EPC interference: the victim enclave pays the
+   re-encryption cost, the evictor caused it. The provenance entry lives
+   from the eviction until the owner faults the page back in, so each
+   cross-eviction is blamed at most once. *)
+let note_refault t page =
+  match Hashtbl.find_opt t.evicted_by page with
+  | None -> ()
+  | Some evictor ->
+      Hashtbl.remove t.evicted_by page;
+      t.cross_refault_count <- t.cross_refault_count + 1;
+      record t "epc.refault.cross";
+      (match t.on_cross_refault with
+      | Some f -> f ~owner:(enclave_of_page page) ~evictor
+      | None -> ())
+
+let set_refault_hook t f = t.on_cross_refault <- f
+let cross_refaults t = t.cross_refault_count
 
 let touch t page =
   match Lru.find t.resident page with
@@ -87,13 +118,19 @@ let touch t page =
   | None ->
       t.fault_count <- t.fault_count + 1;
       record t "epc.fault";
+      note_refault t page;
+      bump t.resident_counts (enclave_of_page page) 1;
       let victim =
         match Lru.put t.resident page () with
         | Some (victim, ()) ->
             t.eviction_count <- t.eviction_count + 1;
             note_victim t victim;
+            bump t.resident_counts (enclave_of_page victim) (-1);
+            let by = enclave_of_page page in
+            if by <> enclave_of_page victim then
+              Hashtbl.replace t.evicted_by victim by;
             record t "epc.evict";
-            trace_paging t ~by:(enclave_of_page page) "epc.evict" victim;
+            trace_paging t ~by "epc.evict" victim;
             Some victim
         | None -> None
       in
@@ -103,7 +140,14 @@ let touch t page =
 let release_enclave t enclave_id =
   let belongs (page, ()) = enclave_of_page page = enclave_id in
   let doomed = List.filter belongs (Lru.to_list t.resident) in
-  List.iter (fun (page, ()) -> ignore (Lru.remove t.resident page)) doomed
+  List.iter
+    (fun (page, ()) ->
+      (match Lru.remove t.resident page with
+      | Some () -> bump t.resident_counts enclave_id (-1)
+      | None -> ());
+      Hashtbl.remove t.evicted_by page)
+    doomed;
+  Hashtbl.remove t.resident_counts enclave_id
 
 let hits t = t.hit_count
 let faults t = t.fault_count
@@ -111,3 +155,6 @@ let evictions t = t.eviction_count
 
 let evictions_of t enclave_id =
   try Hashtbl.find t.victim_counts enclave_id with Not_found -> 0
+
+let resident_of t enclave_id =
+  try Hashtbl.find t.resident_counts enclave_id with Not_found -> 0

@@ -55,3 +55,26 @@ val evictions_of : t -> int -> int
 (** [evictions_of t id]: how many times one of enclave [id]'s pages was
     the eviction victim — the measure of cross-enclave EPC
     interference a shared fleet cares about. *)
+
+val resident_of : t -> int -> int
+(** Pages of enclave [id] currently resident. Sums to {!resident_pages}
+    over the fleet; the serving simulator samples it per enclave as a
+    residency time-series. *)
+
+(** {2 Eviction provenance}
+
+    When enclave A's fault evicts enclave B's page and B later touches
+    that page again, B's refault is {e caused} by A. The EPC remembers
+    the evictor of each cross-enclave victim page until the owner
+    faults it back in, so the blame fires at most once per eviction. *)
+
+val set_refault_hook : t -> (owner:int -> evictor:int -> unit) option -> unit
+(** Install (or clear) a callback fired on each cross-enclave refault,
+    with the page's owner and the enclave whose earlier fault evicted
+    it. The serving fleet points this at the request currently being
+    served, turning machine-level paging into per-request interference
+    attribution. *)
+
+val cross_refaults : t -> int
+(** Total cross-enclave refaults since creation (also counted as the
+    [epc.refault.cross] counter when [obs] is attached). *)

@@ -299,7 +299,11 @@ let run ?(args = [ "app" ]) ?env ?profile ?fuel_limit t =
    thunk runs with the enclave entered; nested ecalls (e.g. per-request
    helpers that defensively enter) are free, and the serving layer
    charges per-request work while inside. *)
-let serve t ?(name = "twine.serve") f = Enclave.ecall t.enclave ~name f
+let serve t ?(name = "twine.serve") ?batch f =
+  (match batch with
+  | Some args -> Twine_obs.Obs.emit (Machine.obs t.machine) ~cat:"serve" ~args name
+  | None -> ());
+  Enclave.ecall t.enclave ~name f
 
 (* --- fault containment --- *)
 

@@ -103,13 +103,22 @@ val run :
     engines trap at the identical fuel value.
     @raise Deploy_error if nothing is deployed or [_start] is missing. *)
 
-val serve : t -> ?name:string -> (Twine_sgx.Enclave.t -> 'a) -> 'a
+val serve :
+  t ->
+  ?name:string ->
+  ?batch:(string * int) list ->
+  (Twine_sgx.Enclave.t -> 'a) ->
+  'a
 (** The request-service entry point: run the thunk inside one ECALL
     (default span/account name ["twine.serve"]). The serving fleet
     ({!Twine_serve}) batches N queued requests behind a single call, so
     the whole batch pays one enclave round-trip — the transition
     amortisation the paper's §V costs motivate. Charges raised inside
-    (SQL work, EPC paging, boundary copies) book normally. *)
+    (SQL work, EPC paging, boundary copies) book normally. With
+    [batch], an instant event carrying the given span-context args
+    (enclave id, batch size, first/last request id) is emitted to the
+    attached flight recorder just before the ECALL, anchoring the batch
+    on the timeline. *)
 
 type run_error =
   | Guest_trap of string

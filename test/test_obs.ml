@@ -40,6 +40,68 @@ let test_histograms () =
       Alcotest.(check int) "min" 1 h.Obs.min;
       Alcotest.(check int) "max" 9 h.Obs.max
 
+let test_quantile_edges () =
+  let obs = Obs.create () in
+  Alcotest.(check (option int)) "missing histogram" None (Obs.quantile obs "q" 0.5);
+  (* empty name, single sample: every quantile is that sample *)
+  Obs.observe obs "one" 37;
+  List.iter
+    (fun q ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "single sample at q=%.2f" q)
+        (Some 37) (Obs.quantile obs "one" q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* extremes clamp to observed min/max, not bucket bounds *)
+  List.iter (Obs.observe obs "two") [ 3; 900 ];
+  Alcotest.(check (option int)) "q=0 is the min" (Some 3)
+    (Obs.quantile obs "two" 0.0);
+  Alcotest.(check (option int)) "q=1 is the max" (Some 900)
+    (Obs.quantile obs "two" 1.0);
+  (* exact power-of-two boundary sits in the bucket it upper-bounds *)
+  let obs2 = Obs.create () in
+  Obs.observe obs2 "b" 4096;
+  Alcotest.(check (option int)) "boundary value round-trips" (Some 4096)
+    (Obs.quantile obs2 "b" 0.5);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Obs.quantile: q outside [0,1]") (fun () ->
+      ignore (Obs.quantile obs "one" 1.5))
+
+let test_quantile_rank_rounding () =
+  (* 0.99 *. 100. = 99.00000000000001: the nearest-rank index must stay
+     99, not spill into the single outlier at rank 100 *)
+  let obs = Obs.create () in
+  for _ = 1 to 99 do Obs.observe obs "lat" 10 done;
+  Obs.observe obs "lat" 1_000_000;
+  (match Obs.quantile obs "lat" 0.99 with
+  | None -> Alcotest.fail "histogram missing"
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p99 of 99x10 + 1 outlier stays small (got %d)" v)
+        true (v < 100));
+  Alcotest.(check (option int)) "p100 is the outlier" (Some 1_000_000)
+    (Obs.quantile obs "lat" 1.0)
+
+let test_exemplars () =
+  let obs = Obs.create () in
+  (* samples without exemplars still work *)
+  Obs.observe obs "h" 50;
+  (match Obs.quantile_exemplars obs "h" 0.5 with
+  | Some (_, ids) -> Alcotest.(check (list int)) "no ids recorded" [] ids
+  | None -> Alcotest.fail "histogram missing");
+  (* ids ride with their sample's bucket, newest first, capped at 8 *)
+  for i = 1 to 12 do Obs.observe ~exemplar:i obs "h" (40 + i) done;
+  (match Obs.quantile_exemplars obs "h" 0.99 with
+  | None -> Alcotest.fail "histogram missing"
+  | Some (est, ids) ->
+      Alcotest.(check bool) "estimate in the tail bucket" true (est >= 52);
+      Alcotest.(check (list int)) "newest first, capped"
+        [ 12; 11; 10; 9; 8; 7; 6; 5 ] ids);
+  (* a different bucket keeps its own exemplars *)
+  Obs.observe ~exemplar:99 obs "h" 1_000_000;
+  match Obs.quantile_exemplars obs "h" 1.0 with
+  | Some (_, ids) -> Alcotest.(check (list int)) "outlier bucket" [ 99 ] ids
+  | None -> Alcotest.fail "histogram missing"
+
 (* Spans on a hand-cranked virtual clock: the parent's self time must
    exclude the child's. *)
 let test_span_nesting () =
@@ -271,6 +333,10 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+          Alcotest.test_case "quantile rank rounding" `Quick
+            test_quantile_rank_rounding;
+          Alcotest.test_case "exemplars" `Quick test_exemplars;
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
         ] );

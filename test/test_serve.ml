@@ -136,6 +136,228 @@ let test_fleet_interference_attribution () =
   Alcotest.(check int) "every serving-phase victim belongs to a fleet enclave"
     s.Serve.epc_evictions total
 
+(* -- per-request attribution: the conservation property -- *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_conserves label (s : Serve.stats) =
+  let booked = s.Serve.ledger.Twine_obs.Ledger.booked_ns in
+  Alcotest.(check int) (label ^ ": residue 0") 0 s.Serve.attribution_residue_ns;
+  Alcotest.(check int)
+    (label ^ ": slices + idle = serving-phase booked total")
+    booked
+    (s.Serve.attributed_ns + s.Serve.unattributed_ns);
+  Alcotest.(check int)
+    (label ^ ": stats total = sum of per-request slices")
+    s.Serve.attributed_ns
+    (Array.fold_left
+       (fun a r -> a + Serve.attributed_ns r)
+       0 s.Serve.requests_log);
+  Alcotest.(check int)
+    (label ^ ": every request logged")
+    s.Serve.requests
+    (Array.length s.Serve.requests_log);
+  Array.iteri
+    (fun rid r ->
+      Alcotest.(check int) (label ^ ": log indexed by rid") rid r.Serve.rid;
+      Alcotest.(check int)
+        (label ^ ": latency = queue wait + service")
+        (Serve.latency_ns r)
+        (Serve.queue_ns r + Serve.service_ns r);
+      Alcotest.(check bool) (label ^ ": components non-negative") true
+        (Serve.queue_ns r >= 0 && Serve.service_ns r >= 0
+        && Serve.attributed_ns r >= 0))
+    s.Serve.requests_log
+
+let test_attribution_conserves () =
+  (* Across seeds, batch sizes and fleet sizes, the per-request cycle
+     slices plus scheduler idle must reproduce the serving-phase ledger
+     total exactly — the zero-residue conservation law of the tap. *)
+  List.iter
+    (fun (seed, batch, enclaves) ->
+      let cfg =
+        { small_config with Serve.seed; batch; enclaves; requests = 600 }
+      in
+      let label = Printf.sprintf "seed=%s batch=%d fleet=%d" seed batch enclaves in
+      check_conserves label (Serve.run cfg))
+    [ ("a", 1, 1); ("a", 16, 4); ("b", 16, 4); ("a", 7, 3); ("c", 16, 8) ]
+
+let test_attribution_under_pressure () =
+  (* the law survives EPC thrash: paging and eviction cycles land inside
+     request windows, not in the idle bucket *)
+  let s = Serve.run { small_config with Serve.epc_bytes = 64 * 4096 } in
+  check_conserves "shrunk EPC" s;
+  let epc_sliced =
+    Array.fold_left
+      (fun a r ->
+        a + r.Serve.breakdown.Serve.epc_fault_ns
+        + r.Serve.breakdown.Serve.epc_evict_ns)
+      0 s.Serve.requests_log
+  in
+  Alcotest.(check bool) "EPC paging cycles sliced to requests" true
+    (epc_sliced > 0);
+  Alcotest.(check int) "which add up to the ledger's epc accounts" epc_sliced
+    (Twine_obs.Ledger.ns (Machine.ledger s.Serve.machine) "epc.fault"
+    + Twine_obs.Ledger.ns (Machine.ledger s.Serve.machine) "epc.evict")
+
+let test_request_trace_replays () =
+  let s1 = Serve.run small_config in
+  let s2 = Serve.run small_config in
+  let t1 = Serve.render_requests s1 and t2 = Serve.render_requests s2 in
+  Alcotest.(check string) "byte-identical request trace across replays" t1 t2;
+  Alcotest.(check bool) "schema stamped" true
+    (contains t1 Serve.request_trace_schema);
+  Alcotest.(check bool) "different seed, different trace" false
+    (Serve.render_requests (Serve.run { small_config with Serve.seed = "x" })
+    = t1)
+
+(* -- tail-latency blame -- *)
+
+let cliff_config =
+  (* the §V-D cliff: 8 enclaves sharing an EPC shrunk to 96 pages, open
+     loop — working sets collide and the fleet saturates *)
+  {
+    small_config with
+    Serve.enclaves = 8;
+    requests = 3_000;
+    epc_bytes = 96 * 4096;
+  }
+
+let test_blame_cliff () =
+  let s = Serve.run cliff_config in
+  check_conserves "cliff" s;
+  Alcotest.(check bool) "the shrunk EPC causes cross-enclave refaults" true
+    (s.Serve.cross_refaults > 0);
+  (* the dominant p99 account: in the saturated open loop, queue wait —
+     the cliff shows up as waiting behind EPC-thrashing neighbours, not
+     as the victim's own paging time *)
+  (match Serve.blame_summary s with
+  | (dominant, n) :: _ ->
+      Alcotest.(check string) "queue wait dominates the p99 tail" "queue"
+        dominant;
+      Alcotest.(check bool) "census counts requests" true (n > 0)
+  | [] -> Alcotest.fail "empty blame summary");
+  (* blame list: slowest first, dominant component consistent *)
+  let blames = Serve.blame ~top:30 s in
+  Alcotest.(check int) "top N honoured" 30 (List.length blames);
+  ignore
+    (List.fold_left
+       (fun prev b ->
+         let lat = Serve.latency_ns b.Serve.b_request in
+         Alcotest.(check bool) "sorted slowest first" true (lat <= prev);
+         Alcotest.(check bool) "dominant bounded by latency" true
+           (b.Serve.b_dominant_ns <= lat && b.Serve.b_dominant_ns >= 0);
+         lat)
+       max_int blames);
+  (* eviction provenance: every cross-enclave refault is pinned on the
+     request that paid for it and on the enclave whose fault evicted it *)
+  let paid =
+    Array.fold_left
+      (fun a r -> List.fold_left (fun a (_, c) -> a + c) a r.Serve.interference)
+      0 s.Serve.requests_log
+  in
+  Alcotest.(check int) "every cross refault charged to a request"
+    s.Serve.cross_refaults paid;
+  Alcotest.(check int) "evictor census agrees" s.Serve.cross_refaults
+    (List.fold_left (fun a (_, c) -> a + c) 0 s.Serve.interference_by_evictor);
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (evictor, count) ->
+          Alcotest.(check bool) "evictor is a fleet enclave" true
+            (evictor >= 1 && evictor <= cliff_config.Serve.enclaves);
+          Alcotest.(check bool) "never self-interference" true
+            (evictor <> r.Serve.enclave && count > 0))
+        r.Serve.interference)
+    s.Serve.requests_log;
+  let rendered = Serve.render_blame ~top:5 s in
+  Alcotest.(check bool) "render names an interfering enclave" true
+    (contains rendered "cross-enclave refaults:" && contains rendered "by-e");
+  Alcotest.(check bool) "render states the conservation line" true
+    (contains rendered "residue 0 ns")
+
+let test_p99_exemplars () =
+  let s = Serve.run small_config in
+  Alcotest.(check bool) "p99 bucket recorded exemplar rids" true
+    (s.Serve.p99_exemplar_rids <> []);
+  Alcotest.(check bool) "bounded by the per-bucket cap" true
+    (List.length s.Serve.p99_exemplar_rids <= 8);
+  List.iter
+    (fun rid ->
+      Alcotest.(check bool) "exemplar rid is a served request" true
+        (rid >= 0 && rid < s.Serve.requests);
+      (* the exemplar's recorded latency lands at or below the p99
+         bucket's estimate (same covering bucket) *)
+      Alcotest.(check bool) "exemplar latency bounded by the estimate" true
+        (Serve.latency_ns s.Serve.requests_log.(rid) <= s.Serve.p99_ns))
+    s.Serve.p99_exemplar_rids
+
+let test_sampler_and_depth_hwm () =
+  let s = Serve.run small_config in
+  Alcotest.(check bool) "virtual-time sampler fired" true
+    (s.Serve.sampler_samples > 0);
+  let deepest =
+    List.fold_left (fun a (_, d) -> max a d) 0 s.Serve.queue_depth_hwm_by_enclave
+  in
+  Alcotest.(check int) "fleet high-water = deepest enclave queue" deepest
+    s.Serve.queue_depth_hwm;
+  Alcotest.(check bool) "open loop builds a queue" true
+    (s.Serve.queue_depth_hwm > 0);
+  let off = Serve.run { small_config with Serve.sample_every_ns = 0 } in
+  Alcotest.(check int) "sampler disabled by 0" 0 off.Serve.sampler_samples
+
+let test_request_spans_on_tracks () =
+  (* with a recorder attached, every request emits a Begin/End span on
+     its enclave's request track (reserved "tid" arg) plus a serve.req
+     instant keyed by rid *)
+  let cfg = { small_config with Serve.requests = 200 } in
+  let recorder = ref None in
+  let s =
+    Serve.run
+      ~prepare:(fun m -> recorder := Some (Machine.attach_tracer m))
+      cfg
+  in
+  let tr = Option.get !recorder in
+  let evs = Twine_obs.Trace.events tr in
+  let spans =
+    List.filter
+      (fun e ->
+        e.Twine_obs.Trace.cat = "serve"
+        && e.Twine_obs.Trace.phase = Twine_obs.Trace.Begin
+        && List.mem_assoc "tid" e.Twine_obs.Trace.args)
+      evs
+  in
+  Alcotest.(check int) "one span per request" cfg.Serve.requests
+    (List.length spans);
+  List.iter
+    (fun e ->
+      let tid = List.assoc "tid" e.Twine_obs.Trace.args in
+      Alcotest.(check bool) "span rides a per-enclave request track" true
+        (tid > 100 && tid <= 100 + cfg.Serve.enclaves);
+      Alcotest.(check bool) "span carries its rid" true
+        (List.mem_assoc "rid" e.Twine_obs.Trace.args))
+    spans;
+  let rids =
+    List.filter_map
+      (fun e ->
+        if e.Twine_obs.Trace.name = "serve.req" then
+          List.assoc_opt "rid" e.Twine_obs.Trace.args
+        else None)
+      evs
+  in
+  Alcotest.(check int) "one completion instant per request" cfg.Serve.requests
+    (List.length rids);
+  Alcotest.(check (list int)) "every rid exactly once"
+    (List.init cfg.Serve.requests Fun.id)
+    (List.sort compare rids);
+  (* the thread metadata the exporter needs exists for every track *)
+  let threads = Serve.threads s in
+  Alcotest.(check int) "a named track per enclave" cfg.Serve.enclaves
+    (List.length threads)
+
 let () =
   Alcotest.run "twine_serve"
     [
@@ -161,5 +383,24 @@ let () =
             test_shared_epc_interference;
           Alcotest.test_case "fleet attribution" `Quick
             test_fleet_interference_attribution;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "conserves across seeds/batch/fleet" `Quick
+            test_attribution_conserves;
+          Alcotest.test_case "conserves under EPC pressure" `Quick
+            test_attribution_under_pressure;
+          Alcotest.test_case "request trace replays byte-identical" `Quick
+            test_request_trace_replays;
+        ] );
+      ( "blame",
+        [
+          Alcotest.test_case "EPC-cliff tail attribution" `Quick
+            test_blame_cliff;
+          Alcotest.test_case "p99 exemplar rids" `Quick test_p99_exemplars;
+          Alcotest.test_case "sampler and queue high-water" `Quick
+            test_sampler_and_depth_hwm;
+          Alcotest.test_case "request spans on enclave tracks" `Quick
+            test_request_spans_on_tracks;
         ] );
     ]

@@ -40,6 +40,26 @@ let test_clear () =
   Alcotest.(check int) "cleared" 0 (Trace.length tr);
   Alcotest.(check int) "total reset" 0 (Trace.total tr)
 
+let test_lost_and_high_water () =
+  let tr = Trace.create ~capacity:4 ~now:(fun () -> 0) () in
+  Trace.instant tr ~cat:"t" "a";
+  Trace.instant tr ~cat:"t" "b";
+  Alcotest.(check int) "no loss below capacity" 0 (Trace.lost tr);
+  Alcotest.(check int) "high water tracks the fill" 2 (Trace.high_water tr);
+  for _ = 1 to 8 do Trace.instant tr ~cat:"t" "x" done;
+  Alcotest.(check int) "wrap overwrites count as lost" 6 (Trace.lost tr);
+  Alcotest.(check int) "dropped agrees since last clear" 6 (Trace.dropped tr);
+  Alcotest.(check int) "high water saturates at capacity" 4 (Trace.high_water tr);
+  (* an intentional clear is not data loss: lost and the peak survive,
+     dropped restarts *)
+  Trace.clear tr;
+  Alcotest.(check int) "dropped restarts after clear" 0 (Trace.dropped tr);
+  Alcotest.(check int) "lost accumulates across clears" 6 (Trace.lost tr);
+  Alcotest.(check int) "high water survives clear" 4 (Trace.high_water tr);
+  Trace.instant tr ~cat:"t" "y";
+  Alcotest.(check int) "held restarts" 1 (Trace.length tr);
+  Alcotest.(check int) "no new loss" 6 (Trace.lost tr)
+
 (* --- Obs integration: spans auto-emit Begin/End --- *)
 
 let test_obs_span_events () =
@@ -115,6 +135,75 @@ let test_export_json () =
   Alcotest.(check (option (float 1e-9))) "args.page" (Some 3.)
     (Option.bind (Json.member "args" inst)
        (fun a -> Option.bind (Json.member "page" a) Json.to_float))
+
+let test_export_tracks_and_loss () =
+  let tr = Trace.create ~capacity:4 ~now:(fun () -> 0) () in
+  for _ = 1 to 5 do Trace.instant tr ~cat:"t" "spill" done;
+  Trace.instant tr ~cat:"t" "plain";
+  (* the reserved "tid" arg routes an event onto its own track and is
+     stripped from the exported args *)
+  Trace.instant tr ~cat:"serve" ~args:[ ("tid", 102); ("rid", 7) ] "req";
+  let s =
+    Trace_export.to_string ~process_name:"fleet"
+      ~threads:[ (102, "enclave 2 requests") ]
+      tr
+  in
+  let j =
+    match Json.parse s with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "export did not parse: %s" msg
+  in
+  let member_exn path j =
+    match Json.member path j with
+    | Some v -> v
+    | None -> Alcotest.failf "missing member %S" path
+  in
+  (* ring health is exported for downstream validators *)
+  let other = member_exn "otherData" j in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "otherData.%s" k)
+        (Some v)
+        (Json.to_float (member_exn k other)))
+    [ ("recorded", 7.); ("dropped", 3.); ("lost", 3.); ("high_water", 4.);
+      ("capacity", 4.) ];
+  let evs = Option.get (Option.bind (Json.member "traceEvents" j) Json.to_list) in
+  let tid e = Option.bind (Json.member "tid" e) Json.to_float in
+  let metas, data =
+    List.partition
+      (fun e -> Option.bind (Json.member "ph" e) Json.to_str = Some "M")
+      evs
+  in
+  (* the ring wrapped: only the newest 4 events survive *)
+  Alcotest.(check int) "held events exported" 4 (List.length data);
+  (* the request event rides tid 102 with "tid" gone from its args *)
+  let req =
+    List.find
+      (fun e -> Option.bind (Json.member "name" e) Json.to_str = Some "req")
+      evs
+  in
+  Alcotest.(check (option (float 0.0))) "tid honoured" (Some 102.) (tid req);
+  let args = member_exn "args" req in
+  Alcotest.(check (option (float 0.0))) "rid survives" (Some 7.)
+    (Json.to_float (member_exn "rid" args));
+  Alcotest.(check bool) "reserved tid stripped from args" true
+    (Json.member "tid" args = None);
+  (* thread_name metadata names the track *)
+  let thread_meta =
+    List.filter
+      (fun e ->
+        Option.bind (Json.member "name" e) Json.to_str = Some "thread_name")
+      metas
+  in
+  Alcotest.(check bool) "track named" true
+    (List.exists
+       (fun e ->
+         tid e = Some 102.
+         && Option.bind (Json.member "args" e) (fun a ->
+                Option.bind (Json.member "name" a) Json.to_str)
+            = Some "enclave 2 requests")
+       thread_meta)
 
 (* --- end-to-end: a traced runtime run --- *)
 
@@ -220,12 +309,16 @@ let suite =
       [ Alcotest.test_case "wrap keeps newest" `Quick test_ring_wrap;
         Alcotest.test_case "disabled records nothing" `Quick
           test_disabled_records_nothing;
-        Alcotest.test_case "clear" `Quick test_clear ] );
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "lost and high water" `Quick
+          test_lost_and_high_water ] );
     ( "obs",
       [ Alcotest.test_case "span begin/end events" `Quick test_obs_span_events;
         Alcotest.test_case "out-of-order close" `Quick test_out_of_order_close ] );
     ( "export",
-      [ Alcotest.test_case "chrome trace json" `Quick test_export_json ] );
+      [ Alcotest.test_case "chrome trace json" `Quick test_export_json;
+        Alcotest.test_case "tracks, thread names, ring health" `Quick
+          test_export_tracks_and_loss ] );
     ( "runtime",
       [ Alcotest.test_case "traced run" `Quick test_runtime_trace ] );
     ( "baseline",
