@@ -1017,8 +1017,22 @@ let serve_requests = 100_000
 let serve_sweep_requests = 20_000
 let serve_cliff_epc_bytes = 288 * 4096
 
+(* The gated objective of the streaming SLO plane: p99 under 2 ms over
+   50 ms virtual windows with a 0.1% error budget. Deliberately
+   violated at the default operating point (p99 is ~9 ms there), so the
+   verdict, burn rate and windowed violation counts are all non-trivial
+   gated signals. *)
+let serve_slo_spec =
+  match Twine_obs.Slo.parse "p99<2ms@50ms,budget=0.1%" with
+  | Ok s -> s
+  | Error msg -> failwith ("bench: bad serve SLO spec: " ^ msg)
+
 let serve_gated_config =
-  { Twine_serve.Serve.default_config with Twine_serve.Serve.requests = serve_requests }
+  {
+    Twine_serve.Serve.default_config with
+    Twine_serve.Serve.requests = serve_requests;
+    slo = Some serve_slo_spec;
+  }
 
 let serve_section () =
   let open Twine_serve in
@@ -1030,6 +1044,29 @@ let serve_section () =
       stats.Serve.attribution_residue_ns;
     exit 1
   end;
+  (* The sketch's advertised guarantee, checked against ground truth:
+     retained mode computes exact nearest-rank percentiles over every
+     latency, and the mergeable sketch the --stream mode relies on must
+     land within alpha relative error of them (+1 ns for integer
+     rounding at tiny values). *)
+  let check_alpha name exact est =
+    let bound =
+      int_of_float (Twine_obs.Sketch.alpha *. float_of_int exact) + 1
+    in
+    Printf.printf
+      "  sketch %s %d ns vs exact %d ns (|delta| %d <= alpha bound %d)\n" name
+      est exact (abs (est - exact)) bound;
+    if abs (est - exact) > bound then begin
+      Printf.printf "SKETCH %s OUTSIDE ALPHA OF EXACT\n"
+        (String.uppercase_ascii name);
+      exit 1
+    end
+  in
+  Printf.printf "\nsketch vs exact percentiles (alpha = %.5f):\n"
+    Twine_obs.Sketch.alpha;
+  check_alpha "p50" stats.Serve.p50_ns stats.Serve.sketch_p50_ns;
+  check_alpha "p99" stats.Serve.p99_ns stats.Serve.sketch_p99_ns;
+  print_newline ();
   print_string (Serve.render_blame ~top:5 stats);
   Printf.printf
     "(the whole fleet shares ONE machine; the audit line below counts every \
@@ -1063,33 +1100,77 @@ let serve_section () =
   Printf.printf "  %-9s %12s %12s %14s %10s %11s %10s %8s %8s\n" "enclaves"
     "req/s" "p50 (ns)" "p99 (ns)" "faults" "evictions" "xrefaults" "p99 q%"
     "p99 epc%";
-  List.iter
-    (fun enclaves ->
-      let s =
-        Serve.run
-          {
-            Serve.default_config with
-            Serve.enclaves;
-            requests = serve_sweep_requests;
-            epc_bytes = serve_cliff_epc_bytes;
-          }
-      in
-      if s.Serve.attribution_residue_ns <> 0 then begin
-        Printf.printf "PER-REQUEST ATTRIBUTION LOST TIME (residue %d ns)\n"
-          s.Serve.attribution_residue_ns;
-        exit 1
-      end;
-      let qpct, epcpct = tail_shares s in
-      Printf.printf "  %-9d %12.0f %12d %14d %10d %11d %10d %7.1f%% %7.1f%%\n"
-        enclaves s.Serve.throughput_rps s.Serve.p50_ns s.Serve.p99_ns
-        s.Serve.epc_faults s.Serve.epc_evictions s.Serve.cross_refaults qpct
-        epcpct)
-    [ 1; 2; 4; 8; 12; 16 ];
+  let cliff_runs =
+    List.map
+      (fun enclaves ->
+        let s =
+          Serve.run
+            {
+              Serve.default_config with
+              Serve.enclaves;
+              requests = serve_sweep_requests;
+              epc_bytes = serve_cliff_epc_bytes;
+              slo = Some serve_slo_spec;
+            }
+        in
+        if s.Serve.attribution_residue_ns <> 0 then begin
+          Printf.printf "PER-REQUEST ATTRIBUTION LOST TIME (residue %d ns)\n"
+            s.Serve.attribution_residue_ns;
+          exit 1
+        end;
+        let qpct, epcpct = tail_shares s in
+        Printf.printf "  %-9d %12.0f %12d %14d %10d %11d %10d %7.1f%% %7.1f%%\n"
+          enclaves s.Serve.throughput_rps s.Serve.p50_ns s.Serve.p99_ns
+          s.Serve.epc_faults s.Serve.epc_evictions s.Serve.cross_refaults qpct
+          epcpct;
+        (enclaves, s))
+      [ 1; 2; 4; 8; 12; 16 ]
+  in
   Printf.printf
     "\n(the drop past the EPC capacity is the paper's §V-D paging cliff, here \
      hit by the fleet's aggregate working set; the last three columns read \
      the per-request slices — cross-enclave refaults and the p99 tail's \
      queue vs EPC share)\n";
+  hr ();
+  (* The same cliff through the SLO plane's eyes: per fleet size, the
+     whole-run burn rate against the error budget and the virtual
+     instant the slow-burn alert first fires. The onset time localises
+     *when* the aggregate working set outgrew the EPC — a timeline the
+     end-of-run percentiles cannot give. *)
+  Printf.printf "burn-rate timeline over the cliff (%s):\n\n"
+    (Twine_obs.Slo.render serve_slo_spec);
+  Printf.printf "  %-9s %10s %9s %11s %12s %14s %14s\n" "enclaves" "windows"
+    "violating" "burn" "alerts f/s" "fast onset ms" "slow onset ms";
+  List.iter
+    (fun (enclaves, s) ->
+      match s.Serve.slo with
+      | None -> ()
+      | Some (_, ev) ->
+          let open Twine_obs.Slo in
+          let onset = function
+            | Some ns -> Printf.sprintf "%.1f" (float_of_int ns /. 1e6)
+            | None -> "-"
+          in
+          let fast, slow =
+            List.fold_left
+              (fun (f, sl) a ->
+                match a.al_kind with
+                | `Fast -> (f + 1, sl)
+                | `Slow -> (f, sl + 1))
+              (0, 0) ev.ev_alerts
+          in
+          Printf.printf "  %-9d %10d %9d %10.1fx %12s %14s %14s\n" enclaves
+            ev.ev_windows
+            (List.length ev.ev_violations)
+            (float_of_int ev.ev_burn_x1000 /. 1000.)
+            (Printf.sprintf "%d/%d" fast slow)
+            (onset ev.ev_first_fast_ns)
+            (onset ev.ev_first_slow_ns))
+    cliff_runs;
+  Printf.printf
+    "\n(burn = observed over-threshold rate / budgeted rate over the whole \
+     run; onset = virtual ms at which the fast (14.4x over 1 window) or \
+     slow (6x over 5 windows) burn alert first fired)\n";
   hr ();
   Printf.printf "ECALL batching (8 enclaves, %d requests):\n\n" serve_sweep_requests;
   let run_batch batch =
@@ -1205,6 +1286,30 @@ let collect_baseline () =
     put (Baseline.v ~tol:0.02 "serve.sampler.samples" s.Serve.sampler_samples);
     put (Baseline.v ~tol:0.02 "serve.sampler.queue_depth_hwm"
            s.Serve.queue_depth_hwm);
+    (* the streaming SLO plane at the same operating point: the sketch
+       estimates ride the exact percentiles' 2% band (their alpha is
+       tighter than that), the verdict is pinned exactly *)
+    put (Baseline.v ~tol:0.02 "serve.slo.sketch_p50_ns" s.Serve.sketch_p50_ns);
+    put (Baseline.v ~tol:0.02 "serve.slo.sketch_p99_ns" s.Serve.sketch_p99_ns);
+    (match s.Serve.slo with
+    | None -> failwith "bench: gated serve config lost its SLO"
+    | Some (_, ev) ->
+        let open Twine_obs.Slo in
+        let fast, slow =
+          List.fold_left
+            (fun (f, sl) a ->
+              match a.al_kind with `Fast -> (f + 1, sl) | `Slow -> (f, sl + 1))
+            (0, 0) ev.ev_alerts
+        in
+        put (Baseline.v ~tol:0.0 "serve.slo.violated"
+               (if ev.ev_violated then 1 else 0));
+        put (Baseline.v ~tol:0.02 "serve.slo.windows" ev.ev_windows);
+        put (Baseline.v ~tol:0.02 "serve.slo.violating_windows"
+               (List.length ev.ev_violations));
+        put (Baseline.v ~tol:0.02 "serve.slo.overs" ev.ev_overs);
+        put (Baseline.v ~tol:0.02 "serve.slo.burn_x1000" ev.ev_burn_x1000);
+        put (Baseline.v ~tol:0.02 "serve.slo.fast_alerts" fast);
+        put (Baseline.v ~tol:0.02 "serve.slo.slow_alerts" slow));
     List.iter
       (fun (eid, v) ->
         put

@@ -255,11 +255,79 @@ let serve_cmd =
                  the sampler's counter series (queue depth, EPC residency, \
                  completed requests) named for Perfetto's track view.")
   in
-  let run enclaves requests batch seed epc_kib trace ledger_out blame top timeline =
+  let mean_gap_ns =
+    Arg.(value & opt (some int) None & info [ "mean-gap-ns" ] ~docv:"NS"
+           ~doc:"Mean client inter-arrival gap in virtual nanoseconds \
+                 (open loop; 0 = every request arrives at time zero). \
+                 Default 4000.")
+  in
+  let mix =
+    Arg.(value & opt (some string) None & info [ "mix" ] ~docv:"KV:SQL:RANGE"
+           ~doc:"Relative request-kind weights as three colon-separated \
+                 non-negative integers: key-value gets, SQL point queries, \
+                 SQL range slices (default 6:3:1).")
+  in
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Streaming mode: drop per-request retention and fold every \
+                 completion into the windowed series and mergeable latency \
+                 sketch as it happens — O(windows + sketch) memory, so \
+                 10-100x request counts replay byte-identically. p50/p99 \
+                 become sketch estimates (within 1/128 relative error); \
+                 the per-request views ($(b,--blame)) are unavailable.")
+  in
+  let slo =
+    Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"SPEC"
+           ~doc:"Latency objective to evaluate over the windowed series, \
+                 e.g. $(b,p99<2ms\\@50ms,budget=0.1%). Optional \
+                 $(b,,fast=14.4x1) / $(b,,slow=6x5) override the burn-rate \
+                 alert thresholds (multiplier x windows). Exit code 3 when \
+                 the objective is violated over the whole run.")
+  in
+  let slo_out =
+    Arg.(value & opt (some string) None & info [ "slo-out" ] ~docv:"FILE"
+           ~doc:"Write the twine-slo/v1 artifact (spec, verdict, burn-rate \
+                 alerts, fleet latency sketch, every track's windows) as \
+                 canonical JSON to $(docv). Byte-identical across replays \
+                 and across retained vs $(b,--stream) runs.")
+  in
+  let run enclaves requests batch seed epc_kib trace ledger_out blame top
+      timeline mean_gap_ns mix stream slo slo_out =
     if enclaves <= 0 || batch <= 0 || requests < 0 then begin
       prerr_endline "twine serve: --enclaves and --batch must be positive, --requests non-negative";
       exit 2
     end;
+    let mix =
+      match mix with
+      | None -> Twine_serve.Serve.default_config.Twine_serve.Serve.mix
+      | Some s -> (
+          match String.split_on_char ':' s with
+          | [ a; b; c ] -> (
+              match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+              | Some kv_get, Some sql_point, Some sql_range
+                when kv_get >= 0 && sql_point >= 0 && sql_range >= 0
+                     && kv_get + sql_point + sql_range > 0 ->
+                  { Twine_serve.Workload.kv_get; sql_point; sql_range }
+              | _ ->
+                  Printf.eprintf
+                    "twine serve: --mix %s: weights must be non-negative \
+                     integers, not all zero\n" s;
+                  exit 2)
+          | _ ->
+              Printf.eprintf
+                "twine serve: --mix %s: expected KV:SQL:RANGE (e.g. 6:3:1)\n" s;
+              exit 2)
+    in
+    let slo =
+      match slo with
+      | None -> None
+      | Some spec -> (
+          match Twine_obs.Slo.parse spec with
+          | Ok s -> Some s
+          | Error msg ->
+              Printf.eprintf "twine serve: --slo %s: %s\n" spec msg;
+              exit 2)
+    in
     let cfg =
       {
         Twine_serve.Serve.default_config with
@@ -271,6 +339,16 @@ let serve_cmd =
           (match epc_kib with
           | Some k -> k * 1024
           | None -> Twine_serve.Serve.default_config.Twine_serve.Serve.epc_bytes);
+        mean_gap_ns =
+          (match mean_gap_ns with
+          | Some g when g >= 0 -> g
+          | Some g ->
+              Printf.eprintf "twine serve: --mean-gap-ns %d: must be non-negative\n" g;
+              exit 2
+          | None -> Twine_serve.Serve.default_config.Twine_serve.Serve.mean_gap_ns);
+        mix;
+        retain_requests = not stream;
+        slo;
       }
     in
     if top <= 0 then begin
@@ -284,7 +362,13 @@ let serve_cmd =
     in
     let stats = Twine_serve.Serve.run ~prepare cfg in
     print_string (Twine_serve.Serve.render stats);
-    if blame then print_string (Twine_serve.Serve.render_blame ~top stats);
+    if blame then begin
+      match Twine_serve.Serve.render_blame ~top stats with
+      | s -> print_string s
+      | exception Invalid_argument msg ->
+          Printf.eprintf "twine serve: %s\n" msg;
+          exit 2
+    end;
     if not (Twine_obs.Ledger.balanced (Twine_sgx.Machine.ledger stats.Twine_serve.Serve.machine))
     then begin
       prerr_endline "twine serve: ledger conservation audit FAILED";
@@ -328,6 +412,25 @@ let serve_cmd =
     (match timeline with
     | Some file -> write_trace file (Some (Twine_serve.Serve.threads stats))
     | None -> ());
+    (match slo_out with
+    | Some file -> (
+        try
+          let oc = open_out file in
+          output_string oc (Twine_serve.Serve.render_slo stats);
+          close_out oc;
+          Printf.eprintf "twine serve: %s artifact written to %s\n"
+            Twine_serve.Serve.slo_schema file
+        with Sys_error msg ->
+          Printf.eprintf "twine serve: cannot write slo artifact: %s\n" msg;
+          exit 2)
+    | None -> ());
+    (match stats.Twine_serve.Serve.slo with
+    | Some (spec, ev) when ev.Twine_obs.Slo.ev_violated ->
+        Printf.eprintf "twine serve: SLO VIOLATED: %s (%d/%d over threshold)\n"
+          (Twine_obs.Slo.render spec) ev.Twine_obs.Slo.ev_overs
+          ev.Twine_obs.Slo.ev_total;
+        exit 3
+    | _ -> ());
     exit 0
   in
   Cmd.v
@@ -336,11 +439,15 @@ let serve_cmd =
              enclaves sharing one simulated machine, coalescing queued \
              requests behind single ECALLs. Prints throughput, p50/p99 \
              latency and shared-EPC interference; $(b,--blame) adds \
-             per-request tail attribution. Exit codes: 0 success, 1 \
-             conservation-audit or attribution-residue failure, 2 bad \
-             arguments or I/O error.")
+             per-request tail attribution; $(b,--slo) evaluates a latency \
+             objective with burn-rate alerts over 50 ms virtual windows; \
+             $(b,--stream) drops per-request retention for bounded-memory \
+             runs. Exit codes: 0 success, 1 conservation-audit or \
+             attribution-residue failure, 2 bad arguments or I/O error \
+             (including $(b,--blame) with $(b,--stream)), 3 SLO violated.")
     Term.(const run $ enclaves $ requests $ batch $ seed $ epc_kib $ trace
-          $ ledger_out $ blame $ top $ timeline)
+          $ ledger_out $ blame $ top $ timeline $ mean_gap_ns $ mix $ stream
+          $ slo $ slo_out)
 
 (* --- diff --- *)
 

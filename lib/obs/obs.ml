@@ -162,29 +162,50 @@ let covering_bucket h q =
     if r < 1 then 1 else if r > h.h_count then h.h_count else r
   in
   let rec go i acc =
-    if i >= bucket_count - 1 then i
+    if i >= bucket_count - 1 then (i, rank, acc)
     else
-      let acc = acc + h.h_buckets.(i) in
-      if acc >= rank then i else go (i + 1) acc
+      let acc' = acc + h.h_buckets.(i) in
+      if acc' >= rank then (i, rank, acc) else go (i + 1) acc'
   in
   go 0 0
+
+(* Nearest-rank estimate interpolated within the covering bucket: the
+   in-bucket samples are assumed evenly spread over [lower, upper], so
+   the r-th of n sits at the midpoint of its 1/n slice. Clamping into
+   the observed range keeps q=0/q=1 exact. Returning the bucket's
+   upper bound here (the old behaviour) biased every estimate high by
+   up to the full bucket width — almost 2x the true value when the
+   covered sample sat at the bucket's lower bound. *)
+let bucket_estimate h (bucket, rank, below) =
+  (* ranks 1 and count are the smallest and largest samples themselves,
+     which the histogram tracks exactly — so q=0 and q=1 never pay the
+     bucket-resolution error *)
+  if rank <= 1 then h.h_min
+  else if rank >= h.h_count then h.h_max
+  else begin
+    let lower = if bucket = 0 then 0 else (bucket_upper (bucket - 1)) + 1 in
+    let upper = bucket_upper bucket in
+    let n = h.h_buckets.(bucket) in
+    let est =
+      if n = 0 then upper
+      else lower + ((upper - lower) * ((2 * (rank - below)) - 1) / (2 * n))
+    in
+    min h.h_max (max h.h_min est)
+  end
 
 let quantile t name q =
   if q < 0. || q > 1. then invalid_arg "Obs.quantile: q outside [0,1]";
   match Hashtbl.find_opt t.histograms name with
   | None -> None
-  | Some h ->
-      (* the estimate is the covering bucket's upper bound, clamped into
-         the observed range so q=0/q=1 report the exact min/max *)
-      Some (min h.h_max (max h.h_min (bucket_upper (covering_bucket h q))))
+  | Some h -> Some (bucket_estimate h (covering_bucket h q))
 
 let quantile_exemplars t name q =
   if q < 0. || q > 1. then invalid_arg "Obs.quantile_exemplars: q outside [0,1]";
   match Hashtbl.find_opt t.histograms name with
   | None -> None
   | Some h ->
-      let b = covering_bucket h q in
-      Some (min h.h_max (max h.h_min (bucket_upper b)), h.h_exemplars.(b))
+      let ((b, _, _) as cov) = covering_bucket h q in
+      Some (bucket_estimate h cov, h.h_exemplars.(b))
 
 (* --- spans --- *)
 

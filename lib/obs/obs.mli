@@ -55,9 +55,19 @@ val hstat : t -> string -> hstat option
 
 val quantile : t -> string -> float -> int option
 (** [quantile t name q] estimates the [q]-quantile of a histogram from
-    its power-of-two buckets (upper bound of the covering bucket,
-    clamped to the observed min/max — so [q = 0.] and [q = 1.] are
-    exact). Deterministic; [None] when nothing was observed.
+    its power-of-two buckets: the nearest-rank sample's position is
+    interpolated within the covering bucket assuming its samples are
+    evenly spread, then clamped to the observed min/max — so [q = 0.]
+    and [q = 1.] are exact.
+
+    Error bound: the estimate always lies inside the covering bucket
+    [[2{^i-1}, 2{^i})], whose width equals its lower bound, so the
+    estimate is within a factor of 2 of the true order statistic in
+    the worst case and exact when the in-bucket distribution is
+    uniform (e.g. a dense integer range). For a guaranteed tight
+    relative-error bound use {!Sketch} (alpha = 1/128).
+
+    Deterministic; [None] when nothing was observed.
     @raise Invalid_argument when [q] is outside [0, 1]. *)
 
 val quantile_exemplars : t -> string -> float -> (int * int list) option

@@ -64,10 +64,13 @@ let render ?(title = "per-run cost report") ?profile ?ledger obs =
   let hists = Obs.histograms obs in
   if hists <> [] then begin
     line "-- costs --";
-    line "%-28s %10s %12s %10s %10s" "component" "events" "total(ms)" "min(ns)" "max(ns)";
+    line "%-28s %10s %12s %10s %10s %10s %10s" "component" "events" "total(ms)"
+      "min(ns)" "p50(ns)" "p99(ns)" "max(ns)";
     List.iter
       (fun (name, (h : Obs.hstat)) ->
-        line "%-28s %10d %12.4f %10d %10d" name h.count (ms h.sum) h.min h.max)
+        let q v = Option.value ~default:0 (Obs.quantile obs name v) in
+        line "%-28s %10d %12.4f %10d %10d %10d %10d" name h.count (ms h.sum)
+          h.min (q 0.5) (q 0.99) h.max)
       hists
   end;
   let spans = Obs.spans obs in

@@ -1,0 +1,387 @@
+(* SLO specs and burn-rate evaluation.
+
+   Everything here is exact integer arithmetic so a verdict replays
+   bit-identically: quantiles are carried in ppm, budgets in ppm,
+   burn factors in thousandths, and the windowed-objective test uses
+   the nearest-rank identity (q-quantile > threshold iff
+   overs > count - ceil(q * count)) instead of estimating the
+   quantile itself. *)
+
+type spec = {
+  q_ppm : int;
+  threshold_ns : int;
+  window_ns : int;
+  budget_ppm : int;
+  fast_x1000 : int;
+  fast_windows : int;
+  slow_x1000 : int;
+  slow_windows : int;
+}
+
+let ( let* ) = Result.bind
+
+(* --- fixed-point decimal text, scale 10^k --- *)
+
+let all_digits s =
+  s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* "14.4" at scale 1000 -> 14400; rejects precision finer than the
+   scale so every accepted spec is exactly representable. *)
+let parse_fixed ~what ~scale s =
+  let fail () = Error (Printf.sprintf "slo: bad %s %S" what s) in
+  match String.index_opt s '.' with
+  | None -> if all_digits s then Ok (int_of_string s * scale) else fail ()
+  | Some i ->
+      let whole = String.sub s 0 i in
+      let frac = String.sub s (i + 1) (String.length s - i - 1) in
+      if not (all_digits whole && all_digits frac) then fail ()
+      else
+        let pow = int_of_float (10. ** float_of_int (String.length frac)) in
+        if pow > scale || scale mod pow <> 0 then
+          Error (Printf.sprintf "slo: %s %S finer than 1/%d" what s scale)
+        else Ok ((int_of_string whole * scale) + (int_of_string frac * (scale / pow)))
+
+(* v/scale as minimal decimal text: 14400/1000 -> "14.4". *)
+let render_fixed ~scale v =
+  let whole = v / scale and frac = v mod scale in
+  if frac = 0 then string_of_int whole
+  else begin
+    let digits = String.length (string_of_int (scale - 1)) in
+    let s = Printf.sprintf "%0*d" digits frac in
+    let last = ref (String.length s) in
+    while s.[!last - 1] = '0' do
+      decr last
+    done;
+    Printf.sprintf "%d.%s" whole (String.sub s 0 !last)
+  end
+
+let units = [ ("ns", 1); ("us", 1_000); ("ms", 1_000_000); ("s", 1_000_000_000) ]
+
+let parse_duration ~what s =
+  let pick (u, m) =
+    let lu = String.length u and ls = String.length s in
+    if ls > lu && String.sub s (ls - lu) lu = u then
+      Some (String.sub s 0 (ls - lu), m)
+    else None
+  in
+  (* two-letter units listed first, so "2ms" never matches bare "s" *)
+  match List.find_map pick units with
+  | None -> Error (Printf.sprintf "slo: %s %S needs a ns/us/ms/s unit" what s)
+  | Some (num, mult) ->
+      let* v = parse_fixed ~what ~scale:mult num in
+      if v <= 0 then Error (Printf.sprintf "slo: %s must be positive" what)
+      else Ok v
+
+let render_duration v =
+  let u, m =
+    if v mod 1_000_000_000 = 0 then ("s", 1_000_000_000)
+    else if v mod 1_000_000 = 0 then ("ms", 1_000_000)
+    else if v mod 1_000 = 0 then ("us", 1_000)
+    else ("ns", 1)
+  in
+  Printf.sprintf "%d%s" (v / m) u
+
+let parse_burn ~what s =
+  match String.index_opt s 'x' with
+  | None -> Error (Printf.sprintf "slo: %s %S wants FACTORxWINDOWS" what s)
+  | Some i ->
+      let* factor =
+        parse_fixed ~what ~scale:1000 (String.sub s 0 i)
+      in
+      let wins = String.sub s (i + 1) (String.length s - i - 1) in
+      if not (all_digits wins) || int_of_string wins = 0 then
+        Error (Printf.sprintf "slo: %s %S wants a positive window count" what s)
+      else if factor = 0 then
+        Error (Printf.sprintf "slo: %s factor must be positive" what)
+      else Ok (factor, int_of_string wins)
+
+let parse s =
+  match String.split_on_char ',' s with
+  | [] | [ "" ] -> Error "slo: empty spec"
+  | objective :: opts ->
+      let* q_ppm, threshold_ns, window_ns =
+        match String.index_opt objective '<' with
+        | Some lt
+          when String.length objective > 1 && objective.[0] = 'p' -> (
+            let qs = String.sub objective 1 (lt - 1) in
+            let rest =
+              String.sub objective (lt + 1) (String.length objective - lt - 1)
+            in
+            match String.index_opt rest '@' with
+            | None -> Error (Printf.sprintf "slo: %S wants THRESHOLD@WINDOW" rest)
+            | Some at ->
+                let* q = parse_fixed ~what:"quantile" ~scale:10_000 qs in
+                if q <= 0 || q > 1_000_000 then
+                  Error (Printf.sprintf "slo: quantile p%s outside (0, 100]" qs)
+                else
+                  let* thr =
+                    parse_duration ~what:"threshold" (String.sub rest 0 at)
+                  in
+                  let* win =
+                    parse_duration ~what:"window"
+                      (String.sub rest (at + 1) (String.length rest - at - 1))
+                  in
+                  Ok (q, thr, win))
+        | _ ->
+            Error
+              (Printf.sprintf "slo: %S wants the form p99<2ms@50ms" objective)
+      in
+      let rec fold budget fast slow = function
+        | [] -> (
+            match budget with
+            | None -> Error "slo: missing budget=PCT%"
+            | Some budget_ppm ->
+                let fast_x1000, fast_windows =
+                  Option.value fast ~default:(14_400, 1)
+                in
+                let slow_x1000, slow_windows =
+                  Option.value slow ~default:(6_000, 5)
+                in
+                Ok
+                  {
+                    q_ppm;
+                    threshold_ns;
+                    window_ns;
+                    budget_ppm;
+                    fast_x1000;
+                    fast_windows;
+                    slow_x1000;
+                    slow_windows;
+                  })
+        | opt :: rest -> (
+            match String.index_opt opt '=' with
+            | None -> Error (Printf.sprintf "slo: bad option %S" opt)
+            | Some eq -> (
+                let key = String.sub opt 0 eq in
+                let v = String.sub opt (eq + 1) (String.length opt - eq - 1) in
+                match key with
+                | "budget" ->
+                    let lv = String.length v in
+                    if lv < 2 || v.[lv - 1] <> '%' then
+                      Error (Printf.sprintf "slo: budget %S wants a %% suffix" v)
+                    else
+                      let* ppm =
+                        parse_fixed ~what:"budget" ~scale:10_000
+                          (String.sub v 0 (lv - 1))
+                      in
+                      if ppm <= 0 || ppm >= 1_000_000 then
+                        Error "slo: budget outside (0%, 100%)"
+                      else fold (Some ppm) fast slow rest
+                | "fast" ->
+                    let* b = parse_burn ~what:"fast" v in
+                    fold budget (Some b) slow rest
+                | "slow" ->
+                    let* b = parse_burn ~what:"slow" v in
+                    fold budget fast (Some b) rest
+                | _ -> Error (Printf.sprintf "slo: unknown option %S" key)))
+      in
+      fold None None None opts
+
+let render s =
+  Printf.sprintf "p%s<%s@%s,budget=%s%%,fast=%sx%d,slow=%sx%d"
+    (render_fixed ~scale:10_000 s.q_ppm)
+    (render_duration s.threshold_ns)
+    (render_duration s.window_ns)
+    (render_fixed ~scale:10_000 s.budget_ppm)
+    (render_fixed ~scale:1000 s.fast_x1000)
+    s.fast_windows
+    (render_fixed ~scale:1000 s.slow_x1000)
+    s.slow_windows
+
+(* --- evaluation --- *)
+
+type violation = {
+  vi_window : int;
+  vi_start_ns : int;
+  vi_end_ns : int;
+  vi_count : int;
+  vi_overs : int;
+  vi_max_ns : int;
+  vi_blame : string;
+}
+
+type alert = {
+  al_kind : [ `Fast | `Slow ];
+  al_window : int;
+  al_start_ns : int;
+  al_end_ns : int;
+  al_burn_x1000 : int;
+  al_blame : string;
+}
+
+type eval = {
+  ev_windows : int;
+  ev_total : int;
+  ev_overs : int;
+  ev_burn_x1000 : int;
+  ev_violated : bool;
+  ev_violations : violation list;
+  ev_alerts : alert list;
+  ev_first_fast_ns : int option;
+  ev_first_slow_ns : int option;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Largest component by sum; ties break on name so the verdict is
+   deterministic. "" when the range carries no components. *)
+let dominant comps =
+  List.fold_left
+    (fun acc (k, v) ->
+      match acc with
+      | Some (_, bv) when bv > v -> acc
+      | Some (bk, bv) when bv = v && String.compare bk k <= 0 -> acc
+      | _ -> Some (k, v))
+    None comps
+  |> function
+  | Some (k, _) -> k
+  | None -> ""
+
+let merge_comps lists =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         match Hashtbl.find_opt tbl k with
+         | Some r -> r := !r + v
+         | None -> Hashtbl.add tbl k (ref v)))
+    lists;
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let burn_x1000 ~budget_ppm ~overs ~total =
+  if total = 0 then 0 else overs * 1_000_000_000 / (total * budget_ppm)
+
+let evaluate spec wins =
+  let wins = Array.of_list wins in
+  let n = Array.length wins in
+  let violations = ref [] and alerts = ref [] in
+  let first_fast = ref None and first_slow = ref None in
+  let range_burn i k =
+    let lo = i - k + 1 in
+    let overs = ref 0 and total = ref 0 in
+    for j = lo to i do
+      overs := !overs + wins.(j).Timeseries.w_overs;
+      total := !total + wins.(j).Timeseries.w_count
+    done;
+    ( burn_x1000 ~budget_ppm:spec.budget_ppm ~overs:!overs ~total:!total,
+      !total )
+  in
+  let range_blame i k =
+    let lo = i - k + 1 in
+    let comps = ref [] in
+    for j = lo to i do
+      comps := wins.(j).Timeseries.w_comps :: !comps
+    done;
+    dominant (merge_comps !comps)
+  in
+  for i = 0 to n - 1 do
+    let w = wins.(i) in
+    (* windowed objective: nearest-rank q-quantile above threshold *)
+    (if
+       w.Timeseries.w_count > 0
+       && w.w_overs
+          > w.w_count - ceil_div (spec.q_ppm * w.w_count) 1_000_000
+     then
+       violations :=
+         {
+           vi_window = w.w_index;
+           vi_start_ns = w.w_start_ns;
+           vi_end_ns = w.w_end_ns;
+           vi_count = w.w_count;
+           vi_overs = w.w_overs;
+           vi_max_ns = w.w_max_ns;
+           vi_blame = dominant w.w_comps;
+         }
+         :: !violations);
+    let rule kind k factor first =
+      if i + 1 >= k then begin
+        let burn, total = range_burn i k in
+        if total > 0 && burn >= factor then begin
+          let a =
+            {
+              al_kind = kind;
+              al_window = wins.(i).w_index;
+              al_start_ns = wins.(i - k + 1).w_start_ns;
+              al_end_ns = wins.(i).w_end_ns;
+              al_burn_x1000 = burn;
+              al_blame = range_blame i k;
+            }
+          in
+          alerts := a :: !alerts;
+          if !first = None then first := Some a.al_end_ns
+        end
+      end
+    in
+    rule `Fast spec.fast_windows spec.fast_x1000 first_fast;
+    rule `Slow spec.slow_windows spec.slow_x1000 first_slow
+  done;
+  let total = Array.fold_left (fun a w -> a + w.Timeseries.w_count) 0 wins in
+  let overs = Array.fold_left (fun a w -> a + w.Timeseries.w_overs) 0 wins in
+  {
+    ev_windows = n;
+    ev_total = total;
+    ev_overs = overs;
+    ev_burn_x1000 = burn_x1000 ~budget_ppm:spec.budget_ppm ~overs ~total;
+    ev_violated = overs * 1_000_000 > spec.budget_ppm * total;
+    ev_violations = List.rev !violations;
+    ev_alerts = List.rev !alerts;
+    ev_first_fast_ns = !first_fast;
+    ev_first_slow_ns = !first_slow;
+  }
+
+(* --- JSON --- *)
+
+let num i = Json.Num (float_of_int i)
+
+let spec_to_json s =
+  Json.Obj
+    [
+      ("text", Str (render s));
+      ("q_ppm", num s.q_ppm);
+      ("threshold_ns", num s.threshold_ns);
+      ("window_ns", num s.window_ns);
+      ("budget_ppm", num s.budget_ppm);
+      ("fast_x1000", num s.fast_x1000);
+      ("fast_windows", num s.fast_windows);
+      ("slow_x1000", num s.slow_x1000);
+      ("slow_windows", num s.slow_windows);
+    ]
+
+let opt_num = function None -> Json.Null | Some v -> num v
+
+let eval_to_json e =
+  let violation v =
+    Json.Obj
+      [
+        ("window", num v.vi_window);
+        ("start_ns", num v.vi_start_ns);
+        ("end_ns", num v.vi_end_ns);
+        ("count", num v.vi_count);
+        ("overs", num v.vi_overs);
+        ("max_ns", num v.vi_max_ns);
+        ("blame", Str v.vi_blame);
+      ]
+  in
+  let alert a =
+    Json.Obj
+      [
+        ("kind", Str (match a.al_kind with `Fast -> "fast" | `Slow -> "slow"));
+        ("window", num a.al_window);
+        ("start_ns", num a.al_start_ns);
+        ("end_ns", num a.al_end_ns);
+        ("burn_x1000", num a.al_burn_x1000);
+        ("blame", Str a.al_blame);
+      ]
+  in
+  Json.Obj
+    [
+      ("windows", num e.ev_windows);
+      ("total", num e.ev_total);
+      ("overs", num e.ev_overs);
+      ("burn_x1000", num e.ev_burn_x1000);
+      ("violated", Bool e.ev_violated);
+      ("violations", Arr (List.map violation e.ev_violations));
+      ("alerts", Arr (List.map alert e.ev_alerts));
+      ("first_fast_ns", opt_num e.ev_first_fast_ns);
+      ("first_slow_ns", opt_num e.ev_first_slow_ns);
+    ]

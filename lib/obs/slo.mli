@@ -1,0 +1,80 @@
+(** SLO specs and error-budget burn-rate evaluation over windowed
+    series.
+
+    A spec declares a latency objective — "the [q]-quantile stays at
+    or below [threshold_ns], evaluated over tumbling windows of
+    [window_ns], with an error budget of [budget_ppm] requests over
+    threshold" — in the textual form
+
+    {[ p99<2ms@50ms,budget=0.1%[,fast=14.4x1][,slow=6x5] ]}
+
+    [fast]/[slow] are Google-SRE-style burn-rate alert rules:
+    [FACTORxWINDOWS] fires when the observed over-threshold fraction,
+    measured over the trailing WINDOWS windows, reaches FACTOR times
+    the budget. The fast rule (high factor, short range) catches
+    cliffs; the slow rule (low factor, long range) catches sustained
+    erosion — its first firing localises the EPC cliff onset in
+    virtual time. All evaluation is integer arithmetic on the virtual
+    clock: burn rates are reported in thousandths ([x1000]), so
+    verdicts replay bit-identically. *)
+
+type spec = {
+  q_ppm : int;  (** objective quantile in ppm: p99 = 990000 *)
+  threshold_ns : int;
+  window_ns : int;
+  budget_ppm : int;  (** over-threshold budget: 0.1% = 1000 ppm *)
+  fast_x1000 : int;  (** fast burn factor, thousandths (14400 = 14.4x) *)
+  fast_windows : int;
+  slow_x1000 : int;
+  slow_windows : int;
+}
+
+val parse : string -> (spec, string) result
+(** Accepts quantiles [pN[.N]], durations with [ns]/[us]/[ms]/[s]
+    units (decimals allowed while they stay integral in ns), and
+    percent budgets down to 0.0001%. *)
+
+val render : spec -> string
+(** Canonical form; [parse (render s) = Ok s]. *)
+
+type violation = {
+  vi_window : int;
+  vi_start_ns : int;
+  vi_end_ns : int;  (** bounds of the violating window *)
+  vi_count : int;
+  vi_overs : int;
+  vi_max_ns : int;
+  vi_blame : string;  (** dominant breakdown component, [""] if none *)
+}
+(** A window whose windowed objective is breached: its nearest-rank
+    [q]-quantile exceeds the threshold, decided exactly in integers
+    ([overs > count - ceil(q * count)]). *)
+
+type alert = {
+  al_kind : [ `Fast | `Slow ];
+  al_window : int;  (** index of the window whose close fired it *)
+  al_start_ns : int;  (** start of the trailing evaluation range *)
+  al_end_ns : int;
+  al_burn_x1000 : int;
+  al_blame : string;  (** dominant component over the range *)
+}
+
+type eval = {
+  ev_windows : int;
+  ev_total : int;  (** requests across all windows *)
+  ev_overs : int;
+  ev_burn_x1000 : int;  (** whole-run burn: overs/total over budget *)
+  ev_violated : bool;  (** whole-run budget exhausted *)
+  ev_violations : violation list;
+  ev_alerts : alert list;
+  ev_first_fast_ns : int option;  (** range-end instant of first firing *)
+  ev_first_slow_ns : int option;
+}
+
+val evaluate : spec -> Timeseries.window list -> eval
+(** Folds a closed, contiguous window series (ascending, as returned
+    by {!Timeseries.windows}); the windows' [w_overs] must have been
+    counted against this spec's [threshold_ns]. *)
+
+val spec_to_json : spec -> Json.t
+val eval_to_json : eval -> Json.t

@@ -1,0 +1,73 @@
+(** Virtual-time tumbling-window aggregation.
+
+    A timeseries carves the virtual clock into fixed windows
+    [[t0 + k*w, t0 + (k+1)*w)] and folds observations — a latency
+    sample plus optional named breakdown components — into the window
+    covering each sample's timestamp, independently per named track
+    (the serving fleet uses one fleet track plus one per enclave).
+
+    Windows close deterministically on the first observation (or
+    {!finish}) at or past their upper boundary; skipped windows are
+    zero-filled so every track's closed series is contiguous. A
+    closing window snapshots the caller's gauges via the [probe]
+    callback and reports through [on_close], then its latency sketch
+    is merged into the track's cumulative {!sketch} and dropped — so
+    a run holds O(windows) closed rows plus O(tracks) sketches, never
+    O(requests), which is what lets [--stream] replay 10–100x request
+    counts in flat memory. *)
+
+type window = {
+  w_index : int;  (** 0-based window number *)
+  w_start_ns : int;
+  w_end_ns : int;  (** window covers [w_start_ns, w_end_ns) *)
+  w_count : int;  (** observations folded into the window *)
+  w_sum_ns : int;
+  w_max_ns : int;
+  w_p50_ns : int;  (** sketch estimate; 0 when the window is empty *)
+  w_p99_ns : int;
+  w_overs : int;  (** samples strictly above [threshold_ns], else 0 *)
+  w_comps : (string * int) list;  (** component sums, sorted by name *)
+  w_gauges : (string * int) list;  (** probe snapshot at close *)
+}
+
+type t
+
+val create :
+  ?threshold_ns:int ->
+  ?probe:(track:string -> (string * int) list) ->
+  ?on_close:(track:string -> window -> unit) ->
+  t0:int ->
+  window_ns:int ->
+  unit ->
+  t
+(** [threshold_ns] makes each window count samples strictly above it
+    (the SLO "overs" feeding burn rates). [probe] is called once per
+    closing window, in close order. @raise Invalid_argument when
+    [window_ns <= 0]. *)
+
+val record :
+  t ->
+  now:int ->
+  track:string ->
+  latency_ns:int ->
+  ?comps:(string * int) list ->
+  unit ->
+  unit
+(** Fold one observation into [track]'s window covering [now],
+    closing (and zero-filling) any earlier windows first. Timestamps
+    must be monotone per track and never before [t0].
+    @raise Invalid_argument on a timestamp before the open window. *)
+
+val finish : t -> now:int -> unit
+(** Close every track's windows through the one covering [now - 1],
+    zero-filling gaps, so all tracks end aligned on the same final
+    window. No-op when [now <= t0]. *)
+
+val windows : t -> track:string -> window list
+(** Closed windows, ascending and contiguous from window 0. *)
+
+val tracks : t -> string list
+(** Sorted; a track exists once recorded on. *)
+
+val sketch : t -> track:string -> Sketch.t option
+(** Cumulative merge of the track's closed per-window sketches. *)

@@ -56,6 +56,11 @@ type config = {
   ns_per_work : float;
   trace_requests : bool;
   sample_every_ns : int;  (* virtual-time metrics sampling period; 0 = off *)
+  retain_requests : bool;
+      (* keep the per-request log (blame, exact percentiles); --stream
+         turns it off and the run holds O(windows + sketch) memory *)
+  window_ns : int;  (* tumbling-window period when no SLO supplies one *)
+  slo : Twine_obs.Slo.spec option;
 }
 
 let default_config =
@@ -75,6 +80,9 @@ let default_config =
     ns_per_work = 60.;
     trace_requests = true;
     sample_every_ns = 1_000_000;
+    retain_requests = true;
+    window_ns = 50_000_000;
+    slo = None;
   }
 
 let shape_of (c : config) : Workload.shape =
@@ -173,6 +181,16 @@ type stats = {
   queue_depth_hwm : int;
   queue_depth_hwm_by_enclave : (int * int) list;
   epc_resident_by_enclave : (int * int) list;
+  (* streaming SLO plane *)
+  retained : bool;  (* requests_log populated? false under --stream *)
+  t0_ns : int;  (* serving-phase start: window 0 opens here *)
+  window_ns : int;  (* effective tumbling-window period *)
+  series : Twine_obs.Timeseries.t;
+  windows : Twine_obs.Timeseries.window list;  (* fleet track, ascending *)
+  sketch : Twine_obs.Sketch.t;  (* merge of per-window fleet sketches *)
+  sketch_p50_ns : int;
+  sketch_p99_ns : int;
+  slo : (Twine_obs.Slo.spec * Twine_obs.Slo.eval) option;
   ledger : Twine_obs.Ledger.snapshot;
   machine : Machine.t;
 }
@@ -271,6 +289,20 @@ let populate (cfg : config) w =
   insert "t" (fun j -> Printf.sprintf "(%d,%d,'%s')" j (j * 7) (payload j));
   ignore (Db.exec w.db "COMMIT")
 
+(* Components of a request's latency: queue wait vs the cycle slices.
+   The fixed order is load-bearing — {!dominant} breaks ties toward the
+   earlier entry, so blame verdicts are deterministic — and the same
+   names key the per-window breakdown sums in the SLO plane. *)
+let components r =
+  [ ("queue", queue_ns r);
+    ("transition", r.breakdown.transition_ns);
+    ("exec", r.breakdown.exec_ns);
+    ("pager", r.breakdown.pager_ns);
+    ("epc.fault", r.breakdown.epc_fault_ns);
+    ("epc.evict", r.breakdown.epc_evict_ns);
+    ("crypto", r.breakdown.crypto_ns);
+    ("other", r.breakdown.other_ns) ]
+
 let rec take_batch q n acc =
   if n = 0 || Queue.is_empty q then List.rev acc
   else take_batch q (n - 1) (Queue.pop q :: acc)
@@ -286,11 +318,22 @@ let bump_assoc l key d =
 let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   if cfg.enclaves <= 0 then invalid_arg "Serve.run: enclaves <= 0";
   if cfg.batch <= 0 then invalid_arg "Serve.run: batch <= 0";
+  let window_ns =
+    match cfg.slo with
+    | Some s -> s.Twine_obs.Slo.window_ns
+    | None -> cfg.window_ns
+  in
+  if window_ns <= 0 then invalid_arg "Serve.run: window_ns <= 0";
+  let retain = cfg.retain_requests in
   let machine = Machine.create ~epc_bytes:cfg.epc_bytes ~seed:cfg.seed () in
   Twine.Bench_db.set_wasm_factor cfg.wasm_factor;
   let workers = Array.init cfg.enclaves (fun _ -> make_worker cfg machine) in
   Array.iter (populate cfg) workers;
-  let arrivals = Workload.generate ~seed:cfg.seed (shape_of cfg) in
+  (* Arrivals are pulled lazily from the workload stream in both modes
+     (the generator never touches the machine, so laziness cannot move
+     the virtual timeline): retained and streaming runs schedule the
+     exact same events and replay byte-identical books. *)
+  let next_arrival = Workload.stream ~seed:cfg.seed (shape_of cfg) in
   (* Setup (launch, population) is not the measurement: restart the
      books so the serving phase audits clean on its own. The EPC keeps
      its resident set — workers start warm, as a real fleet would. *)
@@ -304,43 +347,118 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   in
   let n = cfg.requests in
   (* -- per-request ledger slicing: the tap routes every booking -- *)
-  let req_log : request option array = Array.make (max 1 n) None in
+  let req_log : request option array =
+    if retain then Array.make (max 1 n) None else [||]
+  in
   let cur : request option ref = ref None in
   let in_batch = ref false in
   let overhead : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let outside = ref 0 in
+  (* attributed time accumulates as it is credited (tap + overhead
+     shares): the streaming mode has no request log to fold at the end,
+     and the retained mode gets the identical number this way *)
+  let attributed = ref 0 in
   Twine_obs.Ledger.set_tap ledger
     (Some
        (fun account ns ->
          match !cur with
-         | Some r -> credit r.breakdown account ns
+         | Some r ->
+             credit r.breakdown account ns;
+             attributed := !attributed + ns
          | None ->
              if !in_batch then
                Hashtbl.replace overhead account
                  (ns + Option.value ~default:0 (Hashtbl.find_opt overhead account))
              else outside := !outside + ns));
   (* -- cross-enclave eviction provenance lands on the live request -- *)
+  let interference_acc = ref [] in
   Epc.set_refault_hook epc
     (Some
        (fun ~owner:_ ~evictor ->
          match !cur with
-         | Some r -> r.interference <- bump_assoc r.interference evictor 1
+         | Some r ->
+             r.interference <- bump_assoc r.interference evictor 1;
+             interference_acc := bump_assoc !interference_acc evictor 1
          | None -> ()));
   prepare machine;
   let t0 = Machine.now_ns machine in
   let q = Twine_sim.Eventq.create () in
   (* workload times are relative to the start of serving: rebase onto
-     the machine clock (setup already consumed virtual time) *)
-  Array.iter
-    (fun a ->
-      Twine_sim.Eventq.add q ~at:(t0 + a.Workload.at)
-        (a.Workload.rid, a.Workload.enclave, a.Workload.req))
-    arrivals;
-  let latencies = Array.make (max 1 n) 0 in
+     the machine clock (setup already consumed virtual time). The queue
+     is fed lazily — [lookahead] holds the next not-yet-due arrival, and
+     [refill] pushes everything due by [now] in rid order, so FIFO
+     tie-breaks match the old materialise-everything-upfront schedule
+     while the queue itself stays O(backlog). *)
+  let lookahead = ref (next_arrival ()) in
+  let refill now =
+    let rec go () =
+      match !lookahead with
+      | Some a when t0 + a.Workload.at <= now ->
+          Twine_sim.Eventq.add q ~at:(t0 + a.Workload.at)
+            (a.Workload.rid, a.Workload.enclave, a.Workload.req);
+          lookahead := next_arrival ();
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let latencies = if retain then Array.make (max 1 n) 0 else [||] in
+  let lat_sum = ref 0 in
+  let lat_max = ref 0 in
   let completed = ref 0 in
   let pending = ref 0 in
   let batches = ref 0 in
   let rr = ref 0 in
+  (* -- streaming SLO plane: tumbling windows on the virtual clock.
+     One fleet track plus one per enclave; gauges are probed as each
+     window closes (fleet: EPC activity deltas + total backlog;
+     enclave: own backlog + residency). Closed windows keep reduced
+     rows only, so the series is O(windows) regardless of n. -- *)
+  let fleet_track = "fleet" in
+  let track_of_eid = Printf.sprintf "e%d" in
+  let worker_of_track =
+    let tbl = Hashtbl.create cfg.enclaves in
+    Array.iter (fun w -> Hashtbl.replace tbl (track_of_eid w.eid) w) workers;
+    tbl
+  in
+  let probe =
+    let last = Hashtbl.create 8 in
+    fun ~track ->
+      if track = fleet_track then begin
+        let delta key =
+          let v = Twine_obs.Obs.value obs key in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt last key) in
+          Hashtbl.replace last key v;
+          v - prev
+        in
+        [ ("completed", !completed);
+          ("epc.fault", delta "epc.fault");
+          ("epc.evict", delta "epc.evict");
+          ("epc.refault.cross", delta "epc.refault.cross");
+          ("queue_depth",
+           Array.fold_left (fun a w -> a + Queue.length w.queue) 0 workers) ]
+      end
+      else
+        match Hashtbl.find_opt worker_of_track track with
+        | Some w ->
+            [ ("queue_depth", Queue.length w.queue);
+              ("epc.resident", Epc.resident_of epc w.eid) ]
+        | None -> []
+  in
+  let on_close ~track (w : Twine_obs.Timeseries.window) =
+    (* Perfetto counter tracks, one per series track, emitted live as
+       each window closes (no-op without an attached recorder) *)
+    Twine_obs.Obs.emit_counter obs ~cat:"slo" ("slo." ^ track)
+      [ ("requests", w.Twine_obs.Timeseries.w_count);
+        ("p50_ns", w.w_p50_ns);
+        ("p99_ns", w.w_p99_ns);
+        ("overs", w.w_overs) ]
+  in
+  let series =
+    Twine_obs.Timeseries.create
+      ?threshold_ns:(Option.map (fun s -> s.Twine_obs.Slo.threshold_ns) cfg.slo)
+      ~probe ~on_close ~t0 ~window_ns ()
+  in
   let charge account work =
     Machine.charge machine ~account "serve.sql"
       (int_of_float
@@ -388,9 +506,13 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
           r.kind
     | _ -> ());
     let lat = latency_ns r in
-    latencies.(!completed) <- lat;
+    if retain then begin
+      latencies.(!completed) <- lat;
+      req_log.(rid) <- Some r
+    end;
+    lat_sum := !lat_sum + lat;
+    if lat > !lat_max then lat_max := lat;
     incr completed;
-    req_log.(rid) <- Some r;
     Twine_obs.Obs.observe ~exemplar:rid obs "serve.latency_ns" lat;
     if cfg.trace_requests then
       Twine_obs.Obs.emit obs ~cat:"serve"
@@ -399,7 +521,9 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
     r
   in
   let drain () =
-    Twine_sim.Eventq.drain_until q ~now:(Machine.now_ns machine)
+    let now = Machine.now_ns machine in
+    refill now;
+    Twine_sim.Eventq.drain_until q ~now
       (fun ~at (rid, enc, req) ->
         let w = workers.(enc) in
         Queue.add (rid, at, req) w.queue;
@@ -436,14 +560,22 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   while !completed < n do
     drain ();
     maybe_sample ();
-    if !pending = 0 then
+    if !pending = 0 then begin
       (* nothing runnable: the simulated core sleeps until the next
-         arrival — booked, so the audit still balances to elapsed time *)
-      match Twine_sim.Eventq.peek_time q with
+         arrival — booked, so the audit still balances to elapsed time.
+         The queue drained empty, so the next arrival is the stream's
+         lookahead. *)
+      let next_at =
+        match Twine_sim.Eventq.peek_time q with
+        | Some t -> Some t
+        | None -> Option.map (fun a -> t0 + a.Workload.at) !lookahead
+      in
+      match next_at with
       | Some t ->
           let dt = t - Machine.now_ns machine in
           Machine.charge machine ~account:"serve.idle" "serve.idle" dt
       | None -> assert false (* completed < n implies arrivals remain *)
+    end
     else begin
       let k = cfg.enclaves in
       let rec find i tries =
@@ -488,38 +620,59 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
                 let per = ns / k_served and rem = ns mod k_served in
                 List.iteri
                   (fun j r ->
-                    credit r.breakdown account (per + if j = 0 then rem else 0))
+                    let share = per + if j = 0 then rem else 0 in
+                    credit r.breakdown account share;
+                    attributed := !attributed + share)
                   served)
               overhead;
-          Hashtbl.reset overhead
+          Hashtbl.reset overhead;
+          (* fold the batch into the windowed series only now: the
+             breakdowns are final once the overhead shares landed *)
+          List.iter
+            (fun r ->
+              let comps = components r in
+              let lat = latency_ns r in
+              Twine_obs.Timeseries.record series ~now:r.finish_ns
+                ~track:fleet_track ~latency_ns:lat ~comps ();
+              Twine_obs.Timeseries.record series ~now:r.finish_ns
+                ~track:(track_of_eid r.enclave) ~latency_ns:lat ~comps ())
+            served
     end
   done;
   Twine_obs.Ledger.set_tap ledger None;
   Epc.set_refault_hook epc None;
-  let elapsed_ns = Machine.now_ns machine - t0 in
-  let sorted = Array.sub latencies 0 n in
+  let final_now = Machine.now_ns machine in
+  let elapsed_ns = final_now - t0 in
+  (* close the series through the window holding the last completion
+     (now + 1 so a completion landing exactly on a boundary closes) *)
+  Twine_obs.Timeseries.finish series ~now:(final_now + 1);
+  let windows = Twine_obs.Timeseries.windows series ~track:fleet_track in
+  let sketch =
+    match Twine_obs.Timeseries.sketch series ~track:fleet_track with
+    | Some s -> s
+    | None -> Twine_obs.Sketch.create ()
+  in
+  let sq p = Option.value (Twine_obs.Sketch.quantile sketch p) ~default:0 in
+  let sketch_p50_ns = sq 0.5 in
+  let sketch_p99_ns = sq 0.99 in
+  let slo_eval =
+    Option.map (fun spec -> (spec, Twine_obs.Slo.evaluate spec windows)) cfg.slo
+  in
+  let sorted = Array.sub latencies 0 (if retain then n else 0) in
   Array.sort compare sorted;
-  let sum = Array.fold_left ( + ) 0 sorted in
   let ecalls = Twine_obs.Obs.value obs "sgx.ecall" in
   let ocalls = Twine_obs.Obs.value obs "sgx.ocall" in
   let requests_log =
-    Array.map
-      (function
-        | Some r -> r
-        | None -> invalid_arg "Serve.run: request never served")
-      (if n = 0 then [||] else req_log)
-  in
-  let attributed =
-    Array.fold_left (fun acc r -> acc + attributed_ns r) 0 requests_log
+    if retain then
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Serve.run: request never served")
+        (if n = 0 then [||] else req_log)
+    else [||]
   in
   let booked = (Twine_obs.Ledger.audit ledger).Twine_obs.Ledger.booked_ns in
-  let interference_by_evictor =
-    Array.fold_left
-      (fun acc r ->
-        List.fold_left (fun acc (e, c) -> bump_assoc acc e c) acc r.interference)
-      [] requests_log
-    |> List.sort compare
-  in
+  let interference_by_evictor = List.sort compare !interference_acc in
   let p99_exemplar_rids =
     match Twine_obs.Obs.quantile_exemplars obs "serve.latency_ns" 0.99 with
     | Some (_, rids) -> rids
@@ -535,10 +688,13 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       throughput_rps =
         (if elapsed_ns = 0 then 0.
          else float_of_int n /. (float_of_int elapsed_ns /. 1e9));
-      mean_ns = (if n = 0 then 0 else sum / n);
-      p50_ns = percentile sorted 0.50;
-      p99_ns = percentile sorted 0.99;
-      max_ns = (if n = 0 then 0 else sorted.(n - 1));
+      mean_ns = (if n = 0 then 0 else !lat_sum / n);
+      (* retained mode: exact nearest-rank percentiles; streaming mode:
+         the sketch estimates (within Sketch.alpha), since no latency
+         array exists to sort *)
+      p50_ns = (if retain then percentile sorted 0.50 else sketch_p50_ns);
+      p99_ns = (if retain then percentile sorted 0.99 else sketch_p99_ns);
+      max_ns = !lat_max;
       batches = !batches;
       ecalls;
       ocalls;
@@ -555,9 +711,9 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
              (fun i w -> (w.eid, Epc.evictions_of epc w.eid - evict0.(i)))
              workers);
       requests_log;
-      attributed_ns = attributed;
+      attributed_ns = !attributed;
       unattributed_ns = !outside;
-      attribution_residue_ns = booked - attributed - !outside;
+      attribution_residue_ns = booked - !attributed - !outside;
       cross_refaults = Twine_obs.Obs.value obs "epc.refault.cross";
       interference_by_evictor;
       p99_exemplar_rids;
@@ -568,6 +724,15 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
         Array.to_list (Array.map (fun w -> (w.eid, w.depth_hwm)) workers);
       epc_resident_by_enclave =
         Array.to_list (Array.map (fun w -> (w.eid, Epc.resident_of epc w.eid)) workers);
+      retained = retain;
+      t0_ns = t0;
+      window_ns;
+      series;
+      windows;
+      sketch;
+      sketch_p50_ns;
+      sketch_p99_ns;
+      slo = slo_eval;
       ledger = Twine_obs.Ledger.snapshot ledger;
       machine;
     }
@@ -584,19 +749,6 @@ let threads (s : stats) =
 
 (* --- tail-latency blame --- *)
 
-(* Dominant component of a request's latency: queue wait vs the cycle
-   slices. Ties break toward the earlier entry of this fixed order, so
-   the verdict is deterministic. *)
-let components r =
-  [ ("queue", queue_ns r);
-    ("transition", r.breakdown.transition_ns);
-    ("exec", r.breakdown.exec_ns);
-    ("pager", r.breakdown.pager_ns);
-    ("epc.fault", r.breakdown.epc_fault_ns);
-    ("epc.evict", r.breakdown.epc_evict_ns);
-    ("crypto", r.breakdown.crypto_ns);
-    ("other", r.breakdown.other_ns) ]
-
 let dominant r =
   List.fold_left
     (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
@@ -609,7 +761,18 @@ let by_latency_desc a b =
   | 0 -> compare a.rid b.rid
   | c -> c
 
+(* Per-request views need the request log; a streaming run dropped it
+   by design. Raise a clear error the CLI maps to exit 2. *)
+let require_retained what (s : stats) =
+  if not s.retained then
+    invalid_arg
+      (Printf.sprintf
+         "Serve.%s: per-request retention is off (--stream); re-run without \
+          --stream for per-request views"
+         what)
+
 let blame ?(top = 10) (s : stats) =
+  require_retained "blame" s;
   let reqs = Array.copy s.requests_log in
   Array.sort by_latency_desc reqs;
   Array.to_list (Array.sub reqs 0 (min top (Array.length reqs)))
@@ -620,6 +783,7 @@ let blame ?(top = 10) (s : stats) =
 (* Dominant-account census over the p99 tail (the slowest 1%, at least
    one request): the aggregate answer to "why is p99 what it is". *)
 let blame_summary (s : stats) =
+  require_retained "blame_summary" s;
   let n = Array.length s.requests_log in
   if n = 0 then []
   else begin
@@ -642,6 +806,7 @@ let render_interference l =
   else String.concat "," (List.map (fun (e, c) -> Printf.sprintf "e%d:%d" e c) l)
 
 let render_blame ?(top = 10) (s : stats) =
+  require_retained "render_blame" s;
   let b = Buffer.create 1024 in
   let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   f "-- serve blame: top %d of %d requests by latency --\n"
@@ -679,6 +844,7 @@ let render_blame ?(top = 10) (s : stats) =
 let request_trace_schema = "twine-request-trace/v1"
 
 let render_requests (s : stats) =
+  require_retained "render_requests" s;
   let b = Buffer.create 4096 in
   let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   f "# %s\n" request_trace_schema;
@@ -719,4 +885,91 @@ let render (s : stats) =
   f "  interference     %d cross-enclave refaults\n" s.cross_refaults;
   f "  sampler          %d samples, queue depth high-water %d\n"
     s.sampler_samples s.queue_depth_hwm;
+  f "  windows          %d x %d ns, sketch p50 %d ns p99 %d ns%s\n"
+    (List.length s.windows) s.window_ns s.sketch_p50_ns s.sketch_p99_ns
+    (if s.retained then "" else " (streaming: no per-request log)");
+  (match s.slo with
+  | None -> ()
+  | Some (spec, ev) ->
+      f "  slo              %s: %s (burn %d.%03dx, %d/%d over, %d violating \
+         windows, %d fast / %d slow alerts)\n"
+        (Twine_obs.Slo.render spec)
+        (if ev.Twine_obs.Slo.ev_violated then "VIOLATED" else "met")
+        (ev.Twine_obs.Slo.ev_burn_x1000 / 1000)
+        (ev.Twine_obs.Slo.ev_burn_x1000 mod 1000)
+        ev.Twine_obs.Slo.ev_overs ev.Twine_obs.Slo.ev_total
+        (List.length ev.Twine_obs.Slo.ev_violations)
+        (List.length
+           (List.filter
+              (fun a -> a.Twine_obs.Slo.al_kind = `Fast)
+              ev.Twine_obs.Slo.ev_alerts))
+        (List.length
+           (List.filter
+              (fun a -> a.Twine_obs.Slo.al_kind = `Slow)
+              ev.Twine_obs.Slo.ev_alerts));
+      match ev.Twine_obs.Slo.ev_first_slow_ns with
+      | Some t -> f "  slow-burn onset  %d ns into the run\n" (t - s.t0_ns)
+      | None -> ());
   Buffer.contents b
+
+(* --- canonical windowed-series artifact (byte-identical across modes) --- *)
+
+let slo_schema = "twine-slo/v1"
+
+(* Everything in the artifact is mode-independent — windows, sketch,
+   spec and verdict are identical whether the run retained its request
+   log or streamed — so retained-vs-stream byte equality is a CI-
+   checkable invariant, and same (seed, config) replays are too. *)
+let render_slo (s : stats) =
+  let num i = Twine_obs.Json.Num (float_of_int i) in
+  let assoc kvs = Twine_obs.Json.Obj (List.map (fun (k, v) -> (k, num v)) kvs) in
+  let window (w : Twine_obs.Timeseries.window) =
+    Twine_obs.Json.Obj
+      [
+        ("index", num w.Twine_obs.Timeseries.w_index);
+        ("start_ns", num w.w_start_ns);
+        ("end_ns", num w.w_end_ns);
+        ("count", num w.w_count);
+        ("sum_ns", num w.w_sum_ns);
+        ("max_ns", num w.w_max_ns);
+        ("p50_ns", num w.w_p50_ns);
+        ("p99_ns", num w.w_p99_ns);
+        ("overs", num w.w_overs);
+        ("comps", assoc w.w_comps);
+        ("gauges", assoc w.w_gauges);
+      ]
+  in
+  (* fleet first, then the enclave tracks in enclave-id order *)
+  let track_names =
+    "fleet"
+    :: List.map
+         (fun (eid, _) -> Printf.sprintf "e%d" eid)
+         s.epc_resident_by_enclave
+  in
+  let track name =
+    Twine_obs.Json.Obj
+      [
+        ("track", Str name);
+        ( "windows",
+          Arr (List.map window (Twine_obs.Timeseries.windows s.series ~track:name))
+        );
+      ]
+  in
+  Twine_obs.Json.to_string
+    (Twine_obs.Json.Obj
+       [
+         ("schema", Str slo_schema);
+         ("t0_ns", num s.t0_ns);
+         ("window_ns", num s.window_ns);
+         ("requests", num s.requests);
+         ( "spec",
+           match s.slo with
+           | Some (spec, _) -> Twine_obs.Slo.spec_to_json spec
+           | None -> Null );
+         ( "eval",
+           match s.slo with
+           | Some (_, ev) -> Twine_obs.Slo.eval_to_json ev
+           | None -> Null );
+         ("sketch", Twine_obs.Sketch.to_json s.sketch);
+         ("tracks", Arr (List.map track track_names));
+       ])

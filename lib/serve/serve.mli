@@ -52,11 +52,24 @@ type config = {
       (** virtual-time metrics sampling period (queue depth, per-enclave
           EPC residency, completed requests as Perfetto counter tracks);
           0 disables the sampler *)
+  retain_requests : bool;
+      (** keep the per-request log ({!stats.requests_log}, exact
+          percentiles, {!blame}). [false] is the [--stream] mode: the
+          run folds everything into the windowed series and sketch and
+          holds O(windows + sketch) memory, so 10–100x request counts
+          replay without O(n) retention — at the cost of the
+          per-request views, which then raise [Invalid_argument] *)
+  window_ns : int;
+      (** tumbling-window period of the SLO plane's series; when [slo]
+          is set its [window_ns] takes precedence *)
+  slo : Twine_obs.Slo.spec option;
+      (** latency objective to evaluate over the windowed series; also
+          supplies the over-threshold counting the burn rates need *)
 }
 
 val default_config : config
 (** 100k requests, 8 enclaves, batch 16, 768-page EPC, factor 2.5,
-    1 ms virtual sampling. *)
+    1 ms virtual sampling, retention on, 50 ms windows, no SLO. *)
 
 val shape_of : config -> Workload.shape
 
@@ -139,6 +152,27 @@ type stats = {
   queue_depth_hwm : int;  (** deepest any enclave's queue ever got *)
   queue_depth_hwm_by_enclave : (int * int) list;
   epc_resident_by_enclave : (int * int) list;  (** at end of run *)
+  retained : bool;
+      (** [requests_log] populated? [false] under [--stream]: the log
+          is empty, [p50_ns]/[p99_ns] carry the sketch estimates, and
+          the per-request views raise *)
+  t0_ns : int;  (** serving-phase start; window 0 opens here *)
+  window_ns : int;  (** effective tumbling-window period *)
+  series : Twine_obs.Timeseries.t;
+      (** the windowed series: track ["fleet"] plus ["e<id>"] per
+          enclave, each with per-window counts, sketch p50/p99,
+          breakdown component sums and probed gauges *)
+  windows : Twine_obs.Timeseries.window list;
+      (** the fleet track's closed windows, ascending *)
+  sketch : Twine_obs.Sketch.t;
+      (** merge of the per-window fleet sketches — all [requests]
+          latencies, mergeable and bounded-memory *)
+  sketch_p50_ns : int;
+      (** sketch estimate; within {!Twine_obs.Sketch.alpha} relative
+          error of the exact [p50_ns] (asserted by [bench serve]) *)
+  sketch_p99_ns : int;
+  slo : (Twine_obs.Slo.spec * Twine_obs.Slo.eval) option;
+      (** the evaluated objective when the config carried one *)
   ledger : Twine_obs.Ledger.snapshot;
   machine : Twine_sgx.Machine.t;
 }
@@ -167,16 +201,20 @@ type blame = {
 
 val blame : ?top:int -> stats -> blame list
 (** The [top] (default 10) slowest requests, slowest first (ties by
-    rid), each with its dominant latency component. *)
+    rid), each with its dominant latency component.
+    @raise Invalid_argument when the run streamed ([retained = false]):
+    there is no request log to rank. *)
 
 val blame_summary : stats -> (string * int) list
 (** Dominant-component census over the p99 tail (the slowest 1%, at
     least one request), most common first (ties by name) — the
-    aggregate answer to "why is p99 what it is". *)
+    aggregate answer to "why is p99 what it is".
+    @raise Invalid_argument when [retained = false]. *)
 
 val render_blame : ?top:int -> stats -> string
 (** The blame table plus the tail census, p99 exemplar rids, the
-    attribution conservation line and cross-enclave refault blame. *)
+    attribution conservation line and cross-enclave refault blame.
+    @raise Invalid_argument when [retained = false]. *)
 
 (** {2 Request trace} *)
 
@@ -186,7 +224,22 @@ val render_requests : stats -> string
 (** Canonical per-request trace: one line per rid with timestamps,
     queue wait and the full cycle slice. Byte-identical across replays
     of the same [(seed, config)] — the serialisable artifact of the
-    attribution layer. *)
+    attribution layer.
+    @raise Invalid_argument when [retained = false]. *)
+
+(** {2 Windowed SLO artifact} *)
+
+val slo_schema : string
+(** ["twine-slo/v1"]. *)
+
+val render_slo : stats -> string
+(** Canonical JSON of the streaming SLO plane: the spec and verdict
+    (when an objective was set), the fleet latency sketch
+    ([twine-sketch/v1]), and every track's closed windows with
+    per-window p50/p99, over-threshold counts, breakdown component
+    sums and probed gauges. Mode-independent by construction: the
+    retained and [--stream] runs of one [(seed, config)] produce the
+    same bytes, and replays are byte-identical — both are CI-gated. *)
 
 val threads : stats -> (int * string) list
 (** Thread-name metadata for {!Twine_obs.Trace_export.to_file}: the

@@ -31,16 +31,22 @@ type shape = {
 (* Open loop: clients fire on their own schedule regardless of server
    progress (queueing delay shows up as latency, not as back-pressure).
    Inter-arrival gaps are uniform on [0, 2*mean] so the mean rate is
-   exactly [1 / mean_gap_ns] without floating point in the stream. *)
-let generate ~seed shape =
-  if shape.enclaves <= 0 then invalid_arg "Workload.generate: enclaves <= 0";
-  if shape.requests < 0 then invalid_arg "Workload.generate: requests < 0";
-  if shape.rows <= 0 then invalid_arg "Workload.generate: rows <= 0";
+   exactly [1 / mean_gap_ns] without floating point in the stream.
+
+   The per-arrival draw order (gap, then request body, then enclave)
+   is load-bearing: it pins the single DRBG stream's consumption so
+   [stream] and [generate] name the same workload, and so every gated
+   serve.* baseline metric stays byte-identical across refactors. *)
+let stream ~seed shape =
+  if shape.enclaves <= 0 then invalid_arg "Workload.stream: enclaves <= 0";
+  if shape.requests < 0 then invalid_arg "Workload.stream: requests < 0";
+  if shape.rows <= 0 then invalid_arg "Workload.stream: rows <= 0";
   let m = shape.mix in
   let weight_total = m.kv_get + m.sql_point + m.sql_range in
-  if weight_total <= 0 then invalid_arg "Workload.generate: empty mix";
+  if weight_total <= 0 then invalid_arg "Workload.stream: empty mix";
   let g = Twine_crypto.Drbg.create ~personalization:"twine.serve.workload" ~seed () in
   let now = ref 0 in
+  let rid = ref 0 in
   let pick_req () =
     let w = Twine_crypto.Drbg.int_below g weight_total in
     if w < m.kv_get then Kv_get (Twine_crypto.Drbg.int_below g shape.rows)
@@ -50,15 +56,22 @@ let generate ~seed shape =
       let lo = Twine_crypto.Drbg.int_below g shape.rows in
       Sql_range (lo, max 1 shape.span)
   in
-  Array.init shape.requests (fun rid ->
+  fun () ->
+    if !rid >= shape.requests then None
+    else begin
       let gap =
         if shape.mean_gap_ns <= 0 then 0
         else Twine_crypto.Drbg.int_below g ((2 * shape.mean_gap_ns) + 1)
       in
       now := !now + gap;
-      {
-        rid;
-        at = !now;
-        enclave = Twine_crypto.Drbg.int_below g shape.enclaves;
-        req = pick_req ();
-      })
+      let req = pick_req () in
+      let enclave = Twine_crypto.Drbg.int_below g shape.enclaves in
+      let a = { rid = !rid; at = !now; enclave; req } in
+      incr rid;
+      Some a
+    end
+
+let generate ~seed shape =
+  let next = stream ~seed shape in
+  Array.init shape.requests (fun _ ->
+      match next () with Some a -> a | None -> assert false)

@@ -32,8 +32,17 @@ type shape = {
   mix : mix;
 }
 
-val generate : seed:string -> shape -> arrival array
-(** Arrival times are nondecreasing (uniform gaps on [0, 2*mean]); the
-    enclave assignment is uniform. Deterministic in [(seed, shape)].
+val stream : seed:string -> shape -> unit -> arrival option
+(** Lazy arrival generator: each call yields the next arrival in rid
+    order, [None] once [shape.requests] have been produced. O(1)
+    memory — the streaming serve mode pulls from this instead of
+    materialising the array. Draws the same single DRBG stream in the
+    same order as {!generate}, so both name the identical workload.
     @raise Invalid_argument on a non-positive fleet, negative request
     count, non-positive [rows] or an all-zero mix. *)
+
+val generate : seed:string -> shape -> arrival array
+(** The fully materialised {!stream}: arrival times are nondecreasing
+    (uniform gaps on [0, 2*mean]); the enclave assignment is uniform.
+    Deterministic in [(seed, shape)].
+    @raise Invalid_argument as {!stream}. *)

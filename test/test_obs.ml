@@ -66,6 +66,28 @@ let test_quantile_edges () =
     (Invalid_argument "Obs.quantile: q outside [0,1]") (fun () ->
       ignore (Obs.quantile obs "one" 1.5))
 
+let test_quantile_interpolation () =
+  (* one sample at every value of the binade [512, 1024): the bucket is
+     uniformly full, so the interpolated nearest-rank estimate must hit
+     the true median (the 256th of 512 sits mid-slice at 767), where
+     the old upper-bound answer was 1023 — biased a near-full bucket
+     width high *)
+  let obs = Obs.create () in
+  for v = 512 to 1023 do Obs.observe obs "u" v done;
+  (match Obs.quantile obs "u" 0.5 with
+  | None -> Alcotest.fail "histogram missing"
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "uniform bucket p50 interpolates (got %d, want ~767)" v)
+        true (abs (v - 767) <= 1));
+  (* a quarter of the way in, same idea *)
+  match Obs.quantile obs "u" 0.25 with
+  | None -> Alcotest.fail "histogram missing"
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "uniform bucket p25 interpolates (got %d, want ~639)" v)
+        true (abs (v - 639) <= 1)
+
 let test_quantile_rank_rounding () =
   (* 0.99 *. 100. = 99.00000000000001: the nearest-rank index must stay
      99, not spill into the single outlier at rank 100 *)
@@ -334,6 +356,8 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histograms" `Quick test_histograms;
           Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_quantile_interpolation;
           Alcotest.test_case "quantile rank rounding" `Quick
             test_quantile_rank_rounding;
           Alcotest.test_case "exemplars" `Quick test_exemplars;

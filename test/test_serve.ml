@@ -35,7 +35,7 @@ let test_workload_deterministic () =
 let test_workload_validates () =
   let shape = Serve.shape_of small_config in
   Alcotest.check_raises "empty mix"
-    (Invalid_argument "Workload.generate: empty mix") (fun () ->
+    (Invalid_argument "Workload.stream: empty mix") (fun () ->
       ignore
         (Workload.generate ~seed:"w"
            { shape with Workload.mix = { kv_get = 0; sql_point = 0; sql_range = 0 } }))
@@ -358,6 +358,147 @@ let test_request_spans_on_tracks () =
   Alcotest.(check int) "a named track per enclave" cfg.Serve.enclaves
     (List.length threads)
 
+(* -- streaming SLO plane -- *)
+
+let slo_spec =
+  match Twine_obs.Slo.parse "p99<2ms@50ms,budget=0.1%" with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let slo_config = { small_config with Serve.slo = Some slo_spec }
+
+let test_stream_matches_retained () =
+  let retained = Serve.run slo_config in
+  let streamed = Serve.run { slo_config with Serve.retain_requests = false } in
+  Alcotest.(check bool) "retained flag" true retained.Serve.retained;
+  Alcotest.(check bool) "stream flag" false streamed.Serve.retained;
+  Alcotest.(check int) "stream holds no request log" 0
+    (Array.length streamed.Serve.requests_log);
+  (* the virtual timeline is one code path: identical books *)
+  Alcotest.(check string) "byte-identical ledgers"
+    (Twine_obs.Ledger.to_string retained.Serve.ledger)
+    (Twine_obs.Ledger.to_string streamed.Serve.ledger);
+  (* the twine-slo/v1 artifact is mode-independent by construction *)
+  Alcotest.(check string) "byte-identical slo artifacts"
+    (Serve.render_slo retained)
+    (Serve.render_slo streamed);
+  (* stream percentiles are the sketch's, and the sketch agrees with
+     the retained run's exact values within alpha *)
+  Alcotest.(check int) "stream p50 = sketch p50" streamed.Serve.sketch_p50_ns
+    streamed.Serve.p50_ns;
+  Alcotest.(check int) "stream p99 = sketch p99" streamed.Serve.sketch_p99_ns
+    streamed.Serve.p99_ns;
+  let within name exact est =
+    let bound =
+      int_of_float (Twine_obs.Sketch.alpha *. float_of_int exact) + 1
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s within alpha (exact %d, sketch %d)" name exact est)
+      true
+      (abs (est - exact) <= bound)
+  in
+  within "p50" retained.Serve.p50_ns retained.Serve.sketch_p50_ns;
+  within "p99" retained.Serve.p99_ns retained.Serve.sketch_p99_ns;
+  (* per-request views fail loudly without retention *)
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | (_ : string) -> Alcotest.failf "%s did not raise under --stream" name
+      | exception Invalid_argument _ -> ())
+    [ ("render_blame", fun () -> Serve.render_blame streamed);
+      ("render_requests", fun () -> Serve.render_requests streamed) ]
+
+let test_window_invariants () =
+  let s = Serve.run slo_config in
+  let ws = s.Serve.windows in
+  Alcotest.(check bool) "at least one window" true (List.length ws > 0);
+  (* contiguous from window 0, uniform width *)
+  List.iteri
+    (fun i w ->
+      let open Twine_obs.Timeseries in
+      Alcotest.(check int) "index" i w.w_index;
+      Alcotest.(check int) "start"
+        (s.Serve.t0_ns + (i * s.Serve.window_ns))
+        w.w_start_ns;
+      Alcotest.(check int) "width" s.Serve.window_ns (w.w_end_ns - w.w_start_ns);
+      Alcotest.(check bool) "overs never exceed count" true
+        (w.w_overs <= w.w_count))
+    ws;
+  let sum f = List.fold_left (fun a w -> a + f w) 0 in
+  Alcotest.(check int) "fleet windows hold every request"
+    s.Serve.requests
+    (sum (fun w -> w.Twine_obs.Timeseries.w_count) ws);
+  (* the enclave tracks tile the fleet track *)
+  let enclave_total =
+    List.fold_left
+      (fun acc (eid, _) ->
+        acc
+        + sum
+            (fun w -> w.Twine_obs.Timeseries.w_count)
+            (Twine_obs.Timeseries.windows s.Serve.series
+               ~track:(Printf.sprintf "e%d" eid)))
+      0 s.Serve.epc_resident_by_enclave
+  in
+  Alcotest.(check int) "enclave tracks tile the fleet" s.Serve.requests
+    enclave_total;
+  (* the cumulative sketch folded every latency *)
+  Alcotest.(check int) "sketch count" s.Serve.requests
+    (Twine_obs.Sketch.count s.Serve.sketch);
+  (* the whole-run evaluation rides those windows *)
+  match s.Serve.slo with
+  | None -> Alcotest.fail "slo eval missing"
+  | Some (spec, ev) ->
+      Alcotest.(check int) "spec threads through" slo_spec.Twine_obs.Slo.window_ns
+        spec.Twine_obs.Slo.window_ns;
+      Alcotest.(check int) "eval saw every window" (List.length ws)
+        ev.Twine_obs.Slo.ev_windows;
+      Alcotest.(check int) "eval saw every request" s.Serve.requests
+        ev.Twine_obs.Slo.ev_total;
+      Alcotest.(check int) "overs consistent"
+        (sum (fun w -> w.Twine_obs.Timeseries.w_overs) ws)
+        ev.Twine_obs.Slo.ev_overs
+
+let test_slo_verdicts () =
+  (* a generous objective passes; a tight one fails, deterministically *)
+  let with_threshold t =
+    { slo_config with Serve.slo = Some { slo_spec with Twine_obs.Slo.threshold_ns = t } }
+  in
+  let relaxed = Serve.run (with_threshold max_int) in
+  (match relaxed.Serve.slo with
+  | Some (_, ev) ->
+      Alcotest.(check bool) "relaxed objective holds" false
+        ev.Twine_obs.Slo.ev_violated;
+      Alcotest.(check int) "no overs" 0 ev.Twine_obs.Slo.ev_overs;
+      Alcotest.(check int) "no burn" 0 ev.Twine_obs.Slo.ev_burn_x1000
+  | None -> Alcotest.fail "eval missing");
+  let tight = Serve.run (with_threshold 1) in
+  match tight.Serve.slo with
+  | Some (_, ev) ->
+      Alcotest.(check bool) "tight objective violated" true
+        ev.Twine_obs.Slo.ev_violated;
+      Alcotest.(check int) "every request over" tight.Serve.requests
+        ev.Twine_obs.Slo.ev_overs
+  | None -> Alcotest.fail "eval missing"
+
+let test_stream_scale () =
+  (* 10x the small config's requests, streaming: completes in flat
+     memory with the books still balanced and every request windowed *)
+  let s =
+    Serve.run
+      { slo_config with Serve.requests = 20_000; retain_requests = false }
+  in
+  Alcotest.(check int) "all requests served" 20_000 s.Serve.requests;
+  Alcotest.(check int) "no request log" 0 (Array.length s.Serve.requests_log);
+  Alcotest.(check int) "residue 0" 0 s.Serve.attribution_residue_ns;
+  Alcotest.(check int) "sketch folded all" 20_000
+    (Twine_obs.Sketch.count s.Serve.sketch);
+  Alcotest.(check int) "windows hold all" 20_000
+    (List.fold_left
+       (fun a w -> a + w.Twine_obs.Timeseries.w_count)
+       0 s.Serve.windows);
+  Alcotest.(check bool) "books balance" true
+    (Twine_obs.Ledger.balanced (Machine.ledger s.Serve.machine))
+
 let () =
   Alcotest.run "twine_serve"
     [
@@ -402,5 +543,14 @@ let () =
             test_sampler_and_depth_hwm;
           Alcotest.test_case "request spans on enclave tracks" `Quick
             test_request_spans_on_tracks;
+        ] );
+      ( "slo-plane",
+        [
+          Alcotest.test_case "stream matches retained" `Quick
+            test_stream_matches_retained;
+          Alcotest.test_case "window invariants" `Quick test_window_invariants;
+          Alcotest.test_case "verdicts" `Quick test_slo_verdicts;
+          Alcotest.test_case "streams 10x in flat memory" `Quick
+            test_stream_scale;
         ] );
     ]
