@@ -17,6 +17,9 @@
              folded stacks written to polybench-atax.folded
      serve   multi-enclave serving fleet on one shared EPC: open-loop
              replay, ECALL batching, throughput-vs-fleet-size cliff
+     sql     per-operator query observability: EXPLAIN ANALYZE trees of
+             the serving shapes, the zero-residue attribution audit,
+             access-path census and query-stats fingerprints
 
    Run everything with `dune exec bench/main.exe`, or a single section by
    passing its name (e.g. `dune exec bench/main.exe fig5`).
@@ -1208,6 +1211,98 @@ let serve_section () =
 
 let baseline_wasm_factor = 2.5
 
+(* ------------------------------------------------------------------ *)
+(* sql: per-operator query observability (EXPLAIN ANALYZE)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving fleet's three query shapes (plus one secondary-index
+   shape the fleet never issues) against a serve-like schema on the
+   TWINE variant: a file-backed database whose page cache lives in
+   enclave memory. Each statement's operator self-work plus the
+   profiling overhead must sum exactly to its booked work — the
+   zero-residue conservation law the baseline pins at tolerance 0. *)
+let sql_shapes =
+  [ ("kv_get", "SELECT v FROM kv WHERE k = 42");
+    ("point", "SELECT b, c FROM t WHERE a = 123");
+    ("range", "SELECT count(*), sum(b) FROM t WHERE a >= 100 AND a < 150");
+    ("index", "SELECT a, c FROM t WHERE b = 7") ]
+
+let sql_rows = 400
+
+let sql_setup () =
+  let machine = Machine.create ~seed:"sql" () in
+  let t =
+    Bench_db.create ~machine ~cache_pages:64 ~wasm_factor:baseline_wasm_factor
+      Bench_db.Twine_rt Bench_db.File
+  in
+  ignore (Bench_db.exec t "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)");
+  ignore
+    (Bench_db.exec t
+       "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)");
+  ignore (Bench_db.exec t "CREATE INDEX t_b ON t (b)");
+  for i = 0 to sql_rows - 1 do
+    ignore
+      (Bench_db.exec t (Printf.sprintf "INSERT INTO kv VALUES (%d, 'v%04d')" i i));
+    ignore
+      (Bench_db.exec t
+         (Printf.sprintf "INSERT INTO t VALUES (%d, %d, 'c%04d')" i (i mod 20) i))
+  done;
+  ignore (Bench_db.exec t "ANALYZE");
+  (* render the cycles column of EXPLAIN ANALYZE at this variant's rate *)
+  Twine_sqldb.Db.set_ns_per_work t.Bench_db.db
+    (t.Bench_db.ns_per_work *. t.Bench_db.wasm_factor);
+  t
+
+(* total - sum(op self-work) - overhead: zero by construction *)
+let sql_profile_residue (p : Twine_sqldb.Db.profile) =
+  let open Twine_sqldb in
+  p.Db.pr_total_work
+  - List.fold_left (fun a (o : Db.opstat) -> a + o.Db.os_work) 0 p.Db.pr_ops
+  - p.Db.pr_overhead_work
+
+let sql_section () =
+  let open Twine_sqldb in
+  section "sql: per-operator query observability (EXPLAIN ANALYZE)";
+  let t = sql_setup () in
+  let residue = ref 0 in
+  List.iter
+    (fun (name, sql) ->
+      Printf.printf "\n%s: EXPLAIN ANALYZE %s\n" name sql;
+      let r = Bench_db.exec t ("EXPLAIN ANALYZE " ^ sql) in
+      List.iter
+        (function
+          | [ Value.Text line ] -> Printf.printf "  %s\n" line
+          | _ -> ())
+        r.Db.rows;
+      match Db.last_profile t.Bench_db.db with
+      | Some p -> residue := !residue + abs (sql_profile_residue p)
+      | None ->
+          Printf.printf "NO PROFILE RECORDED FOR %s\n" name;
+          exit 1)
+    sql_shapes;
+  hr ();
+  Printf.printf
+    "operator attribution audit: residue %d work unit(s) over %d shape(s)\n"
+    !residue (List.length sql_shapes);
+  if !residue <> 0 then begin
+    Printf.printf "OPERATOR ATTRIBUTION LOST WORK\n";
+    exit 1
+  end;
+  let obs = Bench_db.obs t in
+  Printf.printf
+    "access-path census (sqldb.plan.*): full_scan=%d rowid_range=%d \
+     index_range=%d fallback=%d\n"
+    (Twine_obs.Obs.value obs "sqldb.plan.full_scan")
+    (Twine_obs.Obs.value obs "sqldb.plan.rowid_range")
+    (Twine_obs.Obs.value obs "sqldb.plan.index_range")
+    (Twine_obs.Obs.value obs "sqldb.plan.fallback");
+  Printf.printf "\nfingerprint normalization (query-stats registry keys):\n";
+  List.iter
+    (fun (_, sql) ->
+      Printf.printf "  %s\n    -> %s\n" sql (Sqlstat.fingerprint sql))
+    sql_shapes;
+  Bench_db.close t
+
 let collect_baseline () =
   let open Twine_obs in
   let metrics = ref [] in
@@ -1286,6 +1381,18 @@ let collect_baseline () =
     put (Baseline.v ~tol:0.02 "serve.sampler.samples" s.Serve.sampler_samples);
     put (Baseline.v ~tol:0.02 "serve.sampler.queue_depth_hwm"
            s.Serve.queue_depth_hwm);
+    (* fleet query-stats registry: one entry per statement shape, counts
+       and rows exact, cycle totals and sketch quantiles banded *)
+    List.iter
+      (fun (e : Twine_sqldb.Sqlstat.entry) ->
+        let open Twine_sqldb in
+        let pfx = "serve.sql." ^ e.Sqlstat.sq_label ^ "." in
+        put (Baseline.v ~tol:0.0 (pfx ^ "count") e.Sqlstat.sq_count);
+        put (Baseline.v ~tol:0.0 (pfx ^ "rows") e.Sqlstat.sq_rows);
+        put (Baseline.v ~tol:0.02 (pfx ^ "exec_ns") e.Sqlstat.sq_exec_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "pager_ns") e.Sqlstat.sq_pager_ns);
+        put (Baseline.v ~tol:0.02 (pfx ^ "p99_ns") (Sqlstat.quantile_ns e 0.99)))
+      (Twine_sqldb.Sqlstat.entries s.Serve.sqlstats_fleet);
     (* the streaming SLO plane at the same operating point: the sketch
        estimates ride the exact percentiles' 2% band (their alpha is
        tighter than that), the verdict is pinned exactly *)
@@ -1325,6 +1432,45 @@ let collect_baseline () =
              v))
       s.Serve.queue_depth_hwm_by_enclave;
     put_ledger "serve" s.Serve.machine
+  in
+  (* -- per-operator query observability: the serve shapes' operator
+     trees, every op's self-work pinned exactly, residue pinned at 0 -- *)
+  let sql_snap =
+    let open Twine_sqldb in
+    let t = sql_setup () in
+    let residue = ref 0 in
+    List.iter
+      (fun (name, sql) ->
+        let r = Bench_db.exec t sql in
+        let p =
+          match Db.last_profile t.Bench_db.db with
+          | Some p -> p
+          | None -> failwith "bench: sql shape recorded no profile"
+        in
+        residue := !residue + abs (sql_profile_residue p);
+        let pfx = "sqldb." ^ name ^ "." in
+        put (Baseline.v ~tol:0.0 (pfx ^ "rows") (List.length r.Db.rows));
+        put (Baseline.v ~tol:0.0 (pfx ^ "total_work") p.Db.pr_total_work);
+        put (Baseline.v ~tol:0.0 (pfx ^ "overhead_work") p.Db.pr_overhead_work);
+        List.iter
+          (fun (o : Db.opstat) ->
+            let opfx = Printf.sprintf "%sop.%s." pfx o.Db.os_name in
+            put (Baseline.v ~tol:0.0 (opfx ^ "work") o.Db.os_work);
+            put (Baseline.v ~tol:0.0 (opfx ^ "rows_out") o.Db.os_rows_out))
+          p.Db.pr_ops)
+      sql_shapes;
+    (* the conservation law: zero residue, gated exactly *)
+    put (Baseline.v ~tol:0.0 "sqldb.op.residue_ns" !residue);
+    let obs = Bench_db.obs t in
+    List.iter
+      (fun k ->
+        put
+          (Baseline.v ~tol:0.0 ("sqldb.plan." ^ k)
+             (Obs.value obs ("sqldb.plan." ^ k))))
+      [ "full_scan"; "rowid_range"; "index_range"; "fallback" ];
+    let snap = put_ledger "sql" t.Bench_db.machine in
+    Bench_db.close t;
+    snap
   in
   (* -- protected-FS breakdown, stock vs optimised (§V-F) -- *)
   let () =
@@ -1369,7 +1515,7 @@ let collect_baseline () =
           ("wasm_factor", string_of_float baseline_wasm_factor);
           ("note", "virtual-clock metrics; regenerate with: dune exec bench/main.exe -- json") ]
       (List.rev !metrics),
-    [ report_snap; micro_snap; serve_snap ] )
+    [ report_snap; micro_snap; serve_snap; sql_snap ] )
 
 let default_baseline_file = "BENCH_twine.json"
 
@@ -1482,6 +1628,7 @@ let bench_check file =
       if has "report." || has "ledger.report." then Some "report"
       else if has "micro." || has "ledger.micro." then Some "micro"
       else if has "serve." || has "ledger.serve." then Some "serve"
+      else if has "sqldb." || has "ledger.sql." then Some "sql"
       else None
     in
     let blamed =
@@ -1553,4 +1700,5 @@ let () =
   if want "profile" then audited "profile" profile_section;
   if want "crash" then audited "crash" crash_section;
   if want "serve" then audited "serve" serve_section;
+  if want "sql" then audited "sql" sql_section;
   Printf.printf "\ndone.\n"

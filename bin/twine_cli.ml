@@ -291,8 +291,17 @@ let serve_cmd =
                  canonical JSON to $(docv). Byte-identical across replays \
                  and across retained vs $(b,--stream) runs.")
   in
+  let sql_stats =
+    Arg.(value & opt (some string) None & info [ "sql-stats" ] ~docv:"FILE"
+           ~doc:"Write the twine-sqlstats/v1 query-stats artifact (fleet \
+                 and per-enclave registries keyed by normalized statement \
+                 fingerprint: counts, rows, pager I/O, cycle totals and \
+                 p50/p99 latency sketches) as canonical JSON to $(docv). \
+                 Byte-identical across replays and across retained vs \
+                 $(b,--stream) runs.")
+  in
   let run enclaves requests batch seed epc_kib trace ledger_out blame top
-      timeline mean_gap_ns mix stream slo slo_out =
+      timeline mean_gap_ns mix stream slo slo_out sql_stats =
     if enclaves <= 0 || batch <= 0 || requests < 0 then begin
       prerr_endline "twine serve: --enclaves and --batch must be positive, --requests non-negative";
       exit 2
@@ -424,6 +433,18 @@ let serve_cmd =
           Printf.eprintf "twine serve: cannot write slo artifact: %s\n" msg;
           exit 2)
     | None -> ());
+    (match sql_stats with
+    | Some file -> (
+        try
+          let oc = open_out file in
+          output_string oc (Twine_serve.Serve.render_sqlstats stats);
+          close_out oc;
+          Printf.eprintf "twine serve: %s artifact written to %s\n"
+            Twine_serve.Serve.sqlstats_schema file
+        with Sys_error msg ->
+          Printf.eprintf "twine serve: cannot write sql-stats artifact: %s\n" msg;
+          exit 2)
+    | None -> ());
     (match stats.Twine_serve.Serve.slo with
     | Some (spec, ev) when ev.Twine_obs.Slo.ev_violated ->
         Printf.eprintf "twine serve: SLO VIOLATED: %s (%d/%d over threshold)\n"
@@ -447,7 +468,116 @@ let serve_cmd =
              (including $(b,--blame) with $(b,--stream)), 3 SLO violated.")
     Term.(const run $ enclaves $ requests $ batch $ seed $ epc_kib $ trace
           $ ledger_out $ blame $ top $ timeline $ mean_gap_ns $ mix $ stream
-          $ slo $ slo_out)
+          $ slo $ slo_out $ sql_stats)
+
+(* --- sql --- *)
+
+let sql_cmd =
+  let stmts =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"SQL"
+             ~doc:"SQL to execute, in order, against one fresh in-memory \
+                   database. Each argument may hold several ;-separated \
+                   statements; earlier arguments typically set up schema \
+                   and data for the last one.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ]
+           ~doc:"Wrap the last SQL argument in $(b,EXPLAIN): print the \
+                 planned operator tree with estimated rows (from ANALYZE \
+                 statistics when present) without executing it.")
+  in
+  let explain_analyze =
+    Arg.(value & flag & info [ "explain-analyze" ]
+           ~doc:"Wrap the last SQL argument in $(b,EXPLAIN ANALYZE): \
+                 execute it and print the operator tree with estimated \
+                 rows next to actual rows, loop counts, pager I/O and \
+                 attributed virtual cycles.")
+  in
+  let ns_per_work =
+    Arg.(value & opt float 60. & info [ "ns-per-work" ] ~docv:"NS"
+           ~doc:"Virtual nanoseconds per work unit used to render the \
+                 $(b,cycles) column of $(b,--explain-analyze) (default \
+                 60, the serving fleet's rate; 0 hides the column).")
+  in
+  let run stmts explain explain_analyze ns_per_work =
+    if explain && explain_analyze then begin
+      prerr_endline "twine sql: --explain and --explain-analyze are exclusive";
+      exit 2
+    end;
+    let db = Twine_sqldb.Db.open_db ":memory:" in
+    Twine_sqldb.Db.set_ns_per_work db ns_per_work;
+    let last = List.length stmts - 1 in
+    let result =
+      try
+        List.fold_left
+          (fun (i, _) sql ->
+            let sql =
+              if i = last && explain then "EXPLAIN " ^ sql
+              else if i = last && explain_analyze then "EXPLAIN ANALYZE " ^ sql
+              else sql
+            in
+            (i + 1, Some (Twine_sqldb.Db.exec db sql)))
+          (0, None) stmts
+        |> snd
+      with
+      | Twine_sqldb.Db.Sql_error msg ->
+          Printf.eprintf "twine sql: SQL error: %s\n" msg;
+          exit 2
+      | Twine_sqldb.Parser.Error msg ->
+          Printf.eprintf "twine sql: parse error: %s\n" msg;
+          exit 2
+      | Twine_sqldb.Token.Error msg ->
+          Printf.eprintf "twine sql: lex error: %s\n" msg;
+          exit 2
+    in
+    (match result with
+    | Some r ->
+        if r.Twine_sqldb.Db.columns <> [] then
+          print_endline (String.concat " | " r.Twine_sqldb.Db.columns);
+        List.iter
+          (fun row ->
+            print_endline
+              (String.concat " | " (List.map Twine_sqldb.Value.to_string row)))
+          r.Twine_sqldb.Db.rows;
+        if r.Twine_sqldb.Db.rows = [] && r.Twine_sqldb.Db.affected > 0 then
+          Printf.printf "(%d row(s) affected)\n" r.Twine_sqldb.Db.affected
+    | None -> ());
+    (* Zero-residue conservation audit over every executed statement:
+       each statement's booked work must equal the sum of its operator
+       self-work plus profiling overhead, exactly. *)
+    let residue =
+      List.fold_left
+        (fun acc (p : Twine_sqldb.Db.profile) ->
+          let ops =
+            List.fold_left
+              (fun a (o : Twine_sqldb.Db.opstat) -> a + o.Twine_sqldb.Db.os_work)
+              0 p.Twine_sqldb.Db.pr_ops
+          in
+          acc + abs (p.Twine_sqldb.Db.pr_total_work - ops
+                     - p.Twine_sqldb.Db.pr_overhead_work))
+        0
+        (Twine_sqldb.Db.profiles db)
+    in
+    Twine_sqldb.Db.close db;
+    if residue <> 0 then begin
+      Printf.eprintf
+        "twine sql: operator attribution audit FAILED (residue %d work units)\n"
+        residue;
+      exit 1
+    end;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:"Execute SQL against a fresh in-memory TWINE database and print \
+             the last result. $(b,--explain) prints the planned operator \
+             tree with row estimates; $(b,--explain-analyze) executes and \
+             adds actual rows, loops, pager I/O and attributed virtual \
+             cycles per operator. Exit codes: 0 success, 1 operator \
+             cycle-attribution residue (conservation audit failed), 2 \
+             parse/execution error or bad arguments.")
+    Term.(const run $ stmts $ explain $ explain_analyze $ ns_per_work)
 
 (* --- diff --- *)
 
@@ -561,4 +691,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; serve_cmd; diff_cmd; validate_cmd; wat2wasm_cmd; inspect_cmd ]))
+          [ run_cmd; serve_cmd; sql_cmd; diff_cmd; validate_cmd; wat2wasm_cmd;
+            inspect_cmd ]))

@@ -191,6 +191,10 @@ type stats = {
   sketch_p50_ns : int;
   sketch_p99_ns : int;
   slo : (Twine_obs.Slo.spec * Twine_obs.Slo.eval) option;
+  (* query-stats registry: per-enclave and fleet-merged; populated on
+     the shared serving path, so identical in retained and --stream *)
+  sqlstats_by_enclave : (int * Sqlstat.t) list;  (* eid ascending *)
+  sqlstats_fleet : Sqlstat.t;
   ledger : Twine_obs.Ledger.snapshot;
   machine : Machine.t;
 }
@@ -202,6 +206,7 @@ type worker = {
   pager_work : int ref;
   mutable depth_hwm : int;
   eid : int;
+  sqlstats : Sqlstat.t;  (* per-enclave query-stats registry *)
 }
 
 let sql_of_req = function
@@ -260,7 +265,7 @@ let make_worker (cfg : config) machine =
       ~obs:machine.Machine.obs "serve.db"
   in
   { rt; db; queue = Queue.create (); pager_work; depth_hwm = 0;
-    eid = Enclave.id e }
+    eid = Enclave.id e; sqlstats = Sqlstat.create () }
 
 let populate (cfg : config) w =
   ignore (Db.exec w.db "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)");
@@ -459,11 +464,11 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       ?threshold_ns:(Option.map (fun s -> s.Twine_obs.Slo.threshold_ns) cfg.slo)
       ~probe ~on_close ~t0 ~window_ns ()
   in
-  let charge account work =
-    Machine.charge machine ~account "serve.sql"
-      (int_of_float
-         (Float.round (float_of_int work *. cfg.ns_per_work *. cfg.wasm_factor)))
+  let work_ns work =
+    int_of_float
+      (Float.round (float_of_int work *. cfg.ns_per_work *. cfg.wasm_factor))
   in
+  let charge_ns account ns = Machine.charge machine ~account "serve.sql" ns in
   let tracer = Twine_obs.Obs.tracer obs in
   let serve_one w e (rid, at, req) =
     let start = Machine.now_ns machine in
@@ -489,10 +494,49 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
     let sql = sql_of_req req in
     Enclave.copy_in e ~label:"serve.req" (String.length sql);
     Db.reset_work w.db;
+    let pr0, pw0, _ = Pager.stats (Db.pager w.db) in
     let res = Db.exec w.db sql in
-    charge "serve.exec" (Db.work w.db);
-    if !(w.pager_work) > 0 then begin
-      charge "serve.pager" !(w.pager_work);
+    let pr1, pw1, _ = Pager.stats (Db.pager w.db) in
+    let work = Db.work w.db in
+    let exec_ns = work_ns work in
+    (* Per-operator attribution: the statement's exec booking is sliced
+       across its operator tree (plus profiling overhead) in proportion
+       to self-work. Slices sum exactly to [exec_ns] and land on the
+       same account, so the ledger books are byte-identical to the
+       single charge they replace. *)
+    let shares =
+      List.concat_map
+        (fun (p : Db.profile) ->
+          List.map (fun (o : Db.opstat) -> (o.Db.os_name, o.Db.os_work)) p.Db.pr_ops
+          @ [ ("overhead", p.Db.pr_overhead_work) ])
+        (Db.profiles w.db)
+    in
+    (match shares with
+    | [] -> charge_ns "serve.exec" exec_ns
+    | _ ->
+        let slices = Db.slice_ns ~total_ns:exec_ns (List.map snd shares) in
+        List.iter2
+          (fun (name, _) ns ->
+            if ns > 0 then begin
+              (match tracer with
+              | Some tr when cfg.trace_requests ->
+                  Twine_obs.Trace.begin_span tr ~cat:"sqldb"
+                    ~args:[ ("tid", request_track w.eid); ("rid", rid) ]
+                    ("sql." ^ name)
+              | _ -> ());
+              charge_ns "serve.exec" ns;
+              match tracer with
+              | Some tr when cfg.trace_requests ->
+                  Twine_obs.Trace.end_span tr ~cat:"sqldb"
+                    ~args:[ ("tid", request_track w.eid) ]
+                    ("sql." ^ name)
+              | _ -> ()
+            end)
+          shares slices);
+    let pager_units = !(w.pager_work) in
+    let pager_ns = work_ns pager_units in
+    if pager_units > 0 then begin
+      charge_ns "serve.pager" pager_ns;
       w.pager_work := 0
     end;
     Enclave.copy_out e ~label:"serve.resp" (response_bytes res);
@@ -506,6 +550,12 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
           r.kind
     | _ -> ());
     let lat = latency_ns r in
+    (* Query-stats registry: recorded on the shared serving path, so
+       retained and --stream runs accumulate identical registries. *)
+    Sqlstat.record w.sqlstats ~label:r.kind
+      ~fingerprint:(Sqlstat.fingerprint sql)
+      ~rows:(List.length res.Db.rows) ~work ~reads:(pr1 - pr0)
+      ~writes:(pw1 - pw0) ~exec_ns ~pager_ns ~latency_ns:lat ();
     if retain then begin
       latencies.(!completed) <- lat;
       req_log.(rid) <- Some r
@@ -733,6 +783,14 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       sketch_p50_ns;
       sketch_p99_ns;
       slo = slo_eval;
+      sqlstats_by_enclave =
+        List.sort
+          (fun (a, _) (b, _) -> compare a b)
+          (Array.to_list (Array.map (fun w -> (w.eid, w.sqlstats)) workers));
+      sqlstats_fleet =
+        Array.fold_left
+          (fun acc w -> Sqlstat.merge acc w.sqlstats)
+          (Sqlstat.create ()) workers;
       ledger = Twine_obs.Ledger.snapshot ledger;
       machine;
     }
@@ -972,4 +1030,29 @@ let render_slo (s : stats) =
            | None -> Null );
          ("sketch", Twine_obs.Sketch.to_json s.sketch);
          ("tracks", Arr (List.map track track_names));
+       ])
+
+let sqlstats_schema = "twine-sqlstats/v1"
+
+(* The query-stats artifact is accumulated on the shared serving path
+   (both retained and --stream runs execute the same serve_one), so for
+   a fixed (seed, config) the rendered JSON is byte-identical across
+   modes — checked with [cmp] in CI. Fleet first, then per-enclave
+   registries in enclave-id order. *)
+let render_sqlstats (s : stats) =
+  let num i = Twine_obs.Json.Num (float_of_int i) in
+  Twine_obs.Json.to_string
+    (Twine_obs.Json.Obj
+       [
+         ("schema", Str sqlstats_schema);
+         ("requests", num s.requests);
+         ("enclaves", num s.enclaves);
+         ("fleet", Sqlstat.to_json s.sqlstats_fleet);
+         ( "by_enclave",
+           Arr
+             (List.map
+                (fun (eid, reg) ->
+                  Twine_obs.Json.Obj
+                    [ ("enclave", num eid); ("stats", Sqlstat.to_json reg) ])
+                s.sqlstats_by_enclave) );
        ])

@@ -173,6 +173,12 @@ type stats = {
   sketch_p99_ns : int;
   slo : (Twine_obs.Slo.spec * Twine_obs.Slo.eval) option;
       (** the evaluated objective when the config carried one *)
+  sqlstats_by_enclave : (int * Twine_sqldb.Sqlstat.t) list;
+      (** per-enclave query-stats registries, enclave-id ascending;
+          accumulated on the shared serving path, so identical in
+          retained and [--stream] runs *)
+  sqlstats_fleet : Twine_sqldb.Sqlstat.t;
+      (** merge of every enclave's registry *)
   ledger : Twine_obs.Ledger.snapshot;
   machine : Twine_sgx.Machine.t;
 }
@@ -244,3 +250,16 @@ val render_slo : stats -> string
 val threads : stats -> (int * string) list
 (** Thread-name metadata for {!Twine_obs.Trace_export.to_file}: the
     per-enclave request tracks used by the serving-phase spans. *)
+
+(** {2 Query-stats artifact} *)
+
+val sqlstats_schema : string
+(** ["twine-sqlstats/v1"]. *)
+
+val render_sqlstats : stats -> string
+(** Canonical JSON of the query-stats registry: the fleet-merged view
+    followed by each enclave's registry in enclave-id order. Entries
+    are keyed by normalized fingerprint and carry execution counts,
+    row/work totals, pager I/O, cycle totals and a mergeable latency
+    sketch. Accumulated on the shared serving path, so the retained and
+    [--stream] runs of one [(seed, config)] produce the same bytes. *)

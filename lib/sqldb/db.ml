@@ -1,1354 +1,65 @@
-(* The embeddable database engine: catalog, expression evaluation,
-   planning (rowid ranges and single-column index equality/range), and
-   execution of the statement forms the Speedtest1-style workloads need.
+(* Public facade over the split engine: Catalog (handle + schema +
+   stats), Planner (access paths + estimates), Executor (instrumented
+   operator tree). Kept thin so the per-layer modules stay the single
+   source of truth. *)
 
-   This is the repo's stand-in for SQLite (paper §V-C): same page/journal
-   architecture, same VFS seam, same cache-size pragma, executed either
-   natively or — in the TWINE runtime — accounted at the calibrated Wasm
-   slowdown via the [work] meter. *)
+exception Sql_error = Catalog.Sql_error
 
-open Sql_ast
+type t = Catalog.db
 
-exception Sql_error of string
-
-let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
-
-type table_info = {
-  tbl_name : string;
-  mutable tbl_root : int;
-  tbl_columns : column_def list;
-  tbl_rowid_col : string option;  (* INTEGER PRIMARY KEY alias *)
+type result = Executor.result = {
+  columns : string list;
+  rows : Value.t list list;
+  affected : int;
 }
 
-type index_info = {
-  idx_name : string;
-  idx_table : string;
-  idx_columns : string list;
-  idx_unique : bool;
-  mutable idx_root : int;
+type opstat = Catalog.opstat = {
+  os_depth : int;
+  os_name : string;
+  os_detail : string;
+  os_est_rows : int option;
+  os_rows_in : int;
+  os_rows_out : int;
+  os_loops : int;
+  os_reads : int;
+  os_writes : int;
+  os_work : int;
 }
 
-type t = {
-  pager : Pager.t;
-  tables : (string, table_info) Hashtbl.t;
-  indexes : (string, index_info) Hashtbl.t;
-  mutable explicit_txn : bool;
-  prng : Twine_crypto.Drbg.t;
-  mutable work : int;
-  mutable last_rowid : int64;
+type profile = Catalog.profile = {
+  pr_stmt : string;
+  pr_ops : opstat list;
+  pr_overhead_work : int;
+  pr_total_work : int;
 }
 
-type result = { columns : string list; rows : Value.t list list; affected : int }
-
-let empty_result = { columns = []; rows = []; affected = 0 }
-
-let catalog_root = 1
-
-(* --- catalog (de)serialisation --- *)
-
-let encode_column c =
-  String.concat ":"
-    [ c.col_name; c.col_type; (if c.col_pk then "1" else "0");
-      (if c.col_not_null then "1" else "0") ]
-
-let decode_column s =
-  match String.split_on_char ':' s with
-  | [ name; ty; pk; nn ] ->
-      { col_name = name; col_type = ty; col_pk = pk = "1"; col_not_null = nn = "1";
-        col_default = None }
-  | _ -> raise (Pager.Corrupt "bad catalog column")
-
-let rowid_col_of columns =
-  List.find_map
-    (fun c -> if c.col_pk && c.col_type = "INTEGER" then Some c.col_name else None)
-    columns
-
-let save_catalog t =
-  (* rebuild the catalog tree in place *)
-  Btree.write_node t.pager catalog_root (Btree.Table_leaf []);
-  let seq = ref 0L in
-  let add values =
-    seq := Int64.add !seq 1L;
-    Btree.insert_table t.pager ~root:catalog_root ~rowid:!seq (Record.encode values)
-  in
-  Hashtbl.iter
-    (fun _ (ti : table_info) ->
-      add
-        [ Value.Text "table"; Value.Text ti.tbl_name;
-          Value.Int (Int64.of_int ti.tbl_root);
-          Value.Text (String.concat ";" (List.map encode_column ti.tbl_columns)) ])
-    t.tables;
-  Hashtbl.iter
-    (fun _ (ii : index_info) ->
-      add
-        [ Value.Text "index"; Value.Text ii.idx_name;
-          Value.Int (Int64.of_int ii.idx_root); Value.Text ii.idx_table;
-          Value.Text (String.concat ";" ii.idx_columns);
-          Value.Int (if ii.idx_unique then 1L else 0L) ])
-    t.indexes
-
-let load_catalog t =
-  Btree.iter_table t.pager ~root:catalog_root (fun _ payload ->
-      (match Record.decode payload with
-      | [ Value.Text "table"; Value.Text name; Value.Int root; Value.Text cols ] ->
-          let tbl_columns =
-            if cols = "" then []
-            else List.map decode_column (String.split_on_char ';' cols)
-          in
-          Hashtbl.replace t.tables name
-            {
-              tbl_name = name;
-              tbl_root = Int64.to_int root;
-              tbl_columns;
-              tbl_rowid_col = rowid_col_of tbl_columns;
-            }
-      | [ Value.Text "index"; Value.Text name; Value.Int root; Value.Text table;
-          Value.Text cols; Value.Int unique ] ->
-          Hashtbl.replace t.indexes name
-            {
-              idx_name = name;
-              idx_table = table;
-              idx_columns = String.split_on_char ';' cols;
-              idx_unique = unique = 1L;
-              idx_root = Int64.to_int root;
-            }
-      | _ -> raise (Pager.Corrupt "bad catalog entry"));
-      true)
-
-(* --- open/close --- *)
-
-let open_db ?vfs ?(cache_pages = 2048) ?hooks ?obs path =
-  let vfs =
-    match vfs with
-    | Some v -> v
-    | None -> if path = ":memory:" then Svfs.memory () else Svfs.os "."
-  in
-  let fresh = not (vfs.Svfs.v_exists path) in
-  let pager = Pager.create_or_open vfs ~cache_pages ?hooks ?obs path in
-  let t =
-    {
-      pager;
-      tables = Hashtbl.create 8;
-      indexes = Hashtbl.create 8;
-      explicit_txn = false;
-      prng = Twine_crypto.Drbg.create ~seed:"sqldb-prng" ();
-      work = 0;
-      last_rowid = 0L;
-    }
-  in
-  if fresh || Pager.n_pages pager <= 1 then begin
-    Pager.begin_txn pager;
-    let root = Btree.create pager Btree.Table in
-    assert (root = catalog_root);
-    Pager.commit pager
-  end
-  else load_catalog t;
-  t
-
-let close t = Pager.close t.pager
-
-let work t = t.work
-let reset_work t = t.work <- 0
-let pager t = t.pager
-
-(* --- row environments for expression evaluation --- *)
-
-type binding = {
-  b_name : string;  (* alias or table name *)
-  b_cols : string array;
-  mutable b_values : Value.t array;
-  mutable b_rowid : int64;
-}
-
-type env = { bindings : binding list; aggregates : (string, Value.t) Hashtbl.t option }
-
-let lookup_column env q name =
-  let name = String.lowercase_ascii name in
-  let matches b =
-    let rec find i =
-      if i >= Array.length b.b_cols then None
-      else if String.lowercase_ascii b.b_cols.(i) = name then Some b.b_values.(i)
-      else find (i + 1)
-    in
-    find 0
-  in
-  match q with
-  | Some q -> (
-      match List.find_opt (fun b -> String.lowercase_ascii b.b_name = String.lowercase_ascii q) env.bindings with
-      | None -> fail "no such table %s" q
-      | Some b -> (
-          if name = "rowid" then Some (Value.Int b.b_rowid)
-          else
-            match matches b with
-            | Some v -> Some v
-            | None -> fail "no such column %s.%s" q name))
-  | None -> (
-      if name = "rowid" then
-        match env.bindings with b :: _ -> Some (Value.Int b.b_rowid) | [] -> None
-      else
-        match List.find_map matches env.bindings with
-        | Some v -> Some v
-        | None -> None)
-
-(* --- scalar functions --- *)
-
-let scalar_function t name args =
-  match (name, args) with
-  | "length", [ Value.Text s ] -> Value.Int (Int64.of_int (String.length s))
-  | "length", [ Value.Blob s ] -> Value.Int (Int64.of_int (String.length s))
-  | "length", [ Value.Null ] -> Value.Null
-  | "length", [ v ] -> Value.Int (Int64.of_int (String.length (Value.to_string v)))
-  | "abs", [ Value.Int v ] -> Value.Int (Int64.abs v)
-  | "abs", [ Value.Real v ] -> Value.Real (Float.abs v)
-  | "abs", [ Value.Null ] -> Value.Null
-  | "lower", [ v ] -> Value.Text (String.lowercase_ascii (Value.to_string v))
-  | "upper", [ v ] -> Value.Text (String.uppercase_ascii (Value.to_string v))
-  | "hex", [ Value.Blob s ] -> Value.Text (Twine_crypto.Hexcodec.encode s)
-  | "typeof", [ v ] ->
-      Value.Text
-        (match v with
-        | Value.Null -> "null"
-        | Value.Int _ -> "integer"
-        | Value.Real _ -> "real"
-        | Value.Text _ -> "text"
-        | Value.Blob _ -> "blob")
-  | "random", [] ->
-      Value.Int (Twine_crypto.Drbg.uint64 t.prng)
-  | "randomblob", [ n ] ->
-      let n = Int64.to_int (Value.to_int64 n) in
-      Value.Blob (Twine_crypto.Drbg.generate t.prng (max 0 n))
-  | "coalesce", args -> (
-      match List.find_opt (fun v -> not (Value.is_null v)) args with
-      | Some v -> v
-      | None -> Value.Null)
-  | "substr", [ s; start ] ->
-      let str = Value.to_string s in
-      let st = Int64.to_int (Value.to_int64 start) in
-      let st = if st > 0 then st - 1 else max 0 (String.length str + st) in
-      if st >= String.length str then Value.Text ""
-      else Value.Text (String.sub str st (String.length str - st))
-  | "substr", [ s; start; len ] ->
-      let str = Value.to_string s in
-      let st = Int64.to_int (Value.to_int64 start) in
-      let st = if st > 0 then st - 1 else max 0 (String.length str + st) in
-      let l = Int64.to_int (Value.to_int64 len) in
-      if st >= String.length str || l <= 0 then Value.Text ""
-      else Value.Text (String.sub str st (min l (String.length str - st)))
-  | "min", (_ :: _ :: _ as vs) ->
-      List.fold_left (fun a b -> if Value.compare a b <= 0 then a else b)
-        (List.hd vs) (List.tl vs)
-  | "max", (_ :: _ :: _ as vs) ->
-      List.fold_left (fun a b -> if Value.compare a b >= 0 then a else b)
-        (List.hd vs) (List.tl vs)
-  | name, args -> fail "no such function %s/%d" name (List.length args)
-
-let is_aggregate_name = function
-  | "count" | "sum" | "avg" | "total" -> true
-  | _ -> false
-
-(* min/max with one argument are aggregates; with 2+ they are scalar *)
-let expr_is_aggregate = function
-  | Call (n, args) ->
-      is_aggregate_name n || ((n = "min" || n = "max") && List.length args = 1)
-  | _ -> false
-
-let rec contains_aggregate e =
-  expr_is_aggregate e
-  ||
-  match e with
-  | Binop (_, a, b) -> contains_aggregate a || contains_aggregate b
-  | Not a | Neg a | Is_null (a, _) | Cast (a, _) -> contains_aggregate a
-  | Between (a, b, c) ->
-      contains_aggregate a || contains_aggregate b || contains_aggregate c
-  | In_list (a, es) -> contains_aggregate a || List.exists contains_aggregate es
-  | Like (a, b) -> contains_aggregate a || contains_aggregate b
-  | Call (_, es) -> List.exists contains_aggregate es
-  | Case (arms, else_) ->
-      List.exists (fun (c, v) -> contains_aggregate c || contains_aggregate v) arms
-      || Option.fold ~none:false ~some:contains_aggregate else_
-  | Lit _ | Column _ | Star -> false
-
-let agg_key e = Format.asprintf "%d" (Hashtbl.hash e)
-
-let rec eval t env (e : expr) : Value.t =
-  t.work <- t.work + 1;
-  match e with
-  | Lit v -> v
-  | Star -> fail "misplaced *"
-  | Column (q, name) -> (
-      match lookup_column env q name with
-      | Some v -> v
-      | None -> fail "no such column %s" name)
-  | Binop (op, a, b) -> eval_binop t env op a b
-  | Not a -> (
-      match eval t env a with
-      | Value.Null -> Value.Null
-      | v -> Value.of_bool (not (Value.to_bool v)))
-  | Neg a -> Value.sub (Value.Int 0L) (eval t env a)
-  | Is_null (a, positive) ->
-      let isn = Value.is_null (eval t env a) in
-      Value.of_bool (if positive then isn else not isn)
-  | Between (a, lo, hi) ->
-      let v = eval t env a in
-      let lo = eval t env lo and hi = eval t env hi in
-      if Value.is_null v || Value.is_null lo || Value.is_null hi then Value.Null
-      else Value.of_bool (Value.compare v lo >= 0 && Value.compare v hi <= 0)
-  | In_list (a, es) ->
-      let v = eval t env a in
-      if Value.is_null v then Value.Null
-      else Value.of_bool (List.exists (fun e -> Value.equal v (eval t env e)) es)
-  | Like (a, p) -> (
-      match (eval t env a, eval t env p) with
-      | Value.Null, _ | _, Value.Null -> Value.Null
-      | v, p -> Value.of_bool (Value.like ~pattern:(Value.to_string p) (Value.to_string v)))
-  | Call (name, args) -> (
-      if expr_is_aggregate e then
-        match env.aggregates with
-        | Some aggs -> (
-            match Hashtbl.find_opt aggs (agg_key e) with
-            | Some v -> v
-            | None -> fail "aggregate %s used outside aggregation" name)
-        | None -> fail "aggregate %s not allowed here" name
-      else
-        let args = List.map (eval t env) args in
-        scalar_function t name args)
-  | Case (arms, else_) -> (
-      let rec go = function
-        | [] -> ( match else_ with Some e -> eval t env e | None -> Value.Null)
-        | (c, v) :: rest -> if Value.to_bool (eval t env c) then eval t env v else go rest
-      in
-      go arms)
-  | Cast (a, ty) -> (
-      let v = eval t env a in
-      match String.uppercase_ascii ty with
-      | "INTEGER" | "INT" -> Value.Int (Value.to_int64 v)
-      | "REAL" -> (
-          match Value.to_num v with
-          | `Int i -> Value.Real (Int64.to_float i)
-          | `Real f -> Value.Real f
-          | `Null -> Value.Null)
-      | "TEXT" -> ( match v with Value.Null -> Value.Null | _ -> Value.Text (Value.to_string v))
-      | "BLOB" -> (
-          match v with
-          | Value.Null -> Value.Null
-          | Value.Blob _ -> v
-          | _ -> Value.Blob (Value.to_string v))
-      | ty -> fail "cannot cast to %s" ty)
-
-and eval_binop t env op a b =
-  match op with
-  | And ->
-      let va = eval t env a in
-      if (not (Value.is_null va)) && not (Value.to_bool va) then Value.of_bool false
-      else begin
-        let vb = eval t env b in
-        if (not (Value.is_null vb)) && not (Value.to_bool vb) then Value.of_bool false
-        else if Value.is_null va || Value.is_null vb then Value.Null
-        else Value.of_bool true
-      end
-  | Or ->
-      let va = eval t env a in
-      if (not (Value.is_null va)) && Value.to_bool va then Value.of_bool true
-      else begin
-        let vb = eval t env b in
-        if (not (Value.is_null vb)) && Value.to_bool vb then Value.of_bool true
-        else if Value.is_null va || Value.is_null vb then Value.Null
-        else Value.of_bool false
-      end
-  | _ ->
-      let va = eval t env a and vb = eval t env b in
-      (match op with
-      | Add -> Value.add va vb
-      | Sub -> Value.sub va vb
-      | Mul -> Value.mul va vb
-      | Div -> Value.div va vb
-      | Mod -> Value.rem va vb
-      | Concat -> Value.concat va vb
-      | Eq | Ne | Lt | Le | Gt | Ge ->
-          if Value.is_null va || Value.is_null vb then Value.Null
-          else begin
-            let c = Value.compare va vb in
-            Value.of_bool
-              (match op with
-              | Eq -> c = 0
-              | Ne -> c <> 0
-              | Lt -> c < 0
-              | Le -> c <= 0
-              | Gt -> c > 0
-              | Ge -> c >= 0
-              | _ -> assert false)
-          end
-      | And | Or -> assert false)
-
-(* --- table access helpers --- *)
-
-let table t name =
-  match Hashtbl.find_opt t.tables (String.lowercase_ascii name) with
-  | Some ti -> ti
-  | None -> fail "no such table: %s" name
-
-let columns_array ti = Array.of_list (List.map (fun c -> c.col_name) ti.tbl_columns)
-
-let col_index ti name =
-  let name = String.lowercase_ascii name in
-  let rec go i = function
-    | [] -> None
-    | c :: rest ->
-        if String.lowercase_ascii c.col_name = name then Some i else go (i + 1) rest
-  in
-  go 0 ti.tbl_columns
-
-(* Decode a stored record into the full column array (rowid column
-   materialised from the key). *)
-let decode_row t ti rowid payload =
-  t.work <- t.work + 2;
-  let stored = Array.of_list (Record.decode payload) in
-  match ti.tbl_rowid_col with
-  | None -> stored
-  | Some pk ->
-      let full = Array.make (List.length ti.tbl_columns) Value.Null in
-      let si = ref 0 in
-      List.iteri
-        (fun i c ->
-          if c.col_name = pk then full.(i) <- Value.Int rowid
-          else begin
-            full.(i) <- (if !si < Array.length stored then stored.(!si) else Value.Null);
-            incr si
-          end)
-        ti.tbl_columns;
-      full
-
-let encode_row ti (values : Value.t array) =
-  (* the rowid column is not stored in the payload *)
-  let stored = ref [] in
-  List.iteri
-    (fun i c ->
-      match ti.tbl_rowid_col with
-      | Some pk when c.col_name = pk -> ()
-      | _ -> stored := values.(i) :: !stored)
-    ti.tbl_columns;
-  Record.encode (List.rev !stored)
-
-(* --- transactions --- *)
-
-let in_auto_txn t f =
-  if t.explicit_txn || Pager.in_txn t.pager then f ()
-  else begin
-    Pager.begin_txn t.pager;
-    match f () with
-    | r ->
-        Pager.commit t.pager;
-        r
-    | exception e ->
-        (try Pager.rollback t.pager with _ -> ());
-        raise e
-  end
-
-(* --- WHERE analysis --- *)
-
-let is_rowid_column ti name =
-  let name = String.lowercase_ascii name in
-  name = "rowid"
-  || match ti.tbl_rowid_col with
-     | Some pk -> String.lowercase_ascii pk = name
-     | None -> false
-
-let const_value t e =
-  (* expressions with no column references can be evaluated up front *)
-  let rec pure = function
-    | Lit _ -> true
-    | Column _ | Star -> false
-    | Binop (_, a, b) | Like (a, b) -> pure a && pure b
-    | Not a | Neg a | Is_null (a, _) | Cast (a, _) -> pure a
-    | Between (a, b, c) -> pure a && pure b && pure c
-    | In_list (a, es) -> pure a && List.for_all pure es
-    | Call (("random" | "randomblob"), _) -> false
-    | Call (_, es) -> List.for_all pure es
-    | Case (arms, e) ->
-        List.for_all (fun (c, v) -> pure c && pure v) arms
-        && Option.fold ~none:true ~some:pure e
-  in
-  if pure e then Some (eval t { bindings = []; aggregates = None } e) else None
-
-type plan =
-  | Full_scan
-  | Rowid_range of int64 option * int64 option  (* inclusive bounds *)
-  | Index_range of index_info * Value.t list * Value.t option * Value.t option
-      (* equality prefix, then optional lo/hi bound on the next column *)
-
-let find_index t table_name col =
-  let col = String.lowercase_ascii col in
-  Hashtbl.fold
-    (fun _ ii acc ->
-      if acc = None
-         && String.lowercase_ascii ii.idx_table = String.lowercase_ascii table_name
-         && List.length ii.idx_columns >= 1
-         && String.lowercase_ascii (List.hd ii.idx_columns) = col
-      then Some ii
-      else acc)
-    t.indexes None
-
-(* Analyse a WHERE clause into a plan for one table. Only top-level AND
-   conjuncts are considered. *)
-let plan_for t ti where =
-  let rec conjuncts = function
-    | Some (Binop (And, a, b)) -> conjuncts (Some a) @ conjuncts (Some b)
-    | Some e -> [ e ]
-    | None -> []
-  in
-  let cs = conjuncts where in
-  (* rowid constraints *)
-  let lo = ref None and hi = ref None in
-  let tighten_lo v = match !lo with Some x when Int64.compare x v >= 0 -> () | _ -> lo := Some v in
-  let tighten_hi v = match !hi with Some x when Int64.compare x v <= 0 -> () | _ -> hi := Some v in
-  let rowid_of e = match const_value t e with Some v -> Some (Value.to_int64 v) | None -> None in
-  List.iter
-    (fun c ->
-      match c with
-      | Binop (Eq, Column (_, n), e) when is_rowid_column ti n -> (
-          match rowid_of e with
-          | Some v -> tighten_lo v; tighten_hi v
-          | None -> ())
-      | Binop (Eq, e, Column (_, n)) when is_rowid_column ti n -> (
-          match rowid_of e with
-          | Some v -> tighten_lo v; tighten_hi v
-          | None -> ())
-      | Binop (Ge, Column (_, n), e) when is_rowid_column ti n -> (
-          match rowid_of e with Some v -> tighten_lo v | None -> ())
-      | Binop (Gt, Column (_, n), e) when is_rowid_column ti n -> (
-          match rowid_of e with Some v -> tighten_lo (Int64.add v 1L) | None -> ())
-      | Binop (Le, Column (_, n), e) when is_rowid_column ti n -> (
-          match rowid_of e with Some v -> tighten_hi v | None -> ())
-      | Binop (Lt, Column (_, n), e) when is_rowid_column ti n -> (
-          match rowid_of e with Some v -> tighten_hi (Int64.sub v 1L) | None -> ())
-      | Between (Column (_, n), a, b) when is_rowid_column ti n -> (
-          match (rowid_of a, rowid_of b) with
-          | Some a, Some b -> tighten_lo a; tighten_hi b
-          | _ -> ())
-      | _ -> ())
-    cs;
-  if !lo <> None || !hi <> None then Rowid_range (!lo, !hi)
-  else begin
-    (* single-column index equality or range *)
-    let pick =
-      List.find_map
-        (fun c ->
-          match c with
-          | Binop (Eq, Column (_, n), e) | Binop (Eq, e, Column (_, n)) -> (
-              match (find_index t ti.tbl_name n, const_value t e) with
-              | Some ii, Some v -> Some (Index_range (ii, [ v ], None, None))
-              | _ -> None)
-          | Between (Column (_, n), a, b) -> (
-              match (find_index t ti.tbl_name n, const_value t a, const_value t b) with
-              | Some ii, Some lo, Some hi -> Some (Index_range (ii, [], Some lo, Some hi))
-              | _ -> None)
-          | Binop (Ge, Column (_, n), e) -> (
-              match (find_index t ti.tbl_name n, const_value t e) with
-              | Some ii, Some v -> Some (Index_range (ii, [], Some v, None))
-              | _ -> None)
-          | _ -> None)
-        cs
-    in
-    match pick with Some p -> p | None -> Full_scan
-  end
-
-(* --- index maintenance --- *)
-
-let index_key ii ti values rowid =
-  let parts =
-    List.map
-      (fun col ->
-        match col_index ti col with
-        | Some i -> values.(i)
-        | None -> fail "index %s references missing column %s" ii.idx_name col)
-      ii.idx_columns
-  in
-  Record.encode (parts @ [ Value.Int rowid ])
-
-let index_prefix_key prefix = Record.encode prefix
-
-let indexes_of t table_name =
-  Hashtbl.fold
-    (fun _ ii acc ->
-      if String.lowercase_ascii ii.idx_table = String.lowercase_ascii table_name then
-        ii :: acc
-      else acc)
-    t.indexes []
-
-let index_insert_row t ti values rowid =
-  List.iter
-    (fun ii ->
-      let key = index_key ii ti values rowid in
-      (if ii.idx_unique then begin
-         (* a row with the same column prefix must not already exist *)
-         let prefix =
-           List.map
-             (fun col ->
-               match col_index ti col with Some i -> values.(i) | None -> Value.Null)
-             ii.idx_columns
-         in
-         let prefix_key = index_prefix_key prefix in
-         let dup = ref false in
-         Btree.iter_index t.pager ~root:ii.idx_root ~start:prefix_key (fun k ->
-             (match Record.decode k with
-             | decoded when List.length decoded = List.length prefix + 1 ->
-                 let kp = List.filteri (fun i _ -> i < List.length prefix) decoded in
-                 if List.for_all2 Value.equal kp prefix then dup := true
-             | _ -> ());
-             false);
-         if !dup && not (List.exists Value.is_null prefix) then
-           fail "UNIQUE constraint failed: %s" ii.idx_name
-       end);
-      Btree.insert_index t.pager ~root:ii.idx_root key)
-    (indexes_of t ti.tbl_name)
-
-let index_delete_row t ti values rowid =
-  List.iter
-    (fun ii ->
-      ignore (Btree.delete_index t.pager ~root:ii.idx_root (index_key ii ti values rowid)))
-    (indexes_of t ti.tbl_name)
-
-(* --- scanning --- *)
-
-(* Iterate (rowid, values) of a table under a plan, applying no filter. *)
-let scan t ti plan f =
-  match plan with
-  | Full_scan ->
-      Btree.iter_table t.pager ~root:ti.tbl_root (fun rowid payload ->
-          f rowid (decode_row t ti rowid payload))
-  | Rowid_range (lo, hi) ->
-      Btree.iter_table t.pager ~root:ti.tbl_root
-        ?min:lo ?max:hi
-        (fun rowid payload -> f rowid (decode_row t ti rowid payload))
-  | Index_range (ii, prefix, lo, hi) ->
-      let start_vals = prefix @ (match lo with Some v -> [ v ] | None -> []) in
-      let start = if start_vals = [] then None else Some (index_prefix_key start_vals) in
-      Btree.iter_index t.pager ~root:ii.idx_root ?start (fun key ->
-          let decoded = Record.decode key in
-          let n = List.length decoded in
-          let rowid =
-            match List.nth decoded (n - 1) with
-            | Value.Int r -> r
-            | _ -> raise (Pager.Corrupt "index key without rowid")
-          in
-          (* check the prefix still matches / range not exceeded *)
-          let cols = List.filteri (fun i _ -> i < n - 1) decoded in
-          let keep, continue =
-            let rec check_prefix p c =
-              match (p, c) with
-              | [], rest -> (Some rest, true)
-              | pv :: p', cv :: c' ->
-                  if Value.equal pv cv then check_prefix p' c' else (None, false)
-              | _, [] -> (None, false)
-            in
-            match check_prefix prefix cols with
-            | None, _ -> (false, false)
-            | Some rest, _ -> (
-                match (rest, lo, hi) with
-                | v :: _, _, Some hi_v ->
-                    if Value.compare v hi_v > 0 then (false, false) else (true, true)
-                | v :: _, Some lo_v, None ->
-                    if Value.compare v lo_v < 0 then (false, true) else (true, true)
-                | _ -> (true, true))
-          in
-          if not continue then false
-          else begin
-            if keep then begin
-              match Btree.lookup_table t.pager ~root:ti.tbl_root rowid with
-              | Some payload -> (if not (f rowid (decode_row t ti rowid payload)) then raise Btree.Stop); true
-              | None -> true
-            end
-            else true
-          end)
-
-let scan_filtered t ti plan where f =
-  let binding =
-    { b_name = ti.tbl_name; b_cols = columns_array ti; b_values = [||]; b_rowid = 0L }
-  in
-  let env = { bindings = [ binding ]; aggregates = None } in
-  scan t ti plan (fun rowid values ->
-      binding.b_values <- values;
-      binding.b_rowid <- rowid;
-      let keep =
-        match where with
-        | None -> true
-        | Some w -> Value.to_bool (eval t env w)
-      in
-      if keep then f rowid values else true)
-
-(* --- INSERT --- *)
-
-let next_rowid t ti =
-  match Btree.max_rowid t.pager ~root:ti.tbl_root with
-  | Some r -> Int64.add r 1L
-  | None -> 1L
-
-let do_insert t ~ins_table ~ins_columns ~ins_rows =
-  let ti = table t ins_table in
-  let ncols = List.length ti.tbl_columns in
-  let target_idx =
-    if ins_columns = [] then List.init ncols (fun i -> i)
-    else
-      List.map
-        (fun c ->
-          match col_index ti c with
-          | Some i -> i
-          | None -> fail "table %s has no column %s" ins_table c)
-        ins_columns
-  in
-  let affected = ref 0 in
-  let env = { bindings = []; aggregates = None } in
-  List.iter
-    (fun row_exprs ->
-      if List.length row_exprs <> List.length target_idx then
-        fail "%d values for %d columns" (List.length row_exprs) (List.length target_idx);
-      let values = Array.make ncols Value.Null in
-      List.iter2 (fun i e -> values.(i) <- eval t env e) target_idx row_exprs;
-      (* defaults *)
-      List.iteri
-        (fun i c ->
-          if (not (List.mem i target_idx)) && c.col_default <> None then
-            values.(i) <- eval t env (Option.get c.col_default))
-        ti.tbl_columns;
-      (* rowid assignment *)
-      let rowid =
-        match ti.tbl_rowid_col with
-        | Some pk -> (
-            let i = Option.get (col_index ti pk) in
-            match values.(i) with
-            | Value.Null ->
-                let r = next_rowid t ti in
-                values.(i) <- Value.Int r;
-                r
-            | v -> Value.to_int64 v)
-        | None -> next_rowid t ti
-      in
-      (* NOT NULL checks *)
-      List.iteri
-        (fun i c ->
-          if c.col_not_null && Value.is_null values.(i) then
-            fail "NOT NULL constraint failed: %s.%s" ins_table c.col_name)
-        ti.tbl_columns;
-      (* primary key uniqueness *)
-      (match ti.tbl_rowid_col with
-      | Some _ ->
-          if Btree.lookup_table t.pager ~root:ti.tbl_root rowid <> None then
-            fail "UNIQUE constraint failed: %s rowid %Ld" ins_table rowid
-      | None -> ());
-      index_insert_row t ti values rowid;
-      Btree.insert_table t.pager ~root:ti.tbl_root ~rowid (encode_row ti values);
-      t.last_rowid <- rowid;
-      incr affected)
-    ins_rows;
-  { empty_result with affected = !affected }
-
-(* --- SELECT --- *)
-
-type agg_state = {
-  mutable cnt : int;
-  mutable sum_i : int64;
-  mutable sum_f : float;
-  mutable saw_real : bool;
-  mutable mn : Value.t;
-  mutable mx : Value.t;
-  mutable non_null : int;
-}
-
-let new_agg () =
-  { cnt = 0; sum_i = 0L; sum_f = 0.; saw_real = false; mn = Value.Null;
-    mx = Value.Null; non_null = 0 }
-
-let rec collect_aggs acc e =
-  if expr_is_aggregate e then if List.memq e acc then acc else e :: acc
-  else
-    match e with
-    | Binop (_, a, b) | Like (a, b) -> collect_aggs (collect_aggs acc a) b
-    | Not a | Neg a | Is_null (a, _) | Cast (a, _) -> collect_aggs acc a
-    | Between (a, b, c) -> collect_aggs (collect_aggs (collect_aggs acc a) b) c
-    | In_list (a, es) -> List.fold_left collect_aggs (collect_aggs acc a) es
-    | Call (_, es) -> List.fold_left collect_aggs acc es
-    | Case (arms, else_) ->
-        let acc = List.fold_left (fun a (c, v) -> collect_aggs (collect_aggs a c) v) acc arms in
-        Option.fold ~none:acc ~some:(collect_aggs acc) else_
-    | Lit _ | Column _ | Star -> acc
-
-let agg_update t env state e =
-  match e with
-  | Call ("count", [ Star ]) | Call ("count", []) -> state.cnt <- state.cnt + 1
-  | Call (name, [ arg ]) -> (
-      let v = eval t env arg in
-      if not (Value.is_null v) then begin
-        state.non_null <- state.non_null + 1;
-        (match name with
-        | "count" -> ()
-        | "sum" | "avg" | "total" -> (
-            match Value.to_num v with
-            | `Int i ->
-                state.sum_i <- Int64.add state.sum_i i;
-                state.sum_f <- state.sum_f +. Int64.to_float i
-            | `Real f ->
-                state.saw_real <- true;
-                state.sum_f <- state.sum_f +. f
-            | `Null -> ())
-        | "min" -> if Value.is_null state.mn || Value.compare v state.mn < 0 then state.mn <- v
-        | "max" -> if Value.is_null state.mx || Value.compare v state.mx > 0 then state.mx <- v
-        | _ -> ())
-      end)
-  | _ -> ()
-
-let agg_final e state =
-  match e with
-  | Call ("count", [ Star ]) | Call ("count", []) -> Value.Int (Int64.of_int state.cnt)
-  | Call ("count", [ _ ]) -> Value.Int (Int64.of_int state.non_null)
-  | Call ("sum", [ _ ]) ->
-      if state.non_null = 0 then Value.Null
-      else if state.saw_real then Value.Real state.sum_f
-      else Value.Int state.sum_i
-  | Call ("total", [ _ ]) -> Value.Real state.sum_f
-  | Call ("avg", [ _ ]) ->
-      if state.non_null = 0 then Value.Null
-      else Value.Real (state.sum_f /. float_of_int state.non_null)
-  | Call ("min", [ _ ]) -> state.mn
-  | Call ("max", [ _ ]) -> state.mx
-  | _ -> Value.Null
-
-let column_label i (e, alias) =
-  match alias with
-  | Some a -> a
-  | None -> (
-      match e with
-      | Column (_, n) -> n
-      | Star -> "*"
-      | _ -> Printf.sprintf "column%d" (i + 1))
-
-(* Expand SELECT * over the bindings. *)
-let expand_star bindings sel_exprs =
-  List.concat_map
-    (fun (e, alias) ->
-      match e with
-      | Star ->
-          List.concat_map
-            (fun b ->
-              Array.to_list
-                (Array.map (fun c -> (Column (Some b.b_name, c), Some c)) b.b_cols))
-            bindings
-      | _ -> [ (e, alias) ])
-    sel_exprs
-
-let do_select t (s : select) =
-  (* set up bindings *)
-  let sources =
-    match s.sel_from with
-    | None -> []
-    | Some (tbl, alias) ->
-        (table t tbl, Option.value alias ~default:tbl)
-        :: List.map
-             (fun j -> (table t j.jt_table, Option.value j.jt_alias ~default:j.jt_table))
-             s.sel_joins
-  in
-  let bindings =
-    List.map
-      (fun (ti, name) ->
-        { b_name = name; b_cols = columns_array ti; b_values = [||]; b_rowid = 0L })
-      sources
-  in
-  let sel_exprs = expand_star bindings s.sel_exprs in
-  let labels = List.mapi column_label sel_exprs in
-  let has_aggregates =
-    s.sel_group <> []
-    || List.exists (fun (e, _) -> contains_aggregate e) sel_exprs
-    || Option.fold ~none:false ~some:contains_aggregate s.sel_having
-  in
-  (* produce joined rows: nested loops over sources *)
-  let rows = ref [] in
-  let join_conds = List.filter_map (fun j -> j.jt_on) s.sel_joins in
-  let env = { bindings; aggregates = None } in
-  let emit_row () =
-    let keep =
-      List.for_all (fun c -> Value.to_bool (eval t env c)) join_conds
-      && match s.sel_where with None -> true | Some w -> Value.to_bool (eval t env w)
-    in
-    if keep then
-      rows :=
-        (List.map (fun b -> (Array.copy b.b_values, b.b_rowid)) bindings) :: !rows
-  in
-  let rec loop srcs bnds =
-    match (srcs, bnds) with
-    | [], [] -> emit_row ()
-    | (ti, _) :: srest, b :: brest ->
-        (* plan only the first table from the WHERE clause *)
-        let plan =
-          if srest = [] && brest = [] && List.length sources = 1 then
-            plan_for t ti s.sel_where
-          else Full_scan
-        in
-        scan t ti plan (fun rowid values ->
-            b.b_values <- values;
-            b.b_rowid <- rowid;
-            loop srest brest;
-            true)
-    | _ -> assert false
-  in
-  if sources = [] then begin
-    (* SELECT without FROM *)
-    let vals = List.map (fun (e, _) -> eval t env e) sel_exprs in
-    { columns = labels; rows = [ vals ]; affected = 0 }
-  end
-  else begin
-    loop sources bindings;
-    let materialized = List.rev !rows in
-    let restore row =
-      List.iter2
-        (fun b (values, rowid) ->
-          b.b_values <- values;
-          b.b_rowid <- rowid)
-        bindings row
-    in
-    let result_rows =
-      if has_aggregates then begin
-        (* group rows *)
-        let agg_exprs =
-          List.fold_left
-            (fun acc (e, _) -> collect_aggs acc e)
-            (Option.fold ~none:[] ~some:(collect_aggs []) s.sel_having)
-            sel_exprs
-        in
-        let groups : (string, (Value.t list * (expr * agg_state) list)) Hashtbl.t =
-          Hashtbl.create 16
-        in
-        let order = ref [] in
-        List.iter
-          (fun row ->
-            restore row;
-            let key_vals = List.map (fun g -> eval t env g) s.sel_group in
-            let key = Record.encode key_vals in
-            let _, states =
-              match Hashtbl.find_opt groups key with
-              | Some g -> g
-              | None ->
-                  let g = (key_vals, List.map (fun e -> (e, new_agg ())) agg_exprs) in
-                  Hashtbl.add groups key g;
-                  order := key :: !order;
-                  g
-            in
-            List.iter (fun (e, st) -> agg_update t env st e) states)
-          materialized;
-        let keys =
-          if Hashtbl.length groups = 0 && s.sel_group = [] then begin
-            (* aggregate over empty input still yields one row *)
-            let g = ([], List.map (fun e -> (e, new_agg ())) agg_exprs) in
-            Hashtbl.add groups "" g;
-            [ "" ]
-          end
-          else List.rev !order
-        in
-        List.filter_map
-          (fun key ->
-            let key_vals, states = Hashtbl.find groups key in
-            let aggs = Hashtbl.create 8 in
-            List.iter (fun (e, st) -> Hashtbl.replace aggs (agg_key e) (agg_final e st)) states;
-            (* bind group-by columns through a pseudo binding: evaluate
-               select exprs in an env whose bindings hold the first row of
-               the group — sufficient for exprs over grouped columns *)
-            let genv = { bindings; aggregates = Some aggs } in
-            (* restore a representative row for non-aggregate refs *)
-            (match
-               List.find_opt
-                 (fun row ->
-                   restore row;
-                   List.map (fun g -> eval t env g) s.sel_group = key_vals)
-                 materialized
-             with
-            | Some row -> restore row
-            | None -> ());
-            let having_ok =
-              match s.sel_having with
-              | None -> true
-              | Some h -> Value.to_bool (eval t genv h)
-            in
-            if having_ok then Some (List.map (fun (e, _) -> eval t genv e) sel_exprs)
-            else None)
-          keys
-      end
-      else
-        List.map
-          (fun row ->
-            restore row;
-            List.map (fun (e, _) -> eval t env e) sel_exprs)
-          materialized
-    in
-    (* ORDER BY: when ordering refers to select aliases or expressions over
-       the base row we re-evaluate against materialized rows; for aggregate
-       queries we order by position in result if expr is an alias *)
-    let result_rows =
-      if s.sel_order = [] then result_rows
-      else begin
-        let keyed =
-          if has_aggregates then
-            List.map
-              (fun vals ->
-                let key =
-                  List.map
-                    (fun o ->
-                      match o.ord_expr with
-                      | Column (None, name) -> (
-                          match
-                            List.find_map
-                              (fun (l, v) -> if String.lowercase_ascii l = String.lowercase_ascii name then Some v else None)
-                              (List.combine labels vals)
-                          with
-                          | Some v -> (v, o.ord_desc)
-                          | None -> (Value.Null, o.ord_desc))
-                      | Lit (Value.Int n) ->
-                          ((try List.nth vals (Int64.to_int n - 1) with _ -> Value.Null), o.ord_desc)
-                      | _ -> (Value.Null, o.ord_desc))
-                    s.sel_order
-                in
-                (key, vals))
-              result_rows
-          else
-            List.map2
-              (fun row vals ->
-                restore row;
-                let key =
-                  List.map
-                    (fun o ->
-                      match o.ord_expr with
-                      | Lit (Value.Int n) ->
-                          ((try List.nth vals (Int64.to_int n - 1) with _ -> Value.Null), o.ord_desc)
-                      | Column (None, name)
-                        when List.exists
-                               (fun l -> String.lowercase_ascii l = String.lowercase_ascii name)
-                               labels
-                             && not
-                                  (List.exists
-                                     (fun b ->
-                                       Array.exists
-                                         (fun c -> String.lowercase_ascii c = String.lowercase_ascii name)
-                                         b.b_cols)
-                                     bindings) ->
-                          (List.assoc name (List.combine labels vals), o.ord_desc)
-                      | e -> (eval t env e, o.ord_desc))
-                    s.sel_order
-                in
-                (key, vals))
-              materialized result_rows
-        in
-        let cmp (ka, _) (kb, _) =
-          let rec go a b =
-            match (a, b) with
-            | [], [] -> 0
-            | (va, desc) :: ra, (vb, _) :: rb ->
-                let c = Value.compare va vb in
-                let c = if desc then -c else c in
-                if c <> 0 then c else go ra rb
-            | _ -> 0
-          in
-          go ka kb
-        in
-        List.map snd (List.stable_sort cmp keyed)
-      end
-    in
-    let result_rows =
-      if s.sel_distinct then begin
-        let seen = Hashtbl.create 16 in
-        List.filter
-          (fun vals ->
-            let k = Record.encode vals in
-            if Hashtbl.mem seen k then false
-            else begin
-              Hashtbl.add seen k ();
-              true
-            end)
-          result_rows
-      end
-      else result_rows
-    in
-    let result_rows =
-      let off =
-        match s.sel_offset with
-        | Some e -> Int64.to_int (Value.to_int64 (eval t env e))
-        | None -> 0
-      in
-      let lim =
-        match s.sel_limit with
-        | Some e -> Int64.to_int (Value.to_int64 (eval t env e))
-        | None -> max_int
-      in
-      List.filteri (fun i _ -> i >= off && i < off + lim) result_rows
-    in
-    { columns = labels; rows = result_rows; affected = 0 }
-  end
-
-(* --- UPDATE / DELETE --- *)
-
-let do_update t ~upd_table ~upd_sets ~upd_where =
-  let ti = table t upd_table in
-  let plan = plan_for t ti upd_where in
-  let victims = ref [] in
-  scan_filtered t ti plan upd_where (fun rowid values ->
-      victims := (rowid, values) :: !victims;
-      true);
-  let binding =
-    { b_name = ti.tbl_name; b_cols = columns_array ti; b_values = [||]; b_rowid = 0L }
-  in
-  let env = { bindings = [ binding ]; aggregates = None } in
-  let set_idx =
-    List.map
-      (fun (c, e) ->
-        match col_index ti c with
-        | Some i -> (i, e)
-        | None -> fail "no such column %s" c)
-      upd_sets
-  in
-  List.iter
-    (fun (rowid, values) ->
-      binding.b_values <- values;
-      binding.b_rowid <- rowid;
-      let updated = Array.copy values in
-      List.iter (fun (i, e) -> updated.(i) <- eval t env e) set_idx;
-      (* rowid change unsupported (as in our Speedtest1 workloads) *)
-      index_delete_row t ti values rowid;
-      index_insert_row t ti updated rowid;
-      Btree.insert_table t.pager ~root:ti.tbl_root ~rowid (encode_row ti updated))
-    (List.rev !victims);
-  { empty_result with affected = List.length !victims }
-
-let do_delete t ~del_table ~del_where =
-  let ti = table t del_table in
-  let plan = plan_for t ti del_where in
-  let victims = ref [] in
-  scan_filtered t ti plan del_where (fun rowid values ->
-      victims := (rowid, values) :: !victims;
-      true);
-  List.iter
-    (fun (rowid, values) ->
-      index_delete_row t ti values rowid;
-      ignore (Btree.delete_table t.pager ~root:ti.tbl_root rowid))
-    !victims;
-  { empty_result with affected = List.length !victims }
-
-(* --- DDL --- *)
-
-let do_create_table t ~ct_name ~ct_if_not_exists ~ct_columns =
-  let name = String.lowercase_ascii ct_name in
-  if Hashtbl.mem t.tables name then begin
-    if ct_if_not_exists then empty_result else fail "table %s already exists" ct_name
-  end
-  else begin
-    let root = Btree.create t.pager Btree.Table in
-    Hashtbl.replace t.tables name
-      {
-        tbl_name = name;
-        tbl_root = root;
-        tbl_columns = ct_columns;
-        tbl_rowid_col = rowid_col_of ct_columns;
-      };
-    save_catalog t;
-    empty_result
-  end
-
-let do_create_index t ~ci_name ~ci_table ~ci_columns ~ci_unique ~ci_if_not_exists =
-  let name = String.lowercase_ascii ci_name in
-  if Hashtbl.mem t.indexes name then begin
-    if ci_if_not_exists then empty_result else fail "index %s already exists" ci_name
-  end
-  else begin
-    let ti = table t ci_table in
-    List.iter
-      (fun c ->
-        if col_index ti c = None then fail "table %s has no column %s" ci_table c)
-      ci_columns;
-    let root = Btree.create t.pager Btree.Index in
-    let ii =
-      {
-        idx_name = name;
-        idx_table = String.lowercase_ascii ci_table;
-        idx_columns = ci_columns;
-        idx_unique = ci_unique;
-        idx_root = root;
-      }
-    in
-    Hashtbl.replace t.indexes name ii;
-    (* populate from existing rows *)
-    Btree.iter_table t.pager ~root:ti.tbl_root (fun rowid payload ->
-        let values = decode_row t ti rowid payload in
-        Btree.insert_index t.pager ~root (index_key ii ti values rowid);
-        true);
-    save_catalog t;
-    empty_result
-  end
-
-let do_drop_table t ~dt_name ~dt_if_exists =
-  let name = String.lowercase_ascii dt_name in
-  match Hashtbl.find_opt t.tables name with
-  | None -> if dt_if_exists then empty_result else fail "no such table: %s" dt_name
-  | Some ti ->
-      List.iter (fun p -> Pager.free t.pager p) (Btree.pages t.pager ~root:ti.tbl_root);
-      List.iter
-        (fun ii ->
-          List.iter (fun p -> Pager.free t.pager p) (Btree.pages t.pager ~root:ii.idx_root);
-          Hashtbl.remove t.indexes ii.idx_name)
-        (indexes_of t name);
-      Hashtbl.remove t.tables name;
-      save_catalog t;
-      empty_result
-
-let do_drop_index t ~di_name ~di_if_exists =
-  let name = String.lowercase_ascii di_name in
-  match Hashtbl.find_opt t.indexes name with
-  | None -> if di_if_exists then empty_result else fail "no such index: %s" di_name
-  | Some ii ->
-      List.iter (fun p -> Pager.free t.pager p) (Btree.pages t.pager ~root:ii.idx_root);
-      Hashtbl.remove t.indexes name;
-      save_catalog t;
-      empty_result
-
-(* ANALYZE: gather row counts into the stat1 table (paper's test 990). *)
-let do_analyze t =
-  if not (Hashtbl.mem t.tables "stat1") then
-    ignore
-      (do_create_table t ~ct_name:"stat1" ~ct_if_not_exists:true
-         ~ct_columns:
-           [ { col_name = "tbl"; col_type = "TEXT"; col_pk = false;
-               col_not_null = false; col_default = None };
-             { col_name = "idx"; col_type = "TEXT"; col_pk = false;
-               col_not_null = false; col_default = None };
-             { col_name = "stat"; col_type = "INTEGER"; col_pk = false;
-               col_not_null = false; col_default = None } ]);
-  let stat = table t "stat1" in
-  (* clear previous stats *)
-  let old = ref [] in
-  Btree.iter_table t.pager ~root:stat.tbl_root (fun rowid _ ->
-      old := rowid :: !old;
-      true);
-  List.iter (fun r -> ignore (Btree.delete_table t.pager ~root:stat.tbl_root r)) !old;
-  let seq = ref 0L in
-  let add tbl idx count =
-    seq := Int64.add !seq 1L;
-    Btree.insert_table t.pager ~root:stat.tbl_root ~rowid:!seq
-      (Record.encode [ Value.Text tbl; idx; Value.Int (Int64.of_int count) ])
-  in
-  Hashtbl.iter
-    (fun name ti ->
-      if name <> "stat1" then begin
-        let count = Btree.count_table t.pager ~root:ti.tbl_root in
-        add name Value.Null count;
-        List.iter
-          (fun ii ->
-            let n = ref 0 in
-            Btree.iter_index t.pager ~root:ii.idx_root (fun _ ->
-                incr n;
-                true);
-            add name (Value.Text ii.idx_name) !n)
-          (indexes_of t name)
-      end)
-    t.tables;
-  empty_result
-
-(* VACUUM: rebuild every tree compactly. *)
-let do_vacuum t =
-  Hashtbl.iter
-    (fun _ ti ->
-      let entries = ref [] in
-      Btree.iter_table t.pager ~root:ti.tbl_root (fun r p ->
-          entries := (r, p) :: !entries;
-          true);
-      let old_pages = Btree.pages t.pager ~root:ti.tbl_root in
-      let fresh = Btree.create t.pager Btree.Table in
-      List.iter
-        (fun (r, p) -> Btree.insert_table t.pager ~root:fresh ~rowid:r p)
-        (List.rev !entries);
-      List.iter (fun p -> Pager.free t.pager p) old_pages;
-      ti.tbl_root <- fresh)
-    t.tables;
-  Hashtbl.iter
-    (fun _ ii ->
-      let keys = ref [] in
-      Btree.iter_index t.pager ~root:ii.idx_root (fun k ->
-          keys := k :: !keys;
-          true);
-      let old_pages = Btree.pages t.pager ~root:ii.idx_root in
-      let fresh = Btree.create t.pager Btree.Index in
-      List.iter (fun k -> Btree.insert_index t.pager ~root:fresh k) (List.rev !keys);
-      List.iter (fun p -> Pager.free t.pager p) old_pages;
-      ii.idx_root <- fresh)
-    t.indexes;
-  save_catalog t;
-  empty_result
-
-(* --- PRAGMA --- *)
-
-let do_pragma t name value =
-  match (name, value) with
-  | "cache_size", Some v ->
-      Pager.set_cache_pages t.pager (Int64.to_int (Value.to_int64 v));
-      empty_result
-  | "cache_size", None ->
-      { columns = [ "cache_size" ]; rows = [ [ Value.Int 0L ] ]; affected = 0 }
-  | "page_count", None ->
-      { columns = [ "page_count" ];
-        rows = [ [ Value.Int (Int64.of_int (Pager.n_pages t.pager)) ] ];
-        affected = 0 }
-  | "page_size", None ->
-      { columns = [ "page_size" ];
-        rows = [ [ Value.Int (Int64.of_int Pager.page_size) ] ];
-        affected = 0 }
-  | _ -> empty_result  (* unknown pragmas are silently ignored, as SQLite *)
-
-(* --- statement dispatch --- *)
-
-let exec_stmt t stmt =
-  match stmt with
-  | Select s -> do_select t s
-  | Insert { ins_table; ins_columns; ins_rows } ->
-      in_auto_txn t (fun () -> do_insert t ~ins_table ~ins_columns ~ins_rows)
-  | Update { upd_table; upd_sets; upd_where } ->
-      in_auto_txn t (fun () -> do_update t ~upd_table ~upd_sets ~upd_where)
-  | Delete { del_table; del_where } ->
-      in_auto_txn t (fun () -> do_delete t ~del_table ~del_where)
-  | Create_table { ct_name; ct_if_not_exists; ct_columns } ->
-      in_auto_txn t (fun () -> do_create_table t ~ct_name ~ct_if_not_exists ~ct_columns)
-  | Create_index { ci_name; ci_table; ci_columns; ci_unique; ci_if_not_exists } ->
-      in_auto_txn t (fun () ->
-          do_create_index t ~ci_name ~ci_table ~ci_columns ~ci_unique ~ci_if_not_exists)
-  | Drop_table { dt_name; dt_if_exists } ->
-      in_auto_txn t (fun () -> do_drop_table t ~dt_name ~dt_if_exists)
-  | Drop_index { di_name; di_if_exists } ->
-      in_auto_txn t (fun () -> do_drop_index t ~di_name ~di_if_exists)
-  | Begin ->
-      if t.explicit_txn then fail "already in a transaction";
-      Pager.begin_txn t.pager;
-      t.explicit_txn <- true;
-      empty_result
-  | Commit ->
-      if not t.explicit_txn then fail "no transaction is active";
-      Pager.commit t.pager;
-      t.explicit_txn <- false;
-      empty_result
-  | Rollback ->
-      if not t.explicit_txn then fail "no transaction is active";
-      Pager.rollback t.pager;
-      t.explicit_txn <- false;
-      (* in-memory catalog may be stale after rollback *)
-      Hashtbl.reset t.tables;
-      Hashtbl.reset t.indexes;
-      load_catalog t;
-      empty_result
-  | Pragma (name, v) -> do_pragma t name v
-  | Analyze -> in_auto_txn t (fun () -> do_analyze t)
-  | Vacuum -> in_auto_txn t (fun () -> do_vacuum t)
+let open_db = Catalog.open_db
+let close = Catalog.close
 
 let exec t sql =
   let stmts = Parser.parse sql in
-  List.fold_left (fun _ stmt -> exec_stmt t stmt) empty_result stmts
+  List.fold_left (fun _ stmt -> Executor.exec_stmt t stmt) Executor.empty_result stmts
 
 let query t sql = (exec t sql).rows
 
 let query_one t sql =
   match query t sql with
   | [ v :: _ ] -> v
-  | [] -> fail "query returned no rows"
-  | _ -> fail "query returned more than one value"
+  | [] -> Catalog.fail "query returned no rows"
+  | _ -> Catalog.fail "query returned more than one value"
 
-let last_insert_rowid t = t.last_rowid
+let last_insert_rowid (t : t) = t.Catalog.last_rowid
+
+let work (t : t) = t.Catalog.work
+
+let reset_work (t : t) =
+  t.Catalog.work <- 0;
+  t.Catalog.profiles <- []
+
+let pager (t : t) = t.Catalog.pager
+
+let profiles = Catalog.profiles
+let last_profile = Catalog.last_profile
+let slice_ns = Catalog.slice_ns
+
+let set_ns_per_work (t : t) ns = t.Catalog.ns_hint <- ns

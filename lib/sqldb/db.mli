@@ -14,7 +14,10 @@
     (WHERE, inner JOIN, GROUP BY + HAVING, aggregates
     count/sum/avg/total/min/max, ORDER BY, DISTINCT, LIMIT/OFFSET),
     [UPDATE], [DELETE], [BEGIN/COMMIT/ROLLBACK], [PRAGMA cache_size],
-    [ANALYZE] (stats into the [stat1] table), [VACUUM].
+    [ANALYZE] (row counts into [stat1], per-column distinct/null counts
+    into [stat_col], equi-depth histograms into [stat_hist]), [VACUUM],
+    and [EXPLAIN [ANALYZE] <stmt>] (the operator tree with planner
+    estimates, and — under ANALYZE — per-operator actuals).
 
     Point and range queries on the rowid / INTEGER PRIMARY KEY and
     equality/range lookups on a single-column index prefix use the
@@ -22,9 +25,13 @@
 
 exception Sql_error of string
 
-type t
+type t = Catalog.db
 
-type result = { columns : string list; rows : Value.t list list; affected : int }
+type result = Executor.result = {
+  columns : string list;
+  rows : Value.t list list;
+  affected : int;
+}
 
 val open_db :
   ?vfs:Svfs.t -> ?cache_pages:int -> ?hooks:Pager.hooks ->
@@ -62,6 +69,53 @@ val work : t -> int
     Wasm slowdown factor. *)
 
 val reset_work : t -> unit
+(** Zeroes the work meter and drops the accumulated statement
+    {!profiles}. *)
 
 val pager : t -> Pager.t
 (** The underlying pager (statistics, cache-size control). *)
+
+(** {2 Per-operator observability}
+
+    Every executed statement records a {!profile}: the flattened
+    operator tree (preorder) with per-operator rows-in/out, loop counts,
+    pager page deltas and self work, plus the statement's total work and
+    the overhead work that landed outside any operator. By construction
+    [pr_total_work = sum os_work + pr_overhead_work] — the zero-residue
+    conservation law the bench gates at tolerance 0. *)
+
+type opstat = Catalog.opstat = {
+  os_depth : int;
+  os_name : string;
+  os_detail : string;
+  os_est_rows : int option;
+  os_rows_in : int;
+  os_rows_out : int;
+  os_loops : int;
+  os_reads : int;
+  os_writes : int;
+  os_work : int;
+}
+
+type profile = Catalog.profile = {
+  pr_stmt : string;
+  pr_ops : opstat list;
+  pr_overhead_work : int;
+  pr_total_work : int;
+}
+
+val profiles : t -> profile list
+(** Statement profiles recorded since the last {!reset_work}, in
+    execution order. The work totals partition {!work} exactly. *)
+
+val last_profile : t -> profile option
+
+val slice_ns : total_ns:int -> int list -> int list
+(** [slice_ns ~total_ns works] splits a nanosecond booking across work
+    shares by cumulative rounding: non-negative slices that sum to
+    [total_ns] exactly (the residue-free attribution used for the
+    [sqldb.op.*] charges). *)
+
+val set_ns_per_work : t -> float -> unit
+(** Installs a ns-per-work-unit calibration hint; when positive,
+    [EXPLAIN ANALYZE] output gains a [cycles=..ns] column. *)

@@ -1,0 +1,20 @@
+(** Executor layer: expression evaluation and the instrumented operator
+    tree. Each statement runs under a profiling wrapper so that
+    statement work = sum(operator self-work) + overhead work holds by
+    construction (the zero-residue conservation law); the recorded
+    profiles are read back through {!Db.profiles}. *)
+
+type result = { columns : string list; rows : Value.t list list; affected : int }
+
+val empty_result : result
+
+val exec_stmt : Catalog.db -> Sql_ast.stmt -> result
+(** Execute one statement, recording its per-operator profile.
+    [EXPLAIN <stmt>] renders the operator tree with planner estimates
+    without executing; [EXPLAIN ANALYZE <stmt>] executes and renders
+    estimates next to actuals (plus a [cycles] column when a
+    ns-per-work hint is installed). *)
+
+val stmt_label : Sql_ast.stmt -> string
+(** Statement kind + target, e.g. ["select(t)"] — the [pr_stmt] naming
+    used in profiles. *)

@@ -385,8 +385,17 @@ let parse_column_def st =
     col_default = !default;
   }
 
-let parse_stmt st =
+let rec parse_stmt st =
   match next st with
+  | Token.Keyword "EXPLAIN" ->
+      (* EXPLAIN [ANALYZE] <stmt>: the prefix applies to exactly one
+         statement; nesting is rejected at execution, not here. A bare
+         "EXPLAIN ANALYZE" (nothing after the flag) explains the ANALYZE
+         statement itself. *)
+      let analyze = accept_kw st "ANALYZE" in
+      if analyze && (peek st = Token.Eof || peek st = Token.Punct ";") then
+        Explain { ex_analyze = false; ex_stmt = Analyze }
+      else Explain { ex_analyze = analyze; ex_stmt = parse_stmt st }
   | Token.Keyword "SELECT" -> Select (parse_select st)
   | Token.Keyword "INSERT" ->
       expect_kw st "INTO";

@@ -1,0 +1,48 @@
+(** Planner layer: WHERE-clause analysis into an access path, the
+    [sqldb.plan] trace event, and row estimates from the ANALYZE
+    statistics cache. *)
+
+type plan =
+  | Full_scan
+  | Rowid_range of int64 option * int64 option  (** inclusive bounds *)
+  | Index_range of
+      Catalog.index_info * Value.t list * Value.t option * Value.t option
+      (** equality prefix, then optional lo/hi bound on the next column *)
+
+(** Why the access path was (or was not) chosen — carried into the
+    [sqldb.plan] trace event so silent plan flips are visible. *)
+type reason =
+  | No_where
+  | Rowid_bounds
+  | Index_eq
+  | Index_bounds
+  | No_usable_path
+  | Join_inner
+
+val reason_label : reason -> string
+val reason_code : reason -> int
+val path_label : plan -> string
+val path_code : plan -> int
+
+val record_plan : Catalog.db -> Catalog.table_info -> plan -> reason -> unit
+(** Emits a [sqldb.plan.<path>] counter (plus [sqldb.plan.fallback] for
+    {!No_usable_path}) and an instant [sqldb.plan] trace event carrying
+    the coded path/reason — no-op without an observability registry. *)
+
+val find_index : Catalog.db -> string -> string -> Catalog.index_info option
+(** First index on the table whose leading column matches. *)
+
+val plan_for :
+  Catalog.db -> Catalog.table_info ->
+  const:(Sql_ast.expr -> Value.t option) ->
+  Sql_ast.expr option -> plan * reason
+(** Analyse a WHERE clause into an access path for one table. Only
+    top-level AND conjuncts are considered; [const] evaluates
+    column-free expressions (None when impure or column-dependent). *)
+
+val estimate : Catalog.db -> Catalog.table_info -> plan -> int option
+(** Estimated rows produced by an access path; [None] when the table has
+    never been ANALYZEd. *)
+
+val describe : plan -> string
+(** Human-readable access-path description for EXPLAIN output. *)

@@ -78,3 +78,4 @@ type stmt =
   | Pragma of string * Value.t option
   | Analyze
   | Vacuum
+  | Explain of { ex_analyze : bool; ex_stmt : stmt }

@@ -246,12 +246,30 @@ let exec t sql =
     | None -> Db.exec t.db sql
   in
   let factor = if is_wasm t.variant then t.wasm_factor else 1.0 in
-  let charge account work_units =
-    Machine.charge t.machine ~account "sqlite"
-      (int_of_float
-         (Float.round (float_of_int work_units *. t.ns_per_work *. factor)))
+  let work_ns work_units =
+    int_of_float
+      (Float.round (float_of_int work_units *. t.ns_per_work *. factor))
   in
-  charge "sqldb.exec" (Db.work t.db);
+  let charge_ns account ns = Machine.charge t.machine ~account "sqlite" ns in
+  let charge account work_units = charge_ns account (work_ns work_units) in
+  (* The statement's exec booking is sliced across its operator tree
+     (plus profiling overhead) in proportion to self-work; the slices
+     sum exactly to the single charge they replace, so the books stay
+     byte-identical while each operator gains a cycle attribution. *)
+  let exec_ns = work_ns (Db.work t.db) in
+  let shares =
+    List.concat_map
+      (fun (p : Db.profile) ->
+        List.map (fun (o : Db.opstat) -> o.Db.os_work) p.Db.pr_ops
+        @ [ p.Db.pr_overhead_work ])
+      (Db.profiles t.db)
+  in
+  (match shares with
+  | [] -> charge_ns "sqldb.exec" exec_ns
+  | _ ->
+      List.iter
+        (fun ns -> if ns > 0 then charge_ns "sqldb.exec" ns)
+        (Db.slice_ns ~total_ns:exec_ns shares));
   (* B-tree work units arrive via Pager.hooks between execs (open-time
      work lands in the first exec); book them as pager time *)
   if !(t.pager_work) > 0 then begin

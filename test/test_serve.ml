@@ -382,6 +382,11 @@ let test_stream_matches_retained () =
   Alcotest.(check string) "byte-identical slo artifacts"
     (Serve.render_slo retained)
     (Serve.render_slo streamed);
+  (* so is twine-sqlstats/v1: the registry accumulates on the shared
+     serving path *)
+  Alcotest.(check string) "byte-identical sqlstats artifacts"
+    (Serve.render_sqlstats retained)
+    (Serve.render_sqlstats streamed);
   (* stream percentiles are the sketch's, and the sketch agrees with
      the retained run's exact values within alpha *)
   Alcotest.(check int) "stream p50 = sketch p50" streamed.Serve.sketch_p50_ns
@@ -480,6 +485,44 @@ let test_slo_verdicts () =
         ev.Twine_obs.Slo.ev_overs
   | None -> Alcotest.fail "eval missing"
 
+(* Query-stats registry: every request lands in exactly one entry of
+   its enclave's registry, the fleet view is the merge, and the entries
+   are the workload's three statement shapes under their normalized
+   fingerprints. *)
+let test_sqlstats_registry () =
+  let open Twine_sqldb in
+  let s = Serve.run small_config in
+  let fleet = Sqlstat.entries s.Serve.sqlstats_fleet in
+  Alcotest.(check int) "one entry per statement shape" 3 (List.length fleet);
+  Alcotest.(check (list string)) "normalized fingerprints"
+    [ "SELECT b , c FROM t WHERE a = ?";
+      "SELECT count ( * ) , sum ( b ) FROM t WHERE a >= ? AND a < ?";
+      "SELECT v FROM kv WHERE k = ?" ]
+    (List.map (fun e -> e.Sqlstat.sq_fingerprint) fleet);
+  Alcotest.(check int) "fleet counts cover every request"
+    s.Serve.requests
+    (List.fold_left (fun a e -> a + e.Sqlstat.sq_count) 0 fleet);
+  (* fleet = merge of the per-enclave registries, byte-identically *)
+  let remerged =
+    List.fold_left
+      (fun acc (_, reg) -> Sqlstat.merge acc reg)
+      (Sqlstat.create ())
+      s.Serve.sqlstats_by_enclave
+  in
+  Alcotest.(check string) "fleet is the merge"
+    (Twine_obs.Json.to_string (Sqlstat.to_json s.Serve.sqlstats_fleet))
+    (Twine_obs.Json.to_string (Sqlstat.to_json remerged));
+  (* per-enclave latency sketches hold every latency the fleet saw *)
+  let sketch_count reg =
+    List.fold_left
+      (fun a e -> a + Twine_obs.Sketch.count e.Sqlstat.sq_latency)
+      0 (Sqlstat.entries reg)
+  in
+  Alcotest.(check int) "sketches cover every request" s.Serve.requests
+    (List.fold_left
+       (fun a (_, reg) -> a + sketch_count reg)
+       0 s.Serve.sqlstats_by_enclave)
+
 let test_stream_scale () =
   (* 10x the small config's requests, streaming: completes in flat
      memory with the books still balanced and every request windowed *)
@@ -552,5 +595,10 @@ let () =
           Alcotest.test_case "verdicts" `Quick test_slo_verdicts;
           Alcotest.test_case "streams 10x in flat memory" `Quick
             test_stream_scale;
+        ] );
+      ( "sqlstats",
+        [
+          Alcotest.test_case "fleet registry and merge" `Quick
+            test_sqlstats_registry;
         ] );
     ]

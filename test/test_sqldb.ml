@@ -527,6 +527,295 @@ let test_multi_statement_exec () =
   Alcotest.check rows_t "last result" [ [ v_int 3 ] ] r.Db.rows;
   Db.close db
 
+(* --- EXPLAIN / operator observability --- *)
+
+(* Every statement kind accepts the EXPLAIN [ANALYZE] prefix, and the
+   wrapped AST is exactly the bare statement's AST. *)
+let test_explain_roundtrip () =
+  let kinds =
+    [ "SELECT a FROM t WHERE a = 1";
+      "INSERT INTO t VALUES (1)";
+      "UPDATE t SET a = 2 WHERE a = 1";
+      "DELETE FROM t WHERE a = 1";
+      "CREATE TABLE u (x INTEGER)";
+      "CREATE INDEX i ON t (a)";
+      "DROP TABLE u";
+      "DROP INDEX i";
+      "BEGIN";
+      "COMMIT";
+      "ROLLBACK";
+      "PRAGMA cache_size = 64";
+      "ANALYZE";
+      "VACUUM" ]
+  in
+  List.iter
+    (fun sql ->
+      let bare =
+        match Parser.parse sql with
+        | [ s ] -> s
+        | _ -> Alcotest.failf "multi-parse: %s" sql
+      in
+      (match Parser.parse ("EXPLAIN " ^ sql) with
+      | [ Sql_ast.Explain { ex_analyze = false; ex_stmt } ] ->
+          Alcotest.(check bool) ("explain wraps: " ^ sql) true (ex_stmt = bare)
+      | _ -> Alcotest.failf "EXPLAIN did not wrap: %s" sql);
+      match Parser.parse ("EXPLAIN ANALYZE " ^ sql) with
+      | [ Sql_ast.Explain { ex_analyze = true; ex_stmt } ] ->
+          Alcotest.(check bool)
+            ("explain analyze wraps: " ^ sql)
+            true (ex_stmt = bare)
+      | _ -> Alcotest.failf "EXPLAIN ANALYZE did not wrap: %s" sql)
+    kinds;
+  (* nested EXPLAIN parses but is rejected at execution *)
+  let db = mem_db () in
+  Alcotest.(check bool) "nested explain rejected" true
+    (try
+       ignore (Db.exec db "EXPLAIN EXPLAIN SELECT 1");
+       false
+     with Db.Sql_error _ -> true);
+  Db.close db
+
+let plan_lines r =
+  Alcotest.(check (list string)) "plan column" [ "plan" ] r.Db.columns;
+  List.map
+    (function [ Value.Text l ] -> l | _ -> Alcotest.fail "non-text plan row")
+    r.Db.rows
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_explain_output () =
+  let db = mem_db () in
+  ignore (Db.exec db "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER)");
+  ignore (Db.exec db "INSERT INTO t VALUES (1,10),(2,20),(3,30)");
+  (* EXPLAIN: plan tree only, no execution, estimates unknown pre-ANALYZE *)
+  let plain = plan_lines (Db.exec db "EXPLAIN SELECT b FROM t WHERE a = 2") in
+  Alcotest.(check bool) "project line" true
+    (List.exists (contains ~sub:"project(b)") plain);
+  Alcotest.(check bool) "rowid access path" true
+    (List.exists (contains ~sub:"rowid [2..2]") plain);
+  Alcotest.(check bool) "no estimate before analyze" true
+    (List.for_all (contains ~sub:"est=-") plain);
+  (* EXPLAIN ANALYZE: actuals appear *)
+  let an = plan_lines (Db.exec db "EXPLAIN ANALYZE SELECT b FROM t WHERE a >= 2") in
+  Alcotest.(check bool) "actual rows out" true
+    (List.exists (contains ~sub:"out=2") an);
+  Alcotest.(check bool) "work attributed" true
+    (List.exists (contains ~sub:"work=") an);
+  (* ANALYZE, then estimates show up next to actuals *)
+  ignore (Db.exec db "ANALYZE");
+  let an2 = plan_lines (Db.exec db "EXPLAIN ANALYZE SELECT b FROM t WHERE a >= 2") in
+  Alcotest.(check bool) "estimate after analyze" true
+    (List.exists (contains ~sub:"est=2") an2);
+  (* cycles column appears once a ns-per-work hint is installed *)
+  Db.set_ns_per_work db 10.;
+  let an3 = plan_lines (Db.exec db "EXPLAIN ANALYZE SELECT b FROM t") in
+  Alcotest.(check bool) "cycles rendered" true
+    (List.exists (contains ~sub:"cycles=") an3);
+  Db.close db
+
+(* The zero-residue conservation law: for every statement kind, booked
+   work = sum of operator self-work + profiling overhead, exactly. *)
+let test_operator_conservation () =
+  let db = mem_db () in
+  List.iter
+    (fun sql -> ignore (Db.exec db sql))
+    [ "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)";
+      "CREATE INDEX t_b ON t (b)";
+      "INSERT INTO t VALUES (1, 5, 'x'), (2, 5, 'y'), (3, 7, 'z'), (4, 8, 'w')";
+      "SELECT * FROM t WHERE a >= 2 AND c <> 'q' ORDER BY b LIMIT 2";
+      "SELECT b, count(*) FROM t GROUP BY b";
+      "SELECT DISTINCT b FROM t";
+      "SELECT t1.a, t2.b FROM t t1 JOIN t t2 ON t1.a = t2.a";
+      "UPDATE t SET c = 'u' WHERE b = 5";
+      "DELETE FROM t WHERE a = 4";
+      "ANALYZE";
+      "SELECT count(*), sum(b) FROM t WHERE a >= 1 AND a < 3";
+      "VACUUM";
+      "EXPLAIN SELECT * FROM t" ];
+  let profiles = Db.profiles db in
+  Alcotest.(check bool) "profiles recorded" true (List.length profiles >= 13);
+  List.iter
+    (fun (p : Db.profile) ->
+      let ops =
+        List.fold_left (fun a (o : Db.opstat) -> a + o.Db.os_work) 0 p.Db.pr_ops
+      in
+      Alcotest.(check int)
+        ("conservation: " ^ p.Db.pr_stmt)
+        p.Db.pr_total_work
+        (ops + p.Db.pr_overhead_work))
+    profiles;
+  Db.close db
+
+(* Satellite: the sqldb.plan counters make silent access-path flips
+   (index -> full scan) visible. *)
+let test_plan_counters () =
+  let obs = Twine_obs.Obs.create () in
+  let db = Db.open_db ~obs ":memory:" in
+  ignore (Db.exec db "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER)");
+  ignore (Db.exec db "CREATE INDEX t_b ON t (b)");
+  ignore (Db.exec db "INSERT INTO t VALUES (1,10),(2,20),(3,30)");
+  let v k = Twine_obs.Obs.value obs ("sqldb.plan." ^ k) in
+  let base_full = v "full_scan" in
+  ignore (Db.query db "SELECT * FROM t WHERE a = 2");
+  Alcotest.(check int) "rowid path" 1 (v "rowid_range");
+  ignore (Db.query db "SELECT * FROM t WHERE b = 20");
+  Alcotest.(check int) "index path" 1 (v "index_range");
+  ignore (Db.query db "SELECT * FROM t WHERE b + 1 = 21");
+  Alcotest.(check int) "fallback counted" 1 (v "fallback");
+  Alcotest.(check int) "fallback is a full scan" (base_full + 1) (v "full_scan");
+  Db.close db
+
+(* --- ANALYZE statistics catalog (satellite 3) --- *)
+
+let test_analyze_stat_tables () =
+  let db = mem_db () in
+  ignore (Db.exec db "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)");
+  ignore
+    (Db.exec db
+       "INSERT INTO t VALUES (1, 5, 'x'), (2, 5, NULL), (3, 7, 'y'), (4, 8, NULL)");
+  ignore (Db.exec db "ANALYZE");
+  (* per-column distinct / null counts *)
+  Alcotest.check rows_t "ndistinct b" [ [ v_int 3; v_int 0 ] ]
+    (Db.query db "SELECT ndistinct, nnull FROM stat_col WHERE tbl = 't' AND col = 'b'");
+  Alcotest.check rows_t "nnull c" [ [ v_int 2; v_int 2 ] ]
+    (Db.query db "SELECT ndistinct, nnull FROM stat_col WHERE tbl = 't' AND col = 'c'");
+  (* histogram invariants: monotone bounds, bucket counts sum to the
+     non-null row count *)
+  let hist col =
+    List.map
+      (function
+        | [ lo; hi; Value.Int n ] -> (lo, hi, Int64.to_int n)
+        | _ -> Alcotest.fail "bad hist row")
+      (Db.query db
+         (Printf.sprintf
+            "SELECT lo, hi, cnt FROM stat_hist WHERE tbl = 't' AND col = '%s' ORDER BY bucket"
+            col))
+  in
+  let check_hist col non_null =
+    let h = hist col in
+    Alcotest.(check bool) (col ^ ": non-empty") true (h <> []);
+    Alcotest.(check int)
+      (col ^ ": counts sum to rows")
+      non_null
+      (List.fold_left (fun a (_, _, n) -> a + n) 0 h);
+    let rec mono = function
+      | (lo, hi, _) :: ((lo2, _, _) :: _ as rest) ->
+          Value.compare lo hi <= 0 && Value.compare hi lo2 <= 0 && mono rest
+      | [ (lo, hi, _) ] -> Value.compare lo hi <= 0
+      | [] -> true
+    in
+    Alcotest.(check bool) (col ^ ": monotone bounds") true (mono h)
+  in
+  check_hist "b" 4;
+  check_hist "c" 2;
+  (* DELETE then re-ANALYZE refreshes the stat tables in place *)
+  ignore (Db.exec db "DELETE FROM t WHERE a >= 3");
+  ignore (Db.exec db "ANALYZE");
+  Alcotest.check rows_t "row count after delete" [ [ v_int 2 ] ]
+    (Db.query db "SELECT stat FROM stat1 WHERE tbl = 't' AND idx IS NULL");
+  check_hist "b" 2;
+  (* VACUUM preserves the catalog; ANALYZE after INSERT sees new rows;
+     stat tables never appear in their own statistics *)
+  ignore (Db.exec db "VACUUM");
+  ignore (Db.exec db "INSERT INTO t VALUES (9, 9, 'q')");
+  ignore (Db.exec db "ANALYZE");
+  Alcotest.check rows_t "row count after vacuum+insert" [ [ v_int 3 ] ]
+    (Db.query db "SELECT stat FROM stat1 WHERE tbl = 't' AND idx IS NULL");
+  Alcotest.check rows_t "stat tables not self-analyzed" []
+    (Db.query db "SELECT stat FROM stat1 WHERE tbl = 'stat1'");
+  (* ANALYZE-then-EXPLAIN: the estimate reflects the fresh statistics *)
+  let lines = plan_lines (Db.exec db "EXPLAIN SELECT * FROM t WHERE a >= 1") in
+  Alcotest.(check bool) "estimate from stats" true
+    (List.exists (contains ~sub:"est=3") lines);
+  Db.close db
+
+(* --- query-stats registry --- *)
+
+let test_fingerprint () =
+  let fp = Sqlstat.fingerprint in
+  (* literals collapse, so parameterized statements share a key *)
+  Alcotest.(check string) "int literal"
+    (fp "SELECT v FROM kv WHERE k = 1")
+    (fp "SELECT v FROM kv WHERE k = 999");
+  Alcotest.(check string) "string and float literals"
+    (fp "INSERT INTO t VALUES ('abc', 1.5)")
+    (fp "INSERT INTO t VALUES ('zzz', 99.0)");
+  (* identifier case folds; keyword case folds *)
+  Alcotest.(check string) "identifier case"
+    (fp "select V from KV where K = 3")
+    (fp "SELECT v FROM kv WHERE k = 4");
+  (* whitespace normalizes *)
+  Alcotest.(check string) "whitespace"
+    (fp "SELECT  a   FROM t")
+    (fp "SELECT a FROM t");
+  (* different shapes stay distinct *)
+  Alcotest.(check bool) "shapes distinct" true
+    (fp "SELECT a FROM t" <> fp "SELECT b FROM t");
+  Alcotest.(check string) "rendered form" "SELECT v FROM kv WHERE k = ?"
+    (fp "SELECT v FROM kv WHERE k = 42")
+
+let test_sqlstat_registry () =
+  let reg = Sqlstat.create () in
+  let record ?(label = "point") fp lat =
+    Sqlstat.record reg ~label ~fingerprint:fp ~rows:1 ~work:10 ~reads:2
+      ~writes:1 ~exec_ns:600 ~pager_ns:50 ~latency_ns:lat ()
+  in
+  record "SELECT a FROM t WHERE a = ?" 1000;
+  record "SELECT a FROM t WHERE a = ?" 3000;
+  record ~label:"kv" "SELECT v FROM kv WHERE k = ?" 2000;
+  (match Sqlstat.entries reg with
+  | [ pt; kv ] ->
+      Alcotest.(check string) "sorted by fingerprint" "SELECT a FROM t WHERE a = ?"
+        pt.Sqlstat.sq_fingerprint;
+      Alcotest.(check int) "count" 2 pt.Sqlstat.sq_count;
+      Alcotest.(check int) "rows" 2 pt.Sqlstat.sq_rows;
+      Alcotest.(check int) "exec_ns" 1200 pt.Sqlstat.sq_exec_ns;
+      Alcotest.(check int) "kv count" 1 kv.Sqlstat.sq_count;
+      Alcotest.(check string) "label" "kv" kv.Sqlstat.sq_label
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  (* merge is pure and commutative; JSON is canonical *)
+  let reg2 = Sqlstat.create () in
+  Sqlstat.record reg2 ~label:"point" ~fingerprint:"SELECT a FROM t WHERE a = ?"
+    ~rows:5 ~work:1 ~reads:0 ~writes:0 ~exec_ns:60 ~pager_ns:0 ~latency_ns:500 ();
+  let m1 = Sqlstat.merge reg reg2 and m2 = Sqlstat.merge reg2 reg in
+  Alcotest.(check string) "merge commutes (canonical JSON)"
+    (Twine_obs.Json.to_string (Sqlstat.to_json m1))
+    (Twine_obs.Json.to_string (Sqlstat.to_json m2));
+  (match Sqlstat.entries m1 with
+  | [ pt; _ ] ->
+      Alcotest.(check int) "merged count" 3 pt.Sqlstat.sq_count;
+      Alcotest.(check int) "merged rows" 7 pt.Sqlstat.sq_rows;
+      Alcotest.(check bool) "p50 within inserted range" true
+        (let p = Sqlstat.quantile_ns pt 0.5 in
+         p >= 500 && p <= 3000)
+  | _ -> Alcotest.fail "merge lost entries");
+  (* the sources were not mutated by merge *)
+  Alcotest.(check int) "source untouched" 2
+    (match Sqlstat.entries reg with
+    | [ pt; _ ] -> pt.Sqlstat.sq_count
+    | _ -> -1)
+
+let test_slice_ns () =
+  (* slices sum exactly to the total (zero residue), in proportion *)
+  let check name total works =
+    let s = Db.slice_ns ~total_ns:total works in
+    Alcotest.(check int) (name ^ ": length") (List.length works) (List.length s);
+    Alcotest.(check int) (name ^ ": sums to total") total
+      (List.fold_left ( + ) 0 s);
+    List.iter (fun x -> Alcotest.(check bool) (name ^ ": non-negative") true (x >= 0)) s
+  in
+  check "even" 1000 [ 1; 1; 1; 1 ];
+  check "skewed" 997 [ 90; 9; 1 ];
+  check "one" 123 [ 7 ];
+  check "zeros" 55 [ 0; 0; 0 ];
+  check "big" 1_000_000_007 [ 3; 5; 7; 11; 13 ];
+  Alcotest.(check (list int)) "empty" [] (Db.slice_ns ~total_ns:100 []);
+  Alcotest.(check (list int)) "proportional" [ 250; 750 ]
+    (Db.slice_ns ~total_ns:1000 [ 1; 3 ])
+
 let qc = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -570,6 +859,18 @@ let suite =
       Alcotest.test_case "errors" `Quick test_sql_errors;
       Alcotest.test_case "random()" `Quick test_random_functions;
       Alcotest.test_case "multi-statement" `Quick test_multi_statement_exec;
+    ]);
+    ("explain", [
+      Alcotest.test_case "roundtrip every kind" `Quick test_explain_roundtrip;
+      Alcotest.test_case "plan rendering" `Quick test_explain_output;
+      Alcotest.test_case "operator conservation" `Quick test_operator_conservation;
+      Alcotest.test_case "plan counters" `Quick test_plan_counters;
+      Alcotest.test_case "analyze stat tables" `Quick test_analyze_stat_tables;
+    ]);
+    ("sqlstat", [
+      Alcotest.test_case "fingerprint" `Quick test_fingerprint;
+      Alcotest.test_case "registry + merge" `Quick test_sqlstat_registry;
+      Alcotest.test_case "slice_ns" `Quick test_slice_ns;
     ]);
   ]
 
