@@ -1199,6 +1199,137 @@ let serve_section () =
        ~current:batched.Serve.ledger ())
 
 (* ------------------------------------------------------------------ *)
+(* chaos: fault-tolerant serving under seeded fault schedules          *)
+(* ------------------------------------------------------------------ *)
+
+(* The robustness counterpart of the serve section: the same fleet with
+   a seeded chaos schedule armed for the serving phase. One enclave
+   crash forces the full failover path — detect, teardown (EPC released
+   and provenance purged), relaunch, durable-state recovery through the
+   protected-FS crash path — and a capped transient entry fault
+   exercises retry with backoff. The gated operating point pins
+   goodput, availability, retries, sheds, failovers, recovery p99 and,
+   at tolerance zero, the extended conservation law
+   (requests + idle + failover = serving-phase booked time). *)
+
+let chaos_requests = 10_000
+let chaos_sweep_requests = 6_000
+
+let chaos_parse s =
+  match Twine_sim.Chaos.parse s with
+  | Ok spec -> spec
+  | Error msg -> failwith ("bench: bad chaos spec: " ^ msg)
+
+let chaos_gated_spec =
+  chaos_parse "seed=bench;enclave.ecall=crash@150;enclave.ecall=fail%0.002x6[2ms..]"
+
+let chaos_gated_config =
+  {
+    Twine_serve.Serve.default_config with
+    Twine_serve.Serve.enclaves = 4;
+    requests = chaos_requests;
+    chaos = Some chaos_gated_spec;
+    deadline_ns = 50_000_000;
+    retries = 3;
+    shed_depth = 64;
+  }
+
+let chaos_availability_pct ppm = (ppm / 10_000, ppm mod 10_000)
+
+let chaos_section () =
+  let open Twine_serve in
+  section "chaos: seeded fault schedules, failover, retry, shedding";
+  Printf.printf "schedule: %s\n" (Twine_sim.Chaos.render chaos_gated_spec);
+  Printf.printf
+    "(armed for the serving phase only; activation windows are relative to \
+     the phase start)\n\n";
+  let stats = Serve.run chaos_gated_config in
+  print_string (Serve.render stats);
+  if stats.Serve.attribution_residue_ns <> 0 then begin
+    Printf.printf "CHAOS ATTRIBUTION LOST TIME (residue %d ns)\n"
+      stats.Serve.attribution_residue_ns;
+    exit 1
+  end;
+  if stats.Serve.failovers < 1 || stats.Serve.goodput_rps <= 0. then begin
+    Printf.printf "CHAOS RUN DID NOT EXERCISE FAILOVER\n";
+    exit 1
+  end;
+  print_newline ();
+  print_string (Serve.render_blame ~top:5 stats);
+  hr ();
+  (* Replay determinism under chaos: the same (seed, config) must give
+     byte-identical request-trace and SLO artifacts, and the --stream
+     run (no retention) must still emit the identical SLO bytes. *)
+  let again = Serve.run chaos_gated_config in
+  let streamed =
+    Serve.run { chaos_gated_config with Serve.retain_requests = false }
+  in
+  let check name a b =
+    if a <> b then begin
+      Printf.printf "CHAOS %s NOT BYTE-IDENTICAL\n" name;
+      exit 1
+    end
+  in
+  check "REPLAY REQUEST TRACE" (Serve.render_requests stats)
+    (Serve.render_requests again);
+  check "REPLAY SLO ARTIFACT" (Serve.render_slo stats) (Serve.render_slo again);
+  check "STREAMED SLO ARTIFACT" (Serve.render_slo stats)
+    (Serve.render_slo streamed);
+  Printf.printf
+    "replay determinism: request trace and %s artifact byte-identical across \
+     two retained runs and one --stream run\n"
+    Serve.slo_schema;
+  hr ();
+  (* Availability vs fault rate x fleet size at the §V-D cliff EPC: how
+     much goodput the deadline/retry/failover machinery preserves as
+     transient entry faults scale up while one crash fires per run. *)
+  Printf.printf
+    "availability vs fault rate x fleet size (%d requests, EPC %d pages):\n\n"
+    chaos_sweep_requests (serve_cliff_epc_bytes / 4096);
+  Printf.printf "  %-10s %-9s %10s %12s %8s %10s %6s %9s %15s\n" "fault rate"
+    "enclaves" "goodput" "avail %" "retries" "failovers" "sheds" "timeouts"
+    "recovery p99";
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun enclaves ->
+          let spec =
+            chaos_parse
+              (if rate = 0. then "seed=sweep;enclave.ecall=crash@120"
+               else
+                 Printf.sprintf
+                   "seed=sweep;enclave.ecall=crash@120;enclave.ecall=fail%%%g"
+                   rate)
+          in
+          let s =
+            Serve.run
+              {
+                chaos_gated_config with
+                Serve.enclaves;
+                requests = chaos_sweep_requests;
+                epc_bytes = serve_cliff_epc_bytes;
+                chaos = Some spec;
+              }
+          in
+          if s.Serve.attribution_residue_ns <> 0 then begin
+            Printf.printf "CHAOS SWEEP LOST TIME (residue %d ns)\n"
+              s.Serve.attribution_residue_ns;
+            exit 1
+          end;
+          let ai, af = chaos_availability_pct s.Serve.availability_ppm in
+          Printf.printf
+            "  %-10g %-9d %10.0f %7d.%04d %8d %10d %6d %9d %12d ns\n" rate
+            enclaves s.Serve.goodput_rps ai af s.Serve.retries
+            s.Serve.failovers s.Serve.shed s.Serve.timed_out
+            s.Serve.recovery_p99_ns)
+        [ 2; 4; 8 ])
+    [ 0.; 0.005; 0.02 ];
+  Printf.printf
+    "\n(every run keeps the zero-residue conservation law: requests + idle + \
+     failover = serving-phase booked time; the crash rule fires once per \
+     run, the transient rate scales retry pressure)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable baseline: `bench json` / `bench check`             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1433,6 +1564,32 @@ let collect_baseline () =
       s.Serve.queue_depth_hwm_by_enclave;
     put_ledger "serve" s.Serve.machine
   in
+  (* -- chaos: the fault-injected operating point (crash + capped
+     transient entry faults, deadlines, retries, depth shedding). The
+     extended conservation law — requests + idle + failover = booked —
+     is pinned at exactly zero; the crash rule fires once, so the
+     failover count is exact too. -- *)
+  let chaos_snap =
+    let s = Twine_serve.Serve.run chaos_gated_config in
+    let open Twine_serve in
+    put (Baseline.v ~tol:0.0 "serve.chaos.residue_ns"
+           s.Serve.attribution_residue_ns);
+    put (Baseline.v ~tol:0.0 "serve.chaos.failovers" s.Serve.failovers);
+    put (Baseline.v ~tol:0.02 "serve.chaos.goodput_rps"
+           (int_of_float s.Serve.goodput_rps));
+    put (Baseline.v ~tol:0.02 "serve.chaos.availability_ppm"
+           s.Serve.availability_ppm);
+    put (Baseline.v ~tol:0.02 "serve.chaos.served" s.Serve.served);
+    put (Baseline.v ~tol:0.02 "serve.chaos.shed" s.Serve.shed);
+    put (Baseline.v ~tol:0.02 "serve.chaos.timed_out" s.Serve.timed_out);
+    put (Baseline.v ~tol:0.02 "serve.chaos.failed" s.Serve.failed);
+    put (Baseline.v ~tol:0.02 "serve.chaos.retries" s.Serve.retries);
+    put (Baseline.v ~tol:0.02 "serve.chaos.recovery_p99_ns"
+           s.Serve.recovery_p99_ns);
+    put (Baseline.v ~tol:0.02 "serve.chaos.failover_ns" s.Serve.failover_ns);
+    put (Baseline.v ~tol:0.02 "serve.chaos.p99_ns" s.Serve.p99_ns);
+    put_ledger "chaos" s.Serve.machine
+  in
   (* -- per-operator query observability: the serve shapes' operator
      trees, every op's self-work pinned exactly, residue pinned at 0 -- *)
   let sql_snap =
@@ -1515,7 +1672,7 @@ let collect_baseline () =
           ("wasm_factor", string_of_float baseline_wasm_factor);
           ("note", "virtual-clock metrics; regenerate with: dune exec bench/main.exe -- json") ]
       (List.rev !metrics),
-    [ report_snap; micro_snap; serve_snap; sql_snap ] )
+    [ report_snap; micro_snap; serve_snap; chaos_snap; sql_snap ] )
 
 let default_baseline_file = "BENCH_twine.json"
 
@@ -1627,6 +1784,7 @@ let bench_check file =
       in
       if has "report." || has "ledger.report." then Some "report"
       else if has "micro." || has "ledger.micro." then Some "micro"
+      else if has "serve.chaos." || has "ledger.chaos." then Some "chaos"
       else if has "serve." || has "ledger.serve." then Some "serve"
       else if has "sqldb." || has "ledger.sql." then Some "sql"
       else None
@@ -1700,5 +1858,6 @@ let () =
   if want "profile" then audited "profile" profile_section;
   if want "crash" then audited "crash" crash_section;
   if want "serve" then audited "serve" serve_section;
+  if want "chaos" then audited "chaos" chaos_section;
   if want "sql" then audited "sql" sql_section;
   Printf.printf "\ndone.\n"

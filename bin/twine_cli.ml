@@ -291,6 +291,42 @@ let serve_cmd =
                  canonical JSON to $(docv). Byte-identical across replays \
                  and across retained vs $(b,--stream) runs.")
   in
+  let chaos =
+    Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC"
+           ~doc:"Arm a seeded fault schedule for the serving phase, e.g. \
+                 $(b,enclave.ecall=crash\\@500) (crash the 500th entry) or \
+                 $(b,seed=c1;enclave.ecall=fail%0.01x5[10ms..80ms]) \
+                 (transient entry failures at 1% in a virtual-time \
+                 window, at most 5). ;-separated rules; actions crash, \
+                 fail, drop, corrupt, torn:F, delay:DUR. Deterministic: \
+                 the same spec and seed replay byte-identically.")
+  in
+  let deadline_ns =
+    Arg.(value & opt int 0 & info [ "deadline-ns" ] ~docv:"NS"
+           ~doc:"Client deadline: a request still unserved $(docv) virtual \
+                 ns after arrival completes as timed out (0 = off).")
+  in
+  let retries =
+    Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N"
+           ~doc:"Requeues allowed per request after enclave faults before \
+                 it fails permanently (default 2).")
+  in
+  let backoff =
+    Arg.(value & opt (some int) None & info [ "backoff" ] ~docv:"NS"
+           ~doc:"Retry backoff base in virtual ns: requeue k waits \
+                 base*2^(k-1) plus deterministic jitter, capped at 50x \
+                 base (default 100000).")
+  in
+  let shed_depth =
+    Arg.(value & opt int 0 & info [ "shed-depth" ] ~docv:"N"
+           ~doc:"Admission control: shed an arrival whose enclave queue \
+                 already holds $(docv) live requests (0 = off).")
+  in
+  let hedge =
+    Arg.(value & flag & info [ "hedge" ]
+           ~doc:"Hedged retries: requeue onto the least-loaded enclave \
+                 instead of the request's home queue.")
+  in
   let sql_stats =
     Arg.(value & opt (some string) None & info [ "sql-stats" ] ~docv:"FILE"
            ~doc:"Write the twine-sqlstats/v1 query-stats artifact (fleet \
@@ -301,7 +337,8 @@ let serve_cmd =
                  $(b,--stream) runs.")
   in
   let run enclaves requests batch seed epc_kib trace ledger_out blame top
-      timeline mean_gap_ns mix stream slo slo_out sql_stats =
+      timeline mean_gap_ns mix stream slo slo_out chaos deadline_ns retries
+      backoff shed_depth hedge sql_stats =
     if enclaves <= 0 || batch <= 0 || requests < 0 then begin
       prerr_endline "twine serve: --enclaves and --batch must be positive, --requests non-negative";
       exit 2
@@ -337,6 +374,34 @@ let serve_cmd =
               Printf.eprintf "twine serve: --slo %s: %s\n" spec msg;
               exit 2)
     in
+    let chaos =
+      match chaos with
+      | None -> None
+      | Some spec -> (
+          match Twine_sim.Chaos.parse spec with
+          | Ok s -> Some s
+          | Error msg ->
+              Printf.eprintf "twine serve: --chaos %s: %s\n" spec msg;
+              exit 2)
+    in
+    if deadline_ns < 0 then begin
+      prerr_endline "twine serve: --deadline-ns must be non-negative";
+      exit 2
+    end;
+    if shed_depth < 0 then begin
+      prerr_endline "twine serve: --shed-depth must be non-negative";
+      exit 2
+    end;
+    (match retries with
+    | Some r when r < 0 ->
+        prerr_endline "twine serve: --retries must be non-negative";
+        exit 2
+    | _ -> ());
+    (match backoff with
+    | Some b when b < 0 ->
+        prerr_endline "twine serve: --backoff must be non-negative";
+        exit 2
+    | _ -> ());
     let cfg =
       {
         Twine_serve.Serve.default_config with
@@ -358,6 +423,24 @@ let serve_cmd =
         mix;
         retain_requests = not stream;
         slo;
+        chaos;
+        deadline_ns;
+        retries =
+          (match retries with
+          | Some r -> r
+          | None -> Twine_serve.Serve.default_config.Twine_serve.Serve.retries);
+        backoff_ns =
+          (match backoff with
+          | Some b -> b
+          | None ->
+              Twine_serve.Serve.default_config.Twine_serve.Serve.backoff_ns);
+        backoff_cap_ns =
+          (match backoff with
+          | Some b -> b * 50
+          | None ->
+              Twine_serve.Serve.default_config.Twine_serve.Serve.backoff_cap_ns);
+        shed_depth;
+        hedge;
       }
     in
     if top <= 0 then begin
@@ -463,12 +546,19 @@ let serve_cmd =
              per-request tail attribution; $(b,--slo) evaluates a latency \
              objective with burn-rate alerts over 50 ms virtual windows; \
              $(b,--stream) drops per-request retention for bounded-memory \
-             runs. Exit codes: 0 success, 1 conservation-audit or \
+             runs; $(b,--chaos) arms a seeded fault schedule and the fleet \
+             survives it — crashed enclaves are destroyed and relaunched \
+             with their durable state recovered, in-flight batches retry \
+             with capped exponential backoff ($(b,--retries), \
+             $(b,--backoff), $(b,--hedge)), $(b,--deadline-ns) expires \
+             waiting clients and $(b,--shed-depth) sheds load at \
+             admission. Exit codes: 0 success, 1 conservation-audit or \
              attribution-residue failure, 2 bad arguments or I/O error \
              (including $(b,--blame) with $(b,--stream)), 3 SLO violated.")
     Term.(const run $ enclaves $ requests $ batch $ seed $ epc_kib $ trace
           $ ledger_out $ blame $ top $ timeline $ mean_gap_ns $ mix $ stream
-          $ slo $ slo_out $ sql_stats)
+          $ slo $ slo_out $ chaos $ deadline_ns $ retries $ backoff
+          $ shed_depth $ hedge $ sql_stats)
 
 (* --- sql --- *)
 

@@ -61,6 +61,19 @@ type config = {
          turns it off and the run holds O(windows + sketch) memory *)
   window_ns : int;  (* tumbling-window period when no SLO supplies one *)
   slo : Twine_obs.Slo.spec option;
+  (* -- failure-domain layer -- *)
+  chaos : Twine_sim.Chaos.spec option;
+      (* seeded fault schedule armed for the serving phase only; windows
+         in the spec are relative to the phase start *)
+  deadline_ns : int;  (* client gives up this long after arrival; 0 = off *)
+  retries : int;  (* requeues allowed per request after a failed batch *)
+  backoff_ns : int;  (* retry backoff base; attempt k waits base * 2^(k-1) *)
+  backoff_cap_ns : int;  (* exponential backoff cap (before jitter) *)
+  hedge : bool;  (* retries go to the least-loaded enclave, not home *)
+  shed_depth : int;  (* admission control: shed when a queue is this deep *)
+  shed_refaults : int;
+      (* shed when cross-enclave refaults within the current window reach
+         this count — the EPC-pressure trigger; 0 = off *)
 }
 
 let default_config =
@@ -83,7 +96,26 @@ let default_config =
     retain_requests = true;
     window_ns = 50_000_000;
     slo = None;
+    chaos = None;
+    deadline_ns = 0;
+    retries = 2;
+    backoff_ns = 100_000;
+    backoff_cap_ns = 5_000_000;
+    hedge = false;
+    shed_depth = 0;
+    shed_refaults = 0;
   }
+
+(* Failover orchestration costs (virtual ns, pinned): the host-side work
+   of detecting an aborted enclave, EREMOVE-ing its pages, relaunching a
+   replacement and re-opening its durable state. The big costs — enclave
+   launch (EADD/EEXTEND) and protected-file crash recovery — are charged
+   by the layers that do the work; these are the scheduler's own steps. *)
+let failover_detect_ns = 5_000
+let failover_teardown_base_ns = 20_000
+let failover_teardown_page_ns = 150
+let failover_relaunch_ns = 50_000
+let failover_recover_ns = 20_000
 
 let shape_of (c : config) : Workload.shape =
   {
@@ -128,6 +160,22 @@ let breakdown_total b =
   b.transition_ns + b.exec_ns + b.pager_ns + b.epc_fault_ns + b.epc_evict_ns
   + b.crypto_ns + b.other_ns
 
+(* How a request left the system. [Served] is the only outcome that
+   counts toward goodput; the others are first-class records too, so
+   every admitted rid appears exactly once in the request log and the
+   loop's completion counter is total over outcomes. *)
+type outcome =
+  | Served
+  | Shed  (* fast-failed at admission (queue depth / EPC pressure) *)
+  | Timed_out  (* client deadline passed while queued or backing off *)
+  | Failed  (* retry budget exhausted after enclave faults *)
+
+let outcome_name = function
+  | Served -> "served"
+  | Shed -> "shed"
+  | Timed_out -> "timeout"
+  | Failed -> "failed"
+
 type request = {
   rid : int;
   enclave : int;
@@ -135,6 +183,10 @@ type request = {
   arrival_ns : int;
   start_ns : int;
   mutable finish_ns : int;
+  mutable outcome : outcome;
+  mutable attempts : int;
+      (* dispatches into a batch (0 for requests shed/expired unserved) *)
+  mutable retry_wait_ns : int;  (* backoff delay scheduled before retries *)
   breakdown : breakdown;
   mutable interference : (int * int) list;
       (* evictor enclave -> cross-enclave refaults this request paid for,
@@ -172,7 +224,21 @@ type stats = {
   requests_log : request array;  (* indexed by rid *)
   attributed_ns : int;  (* sum over requests of their cycle slices *)
   unattributed_ns : int;  (* booked outside any batch: scheduler idle *)
-  attribution_residue_ns : int;  (* booked - attributed - unattributed: 0 *)
+  failover_ns : int;
+      (* booked to the failure domain: wasted work of crashed batches
+         plus the detect/teardown/relaunch/recover path *)
+  attribution_residue_ns : int;
+      (* booked - attributed - unattributed - failover: 0 *)
+  (* failure-domain outcomes *)
+  served : int;
+  shed : int;
+  timed_out : int;
+  failed : int;
+  retries : int;  (* requeues scheduled after failed batches *)
+  failovers : int;  (* enclaves lost, destroyed, and relaunched *)
+  recovery_p99_ns : int;  (* p99 failover duration (0 when no failover) *)
+  goodput_rps : float;  (* served / elapsed *)
+  availability_ppm : int;  (* served per million admitted *)
   cross_refaults : int;
   interference_by_evictor : (int * int) list;
   p99_exemplar_rids : int list;
@@ -205,6 +271,9 @@ type worker = {
   queue : (int * int * Workload.req) Queue.t;  (* (rid, arrival ns, request) *)
   pager_work : int ref;
   mutable depth_hwm : int;
+  mutable live : int;
+      (* live queued requests (the queue may also hold tombstoned
+         entries for requests that timed out while waiting) *)
   eid : int;
   sqlstats : Sqlstat.t;  (* per-enclave query-stats registry *)
 }
@@ -237,7 +306,13 @@ let percentile sorted q =
 (* Request spans render on one Perfetto track per enclave. *)
 let request_track eid = 100 + eid
 
-let make_worker (cfg : config) machine =
+(* [backing] is the slot's untrusted persistent store: it survives the
+   enclave, so a replacement worker created with the same backing
+   recovers the slot's durable database through the protected-file
+   crash-recovery path (seal keys derive from the runtime measurement,
+   not the enclave id, so the replacement unseals its predecessor's
+   files). [sqlstats] lets a replacement continue its slot's registry. *)
+let make_worker (cfg : config) machine ~backing ?sqlstats () =
   let config =
     {
       Twine.Runtime.default_config with
@@ -245,9 +320,7 @@ let make_worker (cfg : config) machine =
       cache_nodes = 48;
     }
   in
-  let rt =
-    Twine.Runtime.create ~config ~backing:(Twine_ipfs.Backing.memory ()) machine
-  in
+  let rt = Twine.Runtime.create ~config ~backing machine in
   let e = Twine.Runtime.enclave rt in
   let vfs = Twine.Bench_db.pfs_svfs (Twine.Runtime.fs rt) in
   let hooks = Pager.default_hooks () in
@@ -264,8 +337,9 @@ let make_worker (cfg : config) machine =
     Db.open_db ~vfs ~cache_pages:cfg.cache_pages ~hooks
       ~obs:machine.Machine.obs "serve.db"
   in
-  { rt; db; queue = Queue.create (); pager_work; depth_hwm = 0;
-    eid = Enclave.id e; sqlstats = Sqlstat.create () }
+  { rt; db; queue = Queue.create (); pager_work; depth_hwm = 0; live = 0;
+    eid = Enclave.id e;
+    sqlstats = (match sqlstats with Some s -> s | None -> Sqlstat.create ()) }
 
 let populate (cfg : config) w =
   ignore (Db.exec w.db "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)");
@@ -299,7 +373,9 @@ let populate (cfg : config) w =
    earlier entry, so blame verdicts are deterministic — and the same
    names key the per-window breakdown sums in the SLO plane. *)
 let components r =
-  [ ("queue", queue_ns r);
+  let retry = min r.retry_wait_ns (queue_ns r) in
+  [ ("queue", queue_ns r - retry);
+    ("retry", retry);
     ("transition", r.breakdown.transition_ns);
     ("exec", r.breakdown.exec_ns);
     ("pager", r.breakdown.pager_ns);
@@ -308,9 +384,21 @@ let components r =
     ("crypto", r.breakdown.crypto_ns);
     ("other", r.breakdown.other_ns) ]
 
-let rec take_batch q n acc =
-  if n = 0 || Queue.is_empty q then List.rev acc
-  else take_batch q (n - 1) (Queue.pop q :: acc)
+(* Scheduler-side state for an admitted, not-yet-completed request.
+   Exists from admission to completion (any outcome), so the table is
+   bounded by the backlog, not by n. *)
+type rstate = {
+  s_home : int;  (* home fleet slot (workload's enclave choice) *)
+  mutable s_slot : int;  (* slot whose queue currently holds it *)
+  mutable s_requeues : int;  (* retries consumed *)
+  mutable s_retry_wait : int;  (* backoff delay scheduled so far *)
+  mutable s_deadline : Twine_sim.Eventq.id option;
+  mutable s_queued : bool;
+      (* physically in a worker queue; false while dispatched in a batch
+         or waiting out a backoff *)
+  s_arrival : int;  (* arrival ns (for deadline-expiry records) *)
+  s_req : Workload.req;
+}
 
 let bump_assoc l key d =
   let rec go = function
@@ -332,7 +420,16 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   let retain = cfg.retain_requests in
   let machine = Machine.create ~epc_bytes:cfg.epc_bytes ~seed:cfg.seed () in
   Twine.Bench_db.set_wasm_factor cfg.wasm_factor;
-  let workers = Array.init cfg.enclaves (fun _ -> make_worker cfg machine) in
+  (* One persistent backing per fleet slot: the untrusted store outlives
+     any enclave serving the slot, so failover can relaunch into the
+     same durable state. *)
+  let backings =
+    Array.init cfg.enclaves (fun _ -> Twine_ipfs.Backing.memory ())
+  in
+  let workers =
+    Array.init cfg.enclaves (fun i ->
+        make_worker cfg machine ~backing:backings.(i) ())
+  in
   Array.iter (populate cfg) workers;
   (* Arrivals are pulled lazily from the workload stream in both modes
      (the generator never touches the machine, so laziness cannot move
@@ -357,8 +454,10 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   in
   let cur : request option ref = ref None in
   let in_batch = ref false in
+  let in_failover = ref false in
   let overhead : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let outside = ref 0 in
+  let failover_ns = ref 0 in
   (* attributed time accumulates as it is credited (tap + overhead
      shares): the streaming mode has no request log to fold at the end,
      and the retained mode gets the identical number this way *)
@@ -371,7 +470,8 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
              credit r.breakdown account ns;
              attributed := !attributed + ns
          | None ->
-             if !in_batch then
+             if !in_failover then failover_ns := !failover_ns + ns
+             else if !in_batch then
                Hashtbl.replace overhead account
                  (ns + Option.value ~default:0 (Hashtbl.find_opt overhead account))
              else outside := !outside + ns));
@@ -387,6 +487,11 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
          | None -> ()));
   prepare machine;
   let t0 = Machine.now_ns machine in
+  (* Arm the chaos schedule only now: setup (launch, population) is not
+     under test, and spec windows are relative to the serving phase. *)
+  (match cfg.chaos with
+  | Some spec -> Machine.arm_faults machine (Twine_sim.Chaos.to_plan ~t0 spec)
+  | None -> ());
   let q = Twine_sim.Eventq.create () in
   (* workload times are relative to the start of serving: rebase onto
      the machine clock (setup already consumed virtual time). The queue
@@ -414,6 +519,27 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   let pending = ref 0 in
   let batches = ref 0 in
   let rr = ref 0 in
+  (* -- failure-domain state --
+     [timers] carries client deadlines and retry requeues on the same
+     virtual clock as arrivals; [rstate] tracks every admitted,
+     not-yet-completed request (bounded by the backlog, so --stream
+     memory stays flat). *)
+  let timers :
+      [ `Deadline of int | `Requeue of int * int * Workload.req ]
+      Twine_sim.Eventq.t =
+    Twine_sim.Eventq.create ()
+  in
+  let rstate : (int, rstate) Hashtbl.t = Hashtbl.create 64 in
+  let jitter =
+    Twine_crypto.Drbg.create ~personalization:"serve-backoff" ~seed:cfg.seed ()
+  in
+  let served_count = ref 0 in
+  let shed_count = ref 0 in
+  let timeout_count = ref 0 in
+  let failed_count = ref 0 in
+  let retry_count = ref 0 in
+  let failover_count = ref 0 in
+  let recovery_durations = ref [] in
   (* -- streaming SLO plane: tumbling windows on the virtual clock.
      One fleet track plus one per enclave; gauges are probed as each
      window closes (fleet: EPC activity deltas + total backlog;
@@ -440,13 +566,12 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
           ("epc.fault", delta "epc.fault");
           ("epc.evict", delta "epc.evict");
           ("epc.refault.cross", delta "epc.refault.cross");
-          ("queue_depth",
-           Array.fold_left (fun a w -> a + Queue.length w.queue) 0 workers) ]
+          ("queue_depth", Array.fold_left (fun a w -> a + w.live) 0 workers) ]
       end
       else
         match Hashtbl.find_opt worker_of_track track with
         | Some w ->
-            [ ("queue_depth", Queue.length w.queue);
+            [ ("queue_depth", w.live);
               ("epc.resident", Epc.resident_of epc w.eid) ]
         | None -> []
   in
@@ -470,8 +595,20 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   in
   let charge_ns account ns = Machine.charge machine ~account "serve.sql" ns in
   let tracer = Twine_obs.Obs.tracer obs in
+  (* Common completion path for every outcome: each admitted rid
+     completes exactly once — cancel its deadline, drop its scheduler
+     state, log the record, bump the loop counter. *)
+  let finalize st r =
+    (match st.s_deadline with
+    | Some id -> Twine_sim.Eventq.cancel timers id
+    | None -> ());
+    Hashtbl.remove rstate r.rid;
+    if retain then req_log.(r.rid) <- Some r;
+    incr completed
+  in
   let serve_one w e (rid, at, req) =
     let start = Machine.now_ns machine in
+    let st = Hashtbl.find rstate rid in
     let r =
       {
         rid;
@@ -480,6 +617,9 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
         arrival_ns = at;
         start_ns = start;
         finish_ns = start;
+        outcome = Served;
+        attempts = st.s_requeues + 1;
+        retry_wait_ns = st.s_retry_wait;
         breakdown = zero_breakdown ();
         interference = [];
       }
@@ -556,13 +696,11 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       ~fingerprint:(Sqlstat.fingerprint sql)
       ~rows:(List.length res.Db.rows) ~work ~reads:(pr1 - pr0)
       ~writes:(pw1 - pw0) ~exec_ns ~pager_ns ~latency_ns:lat ();
-    if retain then begin
-      latencies.(!completed) <- lat;
-      req_log.(rid) <- Some r
-    end;
+    if retain then latencies.(!served_count) <- lat;
     lat_sum := !lat_sum + lat;
     if lat > !lat_max then lat_max := lat;
-    incr completed;
+    incr served_count;
+    finalize st r;
     Twine_obs.Obs.observe ~exemplar:rid obs "serve.latency_ns" lat;
     if cfg.trace_requests then
       Twine_obs.Obs.emit obs ~cat:"serve"
@@ -570,16 +708,238 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
         "serve.req";
     r
   in
+  (* Fast-fail completion (no service): shed at admission, client
+     deadline expiry, or retry-budget exhaustion. The record is real —
+     it lands in the log and the counters — but books nothing: any
+     wasted work was already moved to the failover bucket. *)
+  let fail_fast outcome ~eid ~attempts ~retry_wait st_opt rid at req =
+    let now = Machine.now_ns machine in
+    let r =
+      {
+        rid;
+        enclave = eid;
+        kind = Workload.req_name req;
+        arrival_ns = at;
+        start_ns = now;
+        finish_ns = now;
+        outcome;
+        attempts;
+        retry_wait_ns = retry_wait;
+        breakdown = zero_breakdown ();
+        interference = [];
+      }
+    in
+    (match st_opt with
+    | Some st -> finalize st r
+    | None ->
+        if retain then req_log.(rid) <- Some r;
+        incr completed);
+    (match outcome with
+    | Shed ->
+        incr shed_count;
+        Twine_obs.Obs.inc obs "serve.shed"
+    | Timed_out ->
+        incr timeout_count;
+        Twine_obs.Obs.inc obs "serve.timeout"
+    | Failed ->
+        incr failed_count;
+        Twine_obs.Obs.inc obs "serve.failed"
+    | Served -> ());
+    if cfg.trace_requests then
+      Twine_obs.Obs.emit obs ~cat:"serve"
+        ~args:[ ("rid", rid); ("enclave", eid); ("lat_ns", latency_ns r) ]
+        ("serve." ^ outcome_name outcome)
+  in
+  let enqueue slot item st =
+    let w = workers.(slot) in
+    Queue.add item w.queue;
+    st.s_queued <- true;
+    st.s_slot <- slot;
+    w.live <- w.live + 1;
+    if w.live > w.depth_hwm then w.depth_hwm <- w.live;
+    incr pending
+  in
+  let least_loaded () =
+    let best = ref 0 in
+    Array.iteri
+      (fun i w -> if w.live < workers.(!best).live then best := i)
+      workers;
+    !best
+  in
+  (* EPC-pressure shedding: cross-enclave refaults accumulated within
+     the current tumbling window, so the trigger resets as the window
+     turns — a rate, not a lifetime total. *)
+  let refault_win = ref (-1) in
+  let refault_base = ref 0 in
+  let epc_pressure now =
+    cfg.shed_refaults > 0
+    && begin
+         let wi = (now - t0) / window_ns in
+         if wi <> !refault_win then begin
+           refault_win := wi;
+           refault_base := Epc.cross_refaults epc
+         end;
+         Epc.cross_refaults epc - !refault_base >= cfg.shed_refaults
+       end
+  in
+  (* -- batch-failure handling: salvage, blame, requeue, relaunch -- *)
+  let salvage_to_failover () =
+    (* The partial slices of the request that was in flight when the
+       fault hit, plus the batch's accumulated overhead, are wasted
+       work: move them to the failover bucket so the conservation law
+       stays exact and the failure domain owns its own cost. *)
+    (match !cur with
+    | Some r ->
+        let t = breakdown_total r.breakdown in
+        attributed := !attributed - t;
+        failover_ns := !failover_ns + t;
+        cur := None
+    | None -> ());
+    let oh = Hashtbl.fold (fun _ ns acc -> acc + ns) overhead 0 in
+    failover_ns := !failover_ns + oh;
+    Hashtbl.reset overhead
+  in
+  let requeue_unfinished ~eid batch served =
+    let done_rids = List.map (fun r -> r.rid) served in
+    List.iter
+      (fun (rid, at, req) ->
+        if not (List.mem rid done_rids) then
+          match Hashtbl.find_opt rstate rid with
+          | None -> ()
+          | Some st ->
+              if st.s_requeues >= cfg.retries then
+                fail_fast Failed ~eid ~attempts:(st.s_requeues + 1)
+                  ~retry_wait:st.s_retry_wait (Some st) rid at req
+              else begin
+                st.s_requeues <- st.s_requeues + 1;
+                incr retry_count;
+                Twine_obs.Obs.inc obs "serve.retry";
+                let backoff =
+                  if cfg.backoff_ns <= 0 then 0
+                  else begin
+                    (* capped exponential with deterministic DRBG jitter
+                       (up to +25%), identical across replays and modes *)
+                    let exp = min 20 (st.s_requeues - 1) in
+                    let b =
+                      min cfg.backoff_cap_ns (cfg.backoff_ns * (1 lsl exp))
+                    in
+                    let j =
+                      if b >= 4 then Twine_crypto.Drbg.int_below jitter (b / 4)
+                      else 0
+                    in
+                    b + j
+                  end
+                in
+                st.s_retry_wait <- st.s_retry_wait + backoff;
+                ignore
+                  (Twine_sim.Eventq.schedule timers
+                     ~at:(Machine.now_ns machine + backoff)
+                     (`Requeue (rid, at, req)))
+              end)
+      batch
+  in
+  let handle_batch_failure slot w batch served err =
+    salvage_to_failover ();
+    in_failover := true;
+    (match err with
+    | `Transient _ ->
+        (* recoverable entry failure: the enclave is healthy, only the
+           batch is lost — detect and requeue *)
+        Machine.charge machine ~account:"serve.failover.detect"
+          "serve.failover" failover_detect_ns
+    | `Lost _ ->
+        incr failover_count;
+        Twine_obs.Obs.inc obs "serve.failover";
+        let fo_start = Machine.now_ns machine in
+        Machine.charge machine ~account:"serve.failover.detect"
+          "serve.failover" failover_detect_ns;
+        let resident = Epc.resident_of epc w.eid in
+        Machine.charge machine ~account:"serve.failover.teardown"
+          "serve.failover"
+          (failover_teardown_base_ns + (resident * failover_teardown_page_ns));
+        (* EREMOVE the poisoned enclave: releases its EPC pages and
+           purges its eviction provenance. Its Db handle dies with it —
+           the durable truth lives in the slot's backing. *)
+        Twine.Runtime.destroy w.rt;
+        Machine.charge machine ~account:"serve.failover.relaunch"
+          "serve.failover" failover_relaunch_ns;
+        let neww =
+          make_worker cfg machine ~backing:backings.(slot)
+            ~sqlstats:w.sqlstats ()
+        in
+        Machine.charge machine ~account:"serve.failover.recover"
+          "serve.failover" failover_recover_ns;
+        (* arrivals queued behind the crash migrate to the replacement;
+           the depth high-water mark is a slot-level statistic *)
+        Queue.transfer w.queue neww.queue;
+        neww.live <- w.live;
+        neww.depth_hwm <- w.depth_hwm;
+        workers.(slot) <- neww;
+        evict0.(slot) <- Epc.evictions_of epc neww.eid;
+        Hashtbl.remove worker_of_track (track_of_eid w.eid);
+        Hashtbl.replace worker_of_track (track_of_eid neww.eid) neww;
+        let dur = Machine.now_ns machine - fo_start in
+        recovery_durations := dur :: !recovery_durations;
+        Twine_obs.Obs.observe obs "serve.failover_ns" dur);
+    in_failover := false;
+    requeue_unfinished ~eid:w.eid batch served
+  in
   let drain () =
     let now = Machine.now_ns machine in
     refill now;
     Twine_sim.Eventq.drain_until q ~now
       (fun ~at (rid, enc, req) ->
-        let w = workers.(enc) in
-        Queue.add (rid, at, req) w.queue;
-        let d = Queue.length w.queue in
-        if d > w.depth_hwm then w.depth_hwm <- d;
-        incr pending)
+        (* admission control: shed before spending anything on it *)
+        if
+          (cfg.shed_depth > 0 && workers.(enc).live >= cfg.shed_depth)
+          || epc_pressure now
+        then
+          fail_fast Shed ~eid:workers.(enc).eid ~attempts:0 ~retry_wait:0
+            None rid at req
+        else begin
+          let st =
+            {
+              s_home = enc;
+              s_slot = enc;
+              s_requeues = 0;
+              s_retry_wait = 0;
+              s_deadline = None;
+              s_queued = false;
+              s_arrival = at;
+              s_req = req;
+            }
+          in
+          Hashtbl.replace rstate rid st;
+          if cfg.deadline_ns > 0 then
+            st.s_deadline <-
+              Some
+                (Twine_sim.Eventq.schedule timers ~at:(at + cfg.deadline_ns)
+                   (`Deadline rid));
+          enqueue enc (rid, at, req) st
+        end);
+    Twine_sim.Eventq.drain_until timers ~now (fun ~at:_ ev ->
+        match ev with
+        | `Deadline rid -> (
+            match Hashtbl.find_opt rstate rid with
+            | None -> ()  (* completed; cancellation is belt-and-braces *)
+            | Some st ->
+                (* the client gave up: while queued (tombstone the
+                   entry) or while waiting out a retry backoff *)
+                if st.s_queued then begin
+                  let w = workers.(st.s_slot) in
+                  w.live <- w.live - 1;
+                  decr pending;
+                  st.s_queued <- false
+                end;
+                fail_fast Timed_out ~eid:workers.(st.s_slot).eid
+                  ~attempts:st.s_requeues ~retry_wait:st.s_retry_wait
+                  (Some st) rid st.s_arrival st.s_req)
+        | `Requeue (rid, at, req) -> (
+            match Hashtbl.find_opt rstate rid with
+            | None -> ()  (* timed out while backing off *)
+            | Some st ->
+                let slot = if cfg.hedge then least_loaded () else st.s_home in
+                enqueue slot (rid, at, req) st))
   in
   (* -- virtual-time metrics sampler: per-enclave counter time-series
      (sample-and-hold: one sample per crossed boundary batch) -- *)
@@ -594,8 +954,7 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
         | Some _ ->
             let per f = Array.to_list (Array.map f workers) in
             Twine_obs.Obs.emit_counter obs ~cat:"serve" "serve.queue_depth"
-              (per (fun w ->
-                   (Printf.sprintf "e%d" w.eid, Queue.length w.queue)));
+              (per (fun w -> (Printf.sprintf "e%d" w.eid, w.live)));
             Twine_obs.Obs.emit_counter obs ~cat:"serve" "serve.epc_resident"
               (per (fun w ->
                    (Printf.sprintf "e%d" w.eid, Epc.resident_of epc w.eid)));
@@ -607,39 +966,71 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       end
     end
   in
+  (* fold completed requests into the windowed series only once their
+     breakdowns are final (after any overhead shares landed) *)
+  let fold_served served =
+    List.iter
+      (fun r ->
+        let comps = components r in
+        let lat = latency_ns r in
+        Twine_obs.Timeseries.record series ~now:r.finish_ns ~track:fleet_track
+          ~latency_ns:lat ~comps ();
+        Twine_obs.Timeseries.record series ~now:r.finish_ns
+          ~track:(track_of_eid r.enclave) ~latency_ns:lat ~comps ())
+      served
+  in
+  (* pop up to [nleft] LIVE entries, skipping tombstones of requests
+     that timed out while queued *)
+  let rec take_batch w nleft acc =
+    if nleft = 0 || w.live = 0 then List.rev acc
+    else
+      let ((rid, _, _) as item) = Queue.pop w.queue in
+      match Hashtbl.find_opt rstate rid with
+      | Some st when st.s_queued ->
+          st.s_queued <- false;
+          w.live <- w.live - 1;
+          take_batch w (nleft - 1) (item :: acc)
+      | _ -> take_batch w nleft acc
+  in
   while !completed < n do
     drain ();
     maybe_sample ();
     if !pending = 0 then begin
       (* nothing runnable: the simulated core sleeps until the next
-         arrival — booked, so the audit still balances to elapsed time.
-         The queue drained empty, so the next arrival is the stream's
-         lookahead. *)
+         event — booked, so the audit still balances to elapsed time.
+         The next event is an arrival (queued or the stream's
+         lookahead), a client deadline, or a retry requeue. *)
+      let earliest a b =
+        match (a, b) with
+        | None, x | x, None -> x
+        | Some x, Some y -> Some (min x y)
+      in
       let next_at =
-        match Twine_sim.Eventq.peek_time q with
-        | Some t -> Some t
-        | None -> Option.map (fun a -> t0 + a.Workload.at) !lookahead
+        earliest
+          (Twine_sim.Eventq.peek_time q)
+          (earliest
+             (Option.map (fun a -> t0 + a.Workload.at) !lookahead)
+             (Twine_sim.Eventq.peek_time timers))
       in
       match next_at with
       | Some t ->
           let dt = t - Machine.now_ns machine in
           Machine.charge machine ~account:"serve.idle" "serve.idle" dt
-      | None -> assert false (* completed < n implies arrivals remain *)
+      | None -> assert false (* completed < n implies events remain *)
     end
     else begin
       let k = cfg.enclaves in
       let rec find i tries =
         if tries = 0 then None
-        else if Queue.is_empty workers.(i mod k).queue then
-          find (i + 1) (tries - 1)
+        else if workers.(i mod k).live = 0 then find (i + 1) (tries - 1)
         else Some (i mod k)
       in
       match find !rr k with
-      | None -> assert false (* pending > 0 implies a non-empty queue *)
+      | None -> assert false (* pending > 0 implies a live queue *)
       | Some i ->
           rr := (i + 1) mod k;
           let w = workers.(i) in
-          let batch = take_batch w.queue cfg.batch [] in
+          let batch = take_batch w cfg.batch [] in
           pending := !pending - List.length batch;
           incr batches;
           Twine_obs.Obs.observe obs "serve.batch_fill" (List.length batch);
@@ -654,43 +1045,45 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
             else None
           in
           in_batch := true;
-          let served =
-            Twine.Runtime.serve w.rt ?batch:batch_ctx (fun e ->
-                List.map (serve_one w e) batch)
+          let done_rev = ref [] in
+          let result =
+            Twine.Runtime.serve_safe w.rt ?batch:batch_ctx (fun e ->
+                List.iter
+                  (fun item -> done_rev := serve_one w e item :: !done_rev)
+                  batch)
           in
           in_batch := false;
-          (* The batch's entry/exit crossings (and any other booking not
-             inside a single request) are shared overhead: split each
-             account evenly over the batch, remainder to the first
-             request, so the split is exact in integers. *)
-          let k_served = List.length served in
-          if k_served > 0 then
-            Hashtbl.iter
-              (fun account ns ->
-                let per = ns / k_served and rem = ns mod k_served in
-                List.iteri
-                  (fun j r ->
-                    let share = per + if j = 0 then rem else 0 in
-                    credit r.breakdown account share;
-                    attributed := !attributed + share)
-                  served)
-              overhead;
-          Hashtbl.reset overhead;
-          (* fold the batch into the windowed series only now: the
-             breakdowns are final once the overhead shares landed *)
-          List.iter
-            (fun r ->
-              let comps = components r in
-              let lat = latency_ns r in
-              Twine_obs.Timeseries.record series ~now:r.finish_ns
-                ~track:fleet_track ~latency_ns:lat ~comps ();
-              Twine_obs.Timeseries.record series ~now:r.finish_ns
-                ~track:(track_of_eid r.enclave) ~latency_ns:lat ~comps ())
-            served
+          let served = List.rev !done_rev in
+          (match result with
+          | Ok () ->
+              (* The batch's entry/exit crossings (and any other booking
+                 not inside a single request) are shared overhead: split
+                 each account evenly over the batch, remainder to the
+                 first request, so the split is exact in integers. *)
+              let k_served = List.length served in
+              if k_served > 0 then
+                Hashtbl.iter
+                  (fun account ns ->
+                    let per = ns / k_served and rem = ns mod k_served in
+                    List.iteri
+                      (fun j r ->
+                        let share = per + if j = 0 then rem else 0 in
+                        credit r.breakdown account share;
+                        attributed := !attributed + share)
+                      served)
+                  overhead;
+              Hashtbl.reset overhead
+          | Error err ->
+              (* requests that completed before the fault keep their
+                 slices (no overhead share: the batch overhead is
+                 failure-domain cost now); the rest retry or fail *)
+              handle_batch_failure i w batch served err);
+          fold_served served
     end
   done;
   Twine_obs.Ledger.set_tap ledger None;
   Epc.set_refault_hook epc None;
+  Machine.disarm_faults ();
   let final_now = Machine.now_ns machine in
   let elapsed_ns = final_now - t0 in
   (* close the series through the window holding the last completion
@@ -708,8 +1101,13 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
   let slo_eval =
     Option.map (fun spec -> (spec, Twine_obs.Slo.evaluate spec windows)) cfg.slo
   in
-  let sorted = Array.sub latencies 0 (if retain then n else 0) in
+  let sorted = Array.sub latencies 0 (if retain then !served_count else 0) in
   Array.sort compare sorted;
+  let recovery_sorted =
+    let a = Array.of_list !recovery_durations in
+    Array.sort compare a;
+    a
+  in
   let ecalls = Twine_obs.Obs.value obs "sgx.ecall" in
   let ocalls = Twine_obs.Obs.value obs "sgx.ocall" in
   let requests_log =
@@ -738,7 +1136,7 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       throughput_rps =
         (if elapsed_ns = 0 then 0.
          else float_of_int n /. (float_of_int elapsed_ns /. 1e9));
-      mean_ns = (if n = 0 then 0 else !lat_sum / n);
+      mean_ns = (if !served_count = 0 then 0 else !lat_sum / !served_count);
       (* retained mode: exact nearest-rank percentiles; streaming mode:
          the sketch estimates (within Sketch.alpha), since no latency
          array exists to sort *)
@@ -763,7 +1161,20 @@ let run ?(prepare = fun (_ : Machine.t) -> ()) (cfg : config) =
       requests_log;
       attributed_ns = !attributed;
       unattributed_ns = !outside;
-      attribution_residue_ns = booked - !attributed - !outside;
+      failover_ns = !failover_ns;
+      attribution_residue_ns = booked - !attributed - !outside - !failover_ns;
+      served = !served_count;
+      shed = !shed_count;
+      timed_out = !timeout_count;
+      failed = !failed_count;
+      retries = !retry_count;
+      failovers = !failover_count;
+      recovery_p99_ns = percentile recovery_sorted 0.99;
+      goodput_rps =
+        (if elapsed_ns = 0 then 0.
+         else float_of_int !served_count /. (float_of_int elapsed_ns /. 1e9));
+      availability_ppm =
+        (if n = 0 then 1_000_000 else !served_count * 1_000_000 / n);
       cross_refaults = Twine_obs.Obs.value obs "epc.refault.cross";
       interference_by_evictor;
       p99_exemplar_rids;
@@ -885,9 +1296,12 @@ let render_blame ?(top = 10) (s : stats) =
   f "p99 exemplar rids:";
   List.iter (fun rid -> f " %d" rid) s.p99_exemplar_rids;
   f "\n";
-  f "attribution: booked %d ns = requests %d ns + idle %d ns + residue %d ns%s\n"
-    (s.attributed_ns + s.unattributed_ns + s.attribution_residue_ns)
-    s.attributed_ns s.unattributed_ns s.attribution_residue_ns
+  f
+    "attribution: booked %d ns = requests %d ns + idle %d ns + failover %d ns \
+     + residue %d ns%s\n"
+    (s.attributed_ns + s.unattributed_ns + s.failover_ns
+   + s.attribution_residue_ns)
+    s.attributed_ns s.unattributed_ns s.failover_ns s.attribution_residue_ns
     (if s.attribution_residue_ns = 0 then " (slices conserve)"
      else " (UNATTRIBUTED TIME)");
   f "cross-enclave refaults: %d" s.cross_refaults;
@@ -899,19 +1313,20 @@ let render_blame ?(top = 10) (s : stats) =
 
 (* --- canonical request-trace text (byte-identical across replays) --- *)
 
-let request_trace_schema = "twine-request-trace/v1"
+let request_trace_schema = "twine-request-trace/v2"
 
 let render_requests (s : stats) =
   require_retained "render_requests" s;
   let b = Buffer.create 4096 in
   let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   f "# %s\n" request_trace_schema;
-  f "# rid enclave kind arrival start finish queue transition exec pager \
-     epc_fault epc_evict crypto other interference\n";
+  f "# rid enclave kind outcome attempts arrival start finish queue retry \
+     transition exec pager epc_fault epc_evict crypto other interference\n";
   Array.iter
     (fun r ->
-      f "%d %d %s %d %d %d %d %d %d %d %d %d %d %d %s\n" r.rid r.enclave r.kind
-        r.arrival_ns r.start_ns r.finish_ns (queue_ns r)
+      f "%d %d %s %s %d %d %d %d %d %d %d %d %d %d %d %d %d %s\n" r.rid
+        r.enclave r.kind (outcome_name r.outcome) r.attempts r.arrival_ns
+        r.start_ns r.finish_ns (queue_ns r) r.retry_wait_ns
         r.breakdown.transition_ns r.breakdown.exec_ns r.breakdown.pager_ns
         r.breakdown.epc_fault_ns r.breakdown.epc_evict_ns
         r.breakdown.crypto_ns r.breakdown.other_ns
@@ -938,8 +1353,18 @@ let render (s : stats) =
   f "  evictions by enclave:";
   List.iter (fun (id, v) -> f " e%d=%d" id v) s.evictions_by_enclave;
   f "\n";
-  f "  attribution      %d requests: %d ns sliced + %d ns idle, residue %d ns\n"
-    s.requests s.attributed_ns s.unattributed_ns s.attribution_residue_ns;
+  f
+    "  attribution      %d requests: %d ns sliced + %d ns idle + %d ns \
+     failover, residue %d ns\n"
+    s.requests s.attributed_ns s.unattributed_ns s.failover_ns
+    s.attribution_residue_ns;
+  f "  outcomes         %d served, %d shed, %d timed out, %d failed\n" s.served
+    s.shed s.timed_out s.failed;
+  f "  resilience       %d retries, %d failovers (recovery p99 %d ns)\n"
+    s.retries s.failovers s.recovery_p99_ns;
+  f "  goodput          %.0f req/s (availability %d.%04d%%)\n" s.goodput_rps
+    (s.availability_ppm / 10_000)
+    (s.availability_ppm mod 10_000);
   f "  interference     %d cross-enclave refaults\n" s.cross_refaults;
   f "  sampler          %d samples, queue depth high-water %d\n"
     s.sampler_samples s.queue_depth_hwm;

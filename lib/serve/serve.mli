@@ -65,11 +65,39 @@ type config = {
   slo : Twine_obs.Slo.spec option;
       (** latency objective to evaluate over the windowed series; also
           supplies the over-threshold counting the burn rates need *)
+  chaos : Twine_sim.Chaos.spec option;
+      (** seeded fault schedule armed for the serving phase only
+          (setup/population run clean); spec activation windows are
+          relative to the phase start *)
+  deadline_ns : int;
+      (** client deadline: a request still unserved this long after its
+          arrival completes as [Timed_out]; 0 disables deadlines *)
+  retries : int;
+      (** requeues allowed per request after enclave faults before it
+          completes as [Failed] *)
+  backoff_ns : int;
+      (** retry backoff base: requeue k waits [base * 2^(k-1)] (plus
+          deterministic DRBG jitter up to +25%); 0 retries immediately *)
+  backoff_cap_ns : int;  (** exponential backoff cap (before jitter) *)
+  hedge : bool;
+      (** hedged retries: a requeued request goes to the least-loaded
+          enclave instead of back to its home queue (every enclave holds
+          an identical dataset, so any slot can serve it) *)
+  shed_depth : int;
+      (** admission control: an arrival finding its enclave's live queue
+          this deep completes as [Shed] without being enqueued; 0
+          disables depth shedding *)
+  shed_refaults : int;
+      (** EPC-pressure shedding: arrivals are shed while cross-enclave
+          refaults within the current tumbling window have reached this
+          count; 0 disables *)
 }
 
 val default_config : config
 (** 100k requests, 8 enclaves, batch 16, 768-page EPC, factor 2.5,
-    1 ms virtual sampling, retention on, 50 ms windows, no SLO. *)
+    1 ms virtual sampling, retention on, 50 ms windows, no SLO, no
+    chaos, no deadlines/shedding, 2 retries with 100 us base backoff
+    capped at 5 ms. *)
 
 val shape_of : config -> Workload.shape
 
@@ -89,6 +117,18 @@ type breakdown = {
 
 val breakdown_total : breakdown -> int
 
+(** How a request left the system. Every admitted rid completes with
+    exactly one outcome and appears once in the request log; only
+    [Served] counts toward goodput. *)
+type outcome =
+  | Served
+  | Shed  (** fast-failed at admission (queue depth / EPC pressure) *)
+  | Timed_out  (** client deadline passed while queued or backing off *)
+  | Failed  (** retry budget exhausted after enclave faults *)
+
+val outcome_name : outcome -> string
+(** ["served"], ["shed"], ["timeout"], ["failed"]. *)
+
 type request = {
   rid : int;
   enclave : int;
@@ -96,6 +136,12 @@ type request = {
   arrival_ns : int;
   start_ns : int;  (** when its batch reached the front and service began *)
   mutable finish_ns : int;
+  mutable outcome : outcome;
+  mutable attempts : int;
+      (** dispatches into a batch (0 for requests shed or expired
+          unserved) *)
+  mutable retry_wait_ns : int;
+      (** total backoff delay scheduled before retries of this request *)
   breakdown : breakdown;
   mutable interference : (int * int) list;
       (** (evictor enclave, cross-enclave refaults this request paid
@@ -122,7 +168,7 @@ type stats = {
   idle_ns : int;
   throughput_rps : float;
   mean_ns : int;
-  p50_ns : int;  (** exact nearest-rank percentiles over all latencies *)
+  p50_ns : int;  (** exact nearest-rank percentiles over served latencies *)
   p99_ns : int;
   max_ns : int;
   batches : int;
@@ -137,12 +183,27 @@ type stats = {
   evictions_by_enclave : (int * int) list;
       (** [(enclave id, times one of its pages was the eviction victim)] —
           the cross-enclave interference measure of the shared EPC *)
-  requests_log : request array;  (** indexed by rid; every request served *)
+  requests_log : request array;
+      (** indexed by rid; every admitted request, any outcome *)
   attributed_ns : int;  (** sum of all requests' cycle slices *)
   unattributed_ns : int;  (** booked outside any batch: scheduler idle *)
+  failover_ns : int;
+      (** booked to the failure domain: the wasted work of crashed
+          batches plus the detect/teardown/relaunch/recover path *)
   attribution_residue_ns : int;
-      (** booked − attributed − unattributed; 0 is the conservation
-          invariant the bench gate pins *)
+      (** booked − attributed − unattributed − failover; 0 is the
+          conservation invariant the bench gate pins *)
+  served : int;
+  shed : int;
+  timed_out : int;
+  failed : int;
+  retries : int;  (** requeues scheduled after failed batches *)
+  failovers : int;  (** enclaves lost, destroyed and relaunched *)
+  recovery_p99_ns : int;
+      (** p99 failover duration — detect through recovered replacement
+          (0 when no failover happened) *)
+  goodput_rps : float;  (** served requests / elapsed *)
+  availability_ppm : int;  (** served per million admitted *)
   cross_refaults : int;
   interference_by_evictor : (int * int) list;
       (** (enclave, refaults its faults inflicted on others) *)
@@ -199,9 +260,11 @@ val render : stats -> string
 type blame = {
   b_request : request;
   b_dominant : string;
-      (** ["queue"], ["transition"], ["exec"], ["pager"], ["epc.fault"],
-          ["epc.evict"], ["crypto"] or ["other"] — the largest component
-          of this request's latency (ties break toward that order) *)
+      (** ["queue"], ["retry"], ["transition"], ["exec"], ["pager"],
+          ["epc.fault"], ["epc.evict"], ["crypto"] or ["other"] — the
+          largest component of this request's latency (ties break toward
+          that order); ["retry"] is backoff wait carved out of the queue
+          component *)
   b_dominant_ns : int;
 }
 
@@ -227,10 +290,10 @@ val render_blame : ?top:int -> stats -> string
 val request_trace_schema : string
 
 val render_requests : stats -> string
-(** Canonical per-request trace: one line per rid with timestamps,
-    queue wait and the full cycle slice. Byte-identical across replays
-    of the same [(seed, config)] — the serialisable artifact of the
-    attribution layer.
+(** Canonical per-request trace: one line per rid with outcome, attempt
+    count, timestamps, queue/retry wait and the full cycle slice.
+    Byte-identical across replays of the same [(seed, config)] — the
+    serialisable artifact of the attribution layer.
     @raise Invalid_argument when [retained = false]. *)
 
 (** {2 Windowed SLO artifact} *)

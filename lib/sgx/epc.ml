@@ -147,7 +147,22 @@ let release_enclave t enclave_id =
       | None -> ());
       Hashtbl.remove t.evicted_by page)
     doomed;
-  Hashtbl.remove t.resident_counts enclave_id
+  Hashtbl.remove t.resident_counts enclave_id;
+  (* Provenance hygiene for destroy-then-relaunch fleets: drop every
+     eviction-provenance entry that names the dead enclave on EITHER
+     side. Victim-side entries for its already-evicted (non-resident)
+     pages would leak forever — the owner can never fault them back in.
+     Evictor-side entries would blame a destroyed enclave (or, worse, a
+     later enclave reusing the id) when the surviving owner refaults. *)
+  let stale =
+    Hashtbl.fold
+      (fun page evictor acc ->
+        if enclave_of_page page = enclave_id || evictor = enclave_id then
+          page :: acc
+        else acc)
+      t.evicted_by []
+  in
+  List.iter (Hashtbl.remove t.evicted_by) stale
 
 let hits t = t.hit_count
 let faults t = t.fault_count

@@ -40,7 +40,12 @@ val touch : t -> page -> [ `Hit | `Fault of page option ]
     to make room (the expensive EWB path). *)
 
 val release_enclave : t -> int -> unit
-(** Drop all resident pages belonging to an enclave id (EREMOVE). *)
+(** Drop all resident pages belonging to an enclave id (EREMOVE), its
+    residency counter, and every eviction-provenance entry naming it as
+    victim owner {e or} evictor — a destroyed enclave must never be
+    blamed for (or credited with) future refaults, and victim-side
+    entries for its evicted pages would otherwise leak forever. The
+    historical {!evictions_of} count is kept: it describes the past. *)
 
 val hits : t -> int
 (** Total resident-page hits since creation. *)

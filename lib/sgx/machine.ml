@@ -101,6 +101,7 @@ let set_software_mode t = t.costs <- Costs.software_mode t.costs
    balanced under injection. *)
 let arm_faults t plan =
   Fault.arm plan
+    ~now:(fun () -> Clock.now_ns t.clock)
     ~notify:(fun (inj : Fault.injection) ->
       let ns = match inj.Fault.action with Fault.Delay n -> n | _ -> 0 in
       charge t ~account:("fault." ^ inj.Fault.site) "fault.inject" ns;

@@ -64,7 +64,10 @@ val arm_faults : t -> Twine_sim.Fault.plan -> unit
     conservation audit still balances — [Delay] faults charge their
     virtual ns, all others book a zero-ns event), bumps the
     [fault.injected] counter and emits a trace instant when a flight
-    recorder is attached. Disarm with {!disarm_faults}. *)
+    recorder is attached. The machine's virtual clock is installed as
+    the plan's time source, so rules with [from_ns]/[until_ns]
+    activation windows gate on this machine's virtual time. Disarm with
+    {!disarm_faults}. *)
 
 val disarm_faults : unit -> unit
 (** Disarm the global fault plan (idempotent). *)

@@ -2,18 +2,28 @@
    events keyed on (time, insertion sequence). The sequence number makes
    ties deterministic — two events scheduled for the same nanosecond pop
    in insertion order, so a simulation driven off this queue replays
-   identically for a given seed regardless of heap-internal layout. *)
+   identically for a given seed regardless of heap-internal layout.
+
+   Cancellation is tombstone-based: [cancel] only drops the event's
+   sequence number from the live set, and [peek]/[pop] discard dead
+   heap entries lazily on their way to the top. Each cancelled entry is
+   sifted out of the heap exactly once, so the amortized cost of a
+   cancel is one O(log n) heap pop — cheap enough for one deadline
+   timer per request in the serving fleet. *)
+
+type id = int  (* the event's insertion sequence number *)
 
 type 'a t = {
   mutable heap : (int * int * 'a) array;  (* (time, seq, payload) *)
   mutable size : int;
   mutable next_seq : int;
+  live : (int, unit) Hashtbl.t;  (* seqs in the heap and not cancelled *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0; live = Hashtbl.create 16 }
 
-let length t = t.size
-let is_empty t = t.size = 0
+let length t = Hashtbl.length t.live
+let is_empty t = Hashtbl.length t.live = 0
 
 let before (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
 
@@ -41,7 +51,7 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let add t ~at payload =
+let schedule t ~at payload =
   if at < 0 then invalid_arg "Eventq.add: negative time";
   if t.size = Array.length t.heap then begin
     let cap = max 16 (2 * Array.length t.heap) in
@@ -49,26 +59,58 @@ let add t ~at payload =
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end;
-  t.heap.(t.size) <- (at, t.next_seq, payload);
-  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  t.heap.(t.size) <- (at, seq, payload);
+  t.next_seq <- seq + 1;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t (t.size - 1);
+  Hashtbl.replace t.live seq ();
+  seq
 
-let peek t = if t.size = 0 then None else Some (let at, _, p = t.heap.(0) in (at, p))
+let add t ~at payload = ignore (schedule t ~at payload)
 
-let peek_time t = if t.size = 0 then None else Some (let at, _, _ = t.heap.(0) in at)
+(* Idempotent: a seq that already fired (or was already cancelled) is
+   no longer in the live set, so cancelling it is a no-op. *)
+let cancel t id = Hashtbl.remove t.live id
 
-let pop t =
+let heap_pop t =
   if t.size = 0 then None
   else begin
-    let at, _, p = t.heap.(0) in
+    let at, seq, p = t.heap.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
       sift_down t 0
     end;
-    Some (at, p)
+    Some (at, seq, p)
   end
+
+(* Discard cancelled entries off the top until a live one surfaces. *)
+let rec settle t =
+  if t.size = 0 then ()
+  else
+    let _, seq, _ = t.heap.(0) in
+    if Hashtbl.mem t.live seq then ()
+    else begin
+      ignore (heap_pop t);
+      settle t
+    end
+
+let peek t =
+  settle t;
+  if t.size = 0 then None else Some (let at, _, p = t.heap.(0) in (at, p))
+
+let peek_time t =
+  settle t;
+  if t.size = 0 then None else Some (let at, _, _ = t.heap.(0) in at)
+
+let pop t =
+  settle t;
+  match heap_pop t with
+  | None -> None
+  | Some (at, seq, p) ->
+      Hashtbl.remove t.live seq;
+      Some (at, p)
 
 (* Pop every event due at or before [now], in order. *)
 let drain_until t ~now f =

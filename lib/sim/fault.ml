@@ -19,6 +19,8 @@ type rule = {
   r_prob : float;
   mutable r_budget : int;  (* injections left; -1 = unlimited *)
   r_count : int;  (* initial budget, to restore on re-arm *)
+  r_from_ns : int option;  (* virtual-time activation window [from, until) *)
+  r_until_ns : int option;
 }
 
 type injection = { site : string; op : int; action : action }
@@ -30,15 +32,20 @@ type plan = {
   mutable state : int64;  (* PRNG state *)
   mutable log : injection list;  (* reversed *)
   mutable notify : injection -> unit;
+  mutable now : (unit -> int) option;
+      (* virtual-clock source for windowed rules, installed at arm time *)
 }
 
 exception Transient of string
 exception Crashed of string
 
-let rule ?nth ?(prob = 0.) ?count site action =
+let rule ?nth ?(prob = 0.) ?count ?from_ns ?until_ns site action =
   if prob < 0. || prob > 1. then invalid_arg "Fault.rule: prob out of range";
   (match nth with
   | Some n when n < 1 -> invalid_arg "Fault.rule: nth must be >= 1"
+  | _ -> ());
+  (match (from_ns, until_ns) with
+  | Some a, Some b when b <= a -> invalid_arg "Fault.rule: empty window"
   | _ -> ());
   let count =
     match (count, nth) with
@@ -47,7 +54,8 @@ let rule ?nth ?(prob = 0.) ?count site action =
     | None, None -> -1
   in
   { r_site = site; r_action = action; r_nth = nth; r_prob = prob;
-    r_budget = count; r_count = count }
+    r_budget = count; r_count = count; r_from_ns = from_ns;
+    r_until_ns = until_ns }
 
 (* FNV-1a over the seed string, then mixed, for the initial PRNG state. *)
 let hash_seed s =
@@ -67,6 +75,7 @@ let plan ?(seed = "fault") rules =
     state = hash_seed seed;
     log = [];
     notify = (fun _ -> ());
+    now = None;
   }
 
 (* xorshift64*: tiny, dependency-free, good enough for fault schedules. *)
@@ -84,11 +93,12 @@ let next_float p =
 
 let armed_plan : plan option ref = ref None
 
-let arm ?(notify = fun _ -> ()) p =
+let arm ?(notify = fun _ -> ()) ?now p =
   Hashtbl.reset p.ops;
   p.state <- hash_seed p.seed;
   p.log <- [];
   p.notify <- notify;
+  p.now <- now;
   List.iter (fun r -> r.r_budget <- r.r_count) p.rules;
   armed_plan := Some p
 
@@ -103,6 +113,24 @@ let fire p r op =
   p.notify inj;
   Some inj.action
 
+(* A windowed rule is active only while the plan's virtual clock reads
+   inside [from, until). Without a clock source (plain [arm], no [now])
+   windowed rules never fire — the window is a statement about virtual
+   time, and guessing would break replay determinism. The window check
+   runs before any PRNG draw, so an out-of-window probabilistic rule
+   consumes no randomness: the injected sequence stays a pure function
+   of (seed, workload, virtual timeline) across re-arms. *)
+let in_window p r =
+  match (r.r_from_ns, r.r_until_ns) with
+  | None, None -> true
+  | from_ns, until_ns -> (
+      match p.now with
+      | None -> false
+      | Some now ->
+          let t = now () in
+          (match from_ns with Some a -> t >= a | None -> true)
+          && (match until_ns with Some b -> t < b | None -> true))
+
 let consult site =
   match !armed_plan with
   | None -> None
@@ -113,7 +141,7 @@ let consult site =
         | [] -> None
         | r :: rest ->
             if
-              r.r_site = site && r.r_budget <> 0
+              r.r_site = site && r.r_budget <> 0 && in_window p r
               && (match r.r_nth with
                  | Some n -> n = op
                  | None -> r.r_prob > 0. && next_float p < r.r_prob)

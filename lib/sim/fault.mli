@@ -37,23 +37,40 @@ exception Crashed of string
 (** An unrecoverable fault at this site: simulated power loss on a
     storage path, or an asynchronous enclave abort on a transition. *)
 
-val rule : ?nth:int -> ?prob:float -> ?count:int -> string -> action -> rule
+val rule :
+  ?nth:int ->
+  ?prob:float ->
+  ?count:int ->
+  ?from_ns:int ->
+  ?until_ns:int ->
+  string ->
+  action ->
+  rule
 (** [rule site action] fires [action] at [site]. [nth] fires on exactly
     the n-th operation (1-based); otherwise each operation fires with
     probability [prob] (default 0, i.e. never). [count] caps the total
     number of injections from this rule (default 1 for [nth] rules,
-    unlimited for probabilistic ones). *)
+    unlimited for probabilistic ones). [from_ns]/[until_ns] restrict the
+    rule to the virtual-time window [[from_ns, until_ns)] so chaos can
+    target, say, only the steady-state phase of a serving run; windowed
+    rules need the plan armed with a clock source ({!arm}'s [now]) and
+    never fire without one. The window check precedes any PRNG draw, so
+    out-of-window operations consume no randomness and the injected
+    sequence replays identically across re-arms.
+    @raise Invalid_argument on an empty window. *)
 
 val plan : ?seed:string -> rule list -> plan
 (** Build a plan. [seed] (default ["fault"]) keys the PRNG used by
     probabilistic rules. *)
 
-val arm : ?notify:(injection -> unit) -> plan -> unit
+val arm : ?notify:(injection -> unit) -> ?now:(unit -> int) -> plan -> unit
 (** Make [plan] the armed plan. [notify] runs at every injection, before
     the action takes effect — the simulator uses it to book the fault
-    into the machine ledger and the trace ring. Arming resets the plan's
-    op counters and injection log, so a plan can be re-armed to replay
-    the identical sequence. *)
+    into the machine ledger and the trace ring. [now] supplies the
+    virtual clock that windowed rules ([from_ns]/[until_ns]) test
+    against; omitting it leaves those rules inactive. Arming resets the
+    plan's op counters and injection log, so a plan can be re-armed to
+    replay the identical sequence. *)
 
 val disarm : unit -> unit
 (** Disarm; all sites become no-ops again. Idempotent. *)

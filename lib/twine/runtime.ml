@@ -305,6 +305,28 @@ let serve t ?(name = "twine.serve") ?batch f =
   | None -> ());
   Enclave.ecall t.enclave ~name f
 
+(* [run_safe]-style containment for the serving entry point, with the
+   transient/lost distinction the fleet scheduler needs: a [`Transient]
+   entry failure leaves the enclave healthy (requeue and retry against
+   the same enclave); [`Lost] means the enclave is poisoned — tear it
+   down with {!destroy} and relaunch a replacement. *)
+let serve_safe t ?name ?batch f =
+  try Ok (serve t ?name ?batch f) with
+  | Twine_sim.Fault.Transient msg -> Error (`Transient msg)
+  | Twine_sim.Fault.Crashed msg -> Error (`Lost msg)
+  | Enclave.Poisoned -> Error (`Lost "enclave poisoned by earlier abort")
+
+(* Tear the runtime down after an enclave loss: drop the deployed module
+   and the guest-memory region (their enclave addresses die with the
+   enclave; keeping them would let a later [run] touch pages of a dead
+   address space), then destroy the enclave — which releases every EPC
+   page it still holds and purges its eviction-provenance entries, so a
+   relaunched replacement starts from clean machine-level accounting. *)
+let destroy t =
+  t.deployed <- None;
+  t.guest_mem <- None;
+  Enclave.destroy t.enclave
+
 (* --- fault containment --- *)
 
 type run_error =

@@ -120,6 +120,28 @@ val serve :
     attached flight recorder just before the ECALL, anchoring the batch
     on the timeline. *)
 
+val serve_safe :
+  t ->
+  ?name:string ->
+  ?batch:(string * int) list ->
+  (Twine_sgx.Enclave.t -> 'a) ->
+  ('a, [ `Transient of string | `Lost of string ]) result
+(** Like {!serve} but containing injected enclave faults as a typed
+    error: [`Transient] is a recoverable entry failure (the enclave is
+    healthy — requeue the batch and retry); [`Lost] is an asynchronous
+    enclave abort or an entry into an already-poisoned enclave — call
+    {!destroy} and relaunch a replacement. Guest traps and other
+    exceptions still propagate: the serving path runs no guest code. *)
+
+val destroy : t -> unit
+(** Tear the runtime down after an enclave loss: drops the deployed
+    module and guest-memory region, destroys the enclave (idempotent),
+    releases every EPC page it still held and purges its
+    eviction-provenance entries
+    ({!Twine_sgx.Epc.release_enclave}). A replacement created with the
+    same backing recovers its durable protected-file state through the
+    crash-recovery path at next open. *)
+
 type run_error =
   | Guest_trap of string
       (** the guest trapped (including fuel exhaustion); the enclave

@@ -542,6 +542,219 @@ let test_stream_scale () =
   Alcotest.(check bool) "books balance" true
     (Twine_obs.Ledger.balanced (Machine.ledger s.Serve.machine))
 
+(* -- failure domain: chaos, failover, deadlines, retries, shedding -- *)
+
+let chaos s =
+  match Twine_sim.Chaos.parse s with
+  | Ok spec -> Some spec
+  | Error e -> failwith ("test chaos spec: " ^ e)
+
+(* The extended conservation law: with a failover bucket in play, the
+   per-request slices plus scheduler idle plus the failure domain's
+   booked work must reproduce the serving-phase total exactly. *)
+let check_conserves_failover label (s : Serve.stats) =
+  let booked = s.Serve.ledger.Twine_obs.Ledger.booked_ns in
+  Alcotest.(check int) (label ^ ": residue 0") 0 s.Serve.attribution_residue_ns;
+  Alcotest.(check int)
+    (label ^ ": slices + idle + failover = serving-phase booked total")
+    booked
+    (s.Serve.attributed_ns + s.Serve.unattributed_ns + s.Serve.failover_ns);
+  Alcotest.(check int)
+    (label ^ ": stats total = sum of per-request slices")
+    s.Serve.attributed_ns
+    (Array.fold_left
+       (fun a r -> a + Serve.attributed_ns r)
+       0 s.Serve.requests_log);
+  Alcotest.(check int)
+    (label ^ ": outcomes partition the workload")
+    s.Serve.requests
+    (s.Serve.served + s.Serve.shed + s.Serve.timed_out + s.Serve.failed)
+
+let chaos_config =
+  {
+    small_config with
+    Serve.requests = 1_500;
+    chaos = chaos "seed=t;enclave.ecall=crash@40";
+    retries = 3;
+  }
+
+let test_chaos_failover_recovers () =
+  (* the acceptance scenario: one enclave crashes mid-run; the fleet
+     detects it, destroys it, relaunches a replacement that recovers
+     durable state, requeues the in-flight batch, and finishes the
+     workload without failing the run *)
+  let s = Serve.run chaos_config in
+  Alcotest.(check bool) "an enclave was lost and relaunched" true
+    (s.Serve.failovers >= 1);
+  Alcotest.(check bool) "goodput survives the crash" true
+    (s.Serve.goodput_rps > 0.);
+  Alcotest.(check bool) "the crashed batch was retried" true
+    (s.Serve.retries >= 1);
+  Alcotest.(check bool) "recovery duration recorded" true
+    (s.Serve.recovery_p99_ns > 0);
+  Alcotest.(check bool) "failover work booked" true (s.Serve.failover_ns > 0);
+  let l = Machine.ledger s.Serve.machine in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (a ^ " booked") true (Twine_obs.Ledger.ns l a > 0))
+    [ "serve.failover.detect"; "serve.failover.teardown";
+      "serve.failover.relaunch"; "serve.failover.recover" ];
+  check_conserves_failover "chaos" s;
+  Array.iter
+    (fun r ->
+      if r.Serve.outcome = Serve.Served then
+        Alcotest.(check bool) "served requests record their attempts" true
+          (r.Serve.attempts >= 1))
+    s.Serve.requests_log
+
+let test_destroy_relaunch_audit () =
+  (* regression: destroy-then-relaunch must leave clean books — the
+     machine-level conservation audit and the per-request law both hold
+     with zero residue, and the fleet views track the live enclaves *)
+  let s = Serve.run { chaos_config with Serve.requests = 1_000 } in
+  Alcotest.(check bool) "relaunched" true (s.Serve.failovers >= 1);
+  Alcotest.(check bool) "books balance after destroy+relaunch" true
+    (Twine_obs.Ledger.balanced (Machine.ledger s.Serve.machine));
+  check_conserves_failover "destroy+relaunch" s;
+  Alcotest.(check int) "one residency row per live slot" s.Serve.enclaves
+    (List.length s.Serve.epc_resident_by_enclave);
+  Alcotest.(check int) "one eviction row per live slot" s.Serve.enclaves
+    (List.length s.Serve.evictions_by_enclave)
+
+let prop_chaos_modes_agree =
+  (* satellite property: across seeds x batch x fleet x chaos rate, the
+     retained and --stream runs of one (seed, config) produce
+     byte-identical ledgers and twine-slo/v1 artifacts, and the
+     extended conservation law holds exactly *)
+  QCheck.Test.make ~name:"retained and stream chaos runs agree" ~count:6
+    QCheck.(
+      quad (oneofl [ "s1"; "s2"; "s3" ]) (oneofl [ 1; 7; 16 ])
+        (oneofl [ 1; 3; 8 ])
+        (oneofl [ 0.; 0.004; 0.02 ]))
+    (fun (seed, batch, enclaves, rate) ->
+      let spec =
+        if rate = 0. then "seed=p;enclave.ecall=crash@30"
+        else
+          Printf.sprintf "seed=p;enclave.ecall=crash@30;enclave.ecall=fail%%%g"
+            rate
+      in
+      let cfg =
+        {
+          small_config with
+          Serve.seed;
+          batch;
+          enclaves;
+          requests = 500;
+          chaos = chaos spec;
+          retries = 3;
+          deadline_ns = 80_000_000;
+        }
+      in
+      let r = Serve.run cfg in
+      let t = Serve.run { cfg with Serve.retain_requests = false } in
+      Serve.render_slo r = Serve.render_slo t
+      && Twine_obs.Ledger.to_string r.Serve.ledger
+         = Twine_obs.Ledger.to_string t.Serve.ledger
+      && r.Serve.attribution_residue_ns = 0
+      && t.Serve.attribution_residue_ns = 0
+      && r.Serve.ledger.Twine_obs.Ledger.booked_ns
+         = Array.fold_left
+             (fun a q -> a + Serve.attributed_ns q)
+             0 r.Serve.requests_log
+           + r.Serve.unattributed_ns + r.Serve.failover_ns)
+
+let test_deadline_expires () =
+  (* a deadline shorter than typical queue wait: requests expire while
+     queued, each exactly once, finish pinned at arrival + deadline *)
+  let cfg =
+    { small_config with Serve.requests = 800; deadline_ns = 300_000 }
+  in
+  let s = Serve.run cfg in
+  Alcotest.(check bool) "some requests timed out" true (s.Serve.timed_out > 0);
+  Alcotest.(check bool) "some still served" true (s.Serve.served > 0);
+  Array.iter
+    (fun r ->
+      if r.Serve.outcome = Serve.Timed_out then begin
+        (* timers drain at batch boundaries, so completion lands at or
+           after the scheduled expiry — never before it *)
+        Alcotest.(check bool) "finish >= arrival + deadline" true
+          (r.Serve.finish_ns >= r.Serve.arrival_ns + cfg.Serve.deadline_ns);
+        Alcotest.(check int) "expired while queued: never dispatched" 0
+          r.Serve.attempts
+      end)
+    s.Serve.requests_log;
+  check_conserves_failover "deadline" s;
+  let off = Serve.run { cfg with Serve.deadline_ns = 0 } in
+  Alcotest.(check int) "0 disables deadlines" 0 off.Serve.timed_out
+
+let test_shed_depth () =
+  (* an overloaded open loop with admission control: arrivals finding
+     the queue at the depth limit fast-fail as Shed with no attempts
+     and no cycle slice, and goodput keeps flowing *)
+  let cfg =
+    {
+      small_config with
+      Serve.enclaves = 2;
+      requests = 1_200;
+      mean_gap_ns = 300;
+      shed_depth = 16;
+    }
+  in
+  let s = Serve.run cfg in
+  Alcotest.(check bool) "overload sheds" true (s.Serve.shed > 0);
+  Alcotest.(check bool) "but keeps serving" true (s.Serve.served > 0);
+  Array.iter
+    (fun r ->
+      if r.Serve.outcome = Serve.Shed then begin
+        Alcotest.(check int) "shed at admission: no attempts" 0
+          r.Serve.attempts;
+        Alcotest.(check int) "shed requests carry no cycle slice" 0
+          (Serve.attributed_ns r)
+      end)
+    s.Serve.requests_log;
+  Alcotest.(check int) "availability counts only served requests"
+    (s.Serve.served * 1_000_000 / cfg.Serve.requests)
+    s.Serve.availability_ppm;
+  check_conserves_failover "shed" s;
+  let off = Serve.run { cfg with Serve.shed_depth = 0 } in
+  Alcotest.(check int) "0 disables depth shedding" 0 off.Serve.shed
+
+let test_retry_backoff_and_exhaustion () =
+  (* transient entry faults requeue with backoff (no failover); a zero
+     retry budget turns the same fault into Failed requests *)
+  let cfg =
+    {
+      small_config with
+      Serve.requests = 1_000;
+      chaos = chaos "seed=r;enclave.ecall=fail%0.02";
+      retries = 5;
+    }
+  in
+  let s = Serve.run cfg in
+  Alcotest.(check bool) "transient faults retried" true (s.Serve.retries > 0);
+  Alcotest.(check int) "transient faults cause no failover" 0
+    s.Serve.failovers;
+  let retried =
+    Array.to_list s.Serve.requests_log
+    |> List.filter (fun r -> r.Serve.attempts > 1)
+  in
+  Alcotest.(check bool) "some requests took several attempts" true
+    (retried <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "backoff wait recorded" true
+        (r.Serve.retry_wait_ns > 0))
+    retried;
+  Alcotest.(check int) "budget of 5 absorbs a 2% fault rate" 0 s.Serve.failed;
+  check_conserves_failover "retry" s;
+  let f =
+    Serve.run
+      { cfg with Serve.retries = 0; chaos = chaos "seed=r;enclave.ecall=fail@3" }
+  in
+  Alcotest.(check bool) "retry budget 0 fails the faulted batch" true
+    (f.Serve.failed > 0);
+  check_conserves_failover "exhausted" f
+
 let () =
   Alcotest.run "twine_serve"
     [
@@ -600,5 +813,19 @@ let () =
         [
           Alcotest.test_case "fleet registry and merge" `Quick
             test_sqlstats_registry;
+        ] );
+      ( "failure-domain",
+        [
+          Alcotest.test_case "chaos crash fails over and recovers" `Quick
+            test_chaos_failover_recovers;
+          Alcotest.test_case "destroy+relaunch audits clean" `Quick
+            test_destroy_relaunch_audit;
+          Alcotest.test_case "deadlines expire queued requests" `Quick
+            test_deadline_expires;
+          Alcotest.test_case "depth shedding under overload" `Quick
+            test_shed_depth;
+          Alcotest.test_case "retry backoff and exhaustion" `Quick
+            test_retry_backoff_and_exhaustion;
+          QCheck_alcotest.to_alcotest prop_chaos_modes_agree;
         ] );
     ]

@@ -104,6 +104,50 @@ let test_epc_release_enclave () =
   Alcotest.(check bool) "enclave 2 still resident" true
     (Epc.touch epc (Epc.page_of ~enclave_id:2 ~page_no:0) = `Hit)
 
+(* Regression: teardown hygiene. release_enclave must purge the
+   eviction-provenance table on BOTH sides — entries whose victim owner
+   is the destroyed enclave (they would leak forever, and misfire if
+   the id were ever reused) and entries naming it as evictor (a
+   destroyed enclave must never be blamed for a future refault). The
+   serving fleet's failover path relies on this: a relaunched
+   replacement starts with clean blame books. *)
+let test_epc_release_purges_provenance () =
+  let cross_entry () =
+    (* enclave 1 owns both resident pages; enclave 2's fault evicts
+       enclave 1's LRU page, leaving a provenance entry (owner 1, by 2) *)
+    let epc = Epc.create ~limit_bytes:(2 * page) () in
+    let fired = ref [] in
+    Epc.set_refault_hook epc
+      (Some (fun ~owner ~evictor -> fired := (owner, evictor) :: !fired));
+    ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:0));
+    ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:1));
+    ignore (Epc.touch epc (Epc.page_of ~enclave_id:2 ~page_no:0));
+    (epc, fired)
+  in
+  (* sanity: with no release, the owner's refault blames enclave 2 *)
+  let epc, fired = cross_entry () in
+  ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:0));
+  Alcotest.(check (list (pair int int))) "refault blames the evictor"
+    [ (1, 2) ] !fired;
+  Alcotest.(check int) "cross refault counted" 1 (Epc.cross_refaults epc);
+  (* victim-side purge: destroy the owner; its pending entry must die
+     with it, so a reused id refaulting the same page stays blameless *)
+  let epc, fired = cross_entry () in
+  Epc.release_enclave epc 1;
+  Alcotest.(check int) "owner's pages dropped" 1 (Epc.resident_pages epc);
+  ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:0));
+  Alcotest.(check (list (pair int int))) "purged victim entry never fires"
+    [] !fired;
+  Alcotest.(check int) "no cross refault" 0 (Epc.cross_refaults epc);
+  (* evictor-side purge: destroy the evictor; the surviving owner's
+     refault must not blame the destroyed enclave *)
+  let epc, fired = cross_entry () in
+  Epc.release_enclave epc 2;
+  ignore (Epc.touch epc (Epc.page_of ~enclave_id:1 ~page_no:0));
+  Alcotest.(check (list (pair int int)))
+    "destroyed evictor never blamed" [] !fired;
+  Alcotest.(check int) "no cross refault either" 0 (Epc.cross_refaults epc)
+
 (* --- Enclave lifecycle & crossings --- *)
 
 let test_enclave_identity () =
@@ -322,6 +366,8 @@ let suite =
       Alcotest.test_case "victim attribution" `Quick test_epc_victim_attribution;
       Alcotest.test_case "page packing bounds" `Quick test_epc_page_packing;
       Alcotest.test_case "release enclave" `Quick test_epc_release_enclave;
+      Alcotest.test_case "release purges provenance" `Quick
+        test_epc_release_purges_provenance;
     ]);
     ("enclave", [
       Alcotest.test_case "identity" `Quick test_enclave_identity;

@@ -149,6 +149,57 @@ let test_eventq_drain_until () =
   Alcotest.check_raises "negative time" (Invalid_argument "Eventq.add: negative time")
     (fun () -> Twine_sim.Eventq.add q ~at:(-1) "bad")
 
+let test_eventq_cancel_before_fire () =
+  let q = Twine_sim.Eventq.create () in
+  Twine_sim.Eventq.add q ~at:10 "a";
+  let b = Twine_sim.Eventq.schedule q ~at:20 "b" in
+  Twine_sim.Eventq.add q ~at:30 "c";
+  Twine_sim.Eventq.cancel q b;
+  Alcotest.(check int) "length drops" 2 (Twine_sim.Eventq.length q);
+  Alcotest.(check (option (pair int string))) "pop a" (Some (10, "a"))
+    (Twine_sim.Eventq.pop q);
+  Alcotest.(check (option int)) "peek_time skips tombstone" (Some 30)
+    (Twine_sim.Eventq.peek_time q);
+  Alcotest.(check (option (pair int string))) "pop skips b" (Some (30, "c"))
+    (Twine_sim.Eventq.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None
+    (Twine_sim.Eventq.pop q)
+
+let test_eventq_cancel_after_fire () =
+  (* cancelling an event that already fired (or was already cancelled)
+     is a no-op — the serving fleet revokes deadline timers without
+     tracking whether they already popped *)
+  let q = Twine_sim.Eventq.create () in
+  let a = Twine_sim.Eventq.schedule q ~at:5 "a" in
+  Twine_sim.Eventq.add q ~at:7 "b";
+  Alcotest.(check (option (pair int string))) "a fires" (Some (5, "a"))
+    (Twine_sim.Eventq.pop q);
+  Twine_sim.Eventq.cancel q a;
+  Twine_sim.Eventq.cancel q a;
+  Alcotest.(check int) "b untouched" 1 (Twine_sim.Eventq.length q);
+  Alcotest.(check (option (pair int string))) "b fires" (Some (7, "b"))
+    (Twine_sim.Eventq.pop q);
+  let c = Twine_sim.Eventq.schedule q ~at:9 "c" in
+  Twine_sim.Eventq.cancel q c;
+  Twine_sim.Eventq.cancel q c;
+  Alcotest.(check int) "double cancel counts once" 0
+    (Twine_sim.Eventq.length q)
+
+let test_eventq_cancel_keeps_fifo_ties () =
+  (* cancelling one of several same-time events must not disturb the
+     insertion order of the survivors *)
+  let q = Twine_sim.Eventq.create () in
+  Twine_sim.Eventq.add q ~at:5 "w";
+  let x = Twine_sim.Eventq.schedule q ~at:5 "x" in
+  Twine_sim.Eventq.add q ~at:5 "y";
+  Twine_sim.Eventq.add q ~at:5 "z";
+  Twine_sim.Eventq.cancel q x;
+  let popped =
+    List.init 3 (fun _ -> snd (Option.get (Twine_sim.Eventq.pop q)))
+  in
+  Alcotest.(check (list string)) "fifo among survivors" [ "w"; "y"; "z" ]
+    popped
+
 let prop_eventq_sorted =
   QCheck.Test.make ~name:"eventq pops in nondecreasing time order" ~count:200
     QCheck.(list (int_bound 1000))
@@ -162,6 +213,111 @@ let prop_eventq_sorted =
       in
       let popped = drain [] in
       popped = List.sort compare times)
+
+(* --- Fault: activation windows and re-arm determinism --- *)
+
+let test_fault_window () =
+  let now = ref 0 in
+  let p =
+    Fault.plan ~seed:"w"
+      [ Fault.rule ~prob:1.0 ~from_ns:100 ~until_ns:200 "site" Fault.Drop ]
+  in
+  Fault.arm ~now:(fun () -> !now) p;
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      now := 50;
+      Alcotest.(check bool) "before window" true (Fault.consult "site" = None);
+      now := 100;
+      Alcotest.(check bool) "window open (inclusive)" true
+        (Fault.consult "site" = Some Fault.Drop);
+      now := 199;
+      Alcotest.(check bool) "inside window" true
+        (Fault.consult "site" = Some Fault.Drop);
+      now := 200;
+      Alcotest.(check bool) "window closed (exclusive)" true
+        (Fault.consult "site" = None);
+      now := 250;
+      Alcotest.(check bool) "after window" true (Fault.consult "site" = None));
+  (* a windowed rule armed without a clock source never fires *)
+  Fault.arm p;
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      Alcotest.(check bool) "no clock, no fire" true
+        (Fault.consult "site" = None))
+
+let test_fault_window_rearm_determinism () =
+  (* out-of-window operations consume no randomness, so the in-window
+     injection pattern replays identically even when the two runs see
+     different numbers of out-of-window operations *)
+  let now = ref 0 in
+  let p =
+    Fault.plan ~seed:"rearm"
+      [ Fault.rule ~prob:0.5 ~from_ns:1000 "site" Fault.Fail ]
+  in
+  let drive ~cold ~hot =
+    Fault.arm ~now:(fun () -> !now) p;
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        now := 0;
+        for _ = 1 to cold do
+          ignore (Fault.consult "site")
+        done;
+        now := 5000;
+        List.init hot (fun _ -> Fault.consult "site" <> None))
+  in
+  let run1 = drive ~cold:17 ~hot:40 in
+  let run2 = drive ~cold:0 ~hot:40 in
+  Alcotest.(check (list bool)) "same in-window pattern" run1 run2;
+  Alcotest.(check bool) "some injections fired" true
+    (List.exists Fun.id run1)
+
+(* --- Chaos: spec grammar round-trip and window rebasing --- *)
+
+let chaos_ok s =
+  match Chaos.parse s with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+let test_chaos_roundtrip () =
+  List.iter
+    (fun s ->
+      let spec = chaos_ok s in
+      let r = Chaos.render spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S round-trips via %S" s r)
+        true
+        (chaos_ok r = spec))
+    [ "enclave.ecall=crash@200";
+      "seed=c1;enclave.ecall=fail%0.01x5[10ms..50ms]";
+      "backing.write=torn:0.5%0.25;backing.read=delay:900ns%0.1";
+      "enclave.ecall=drop%1.0[..2us];svfs.sync=corrupt@3x2";
+      "seed=z;enclave.ecall=fail%0.001[1ms..]" ]
+
+let test_chaos_parse_errors () =
+  List.iter
+    (fun s ->
+      match Chaos.parse s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error _ -> ())
+    [ ""; "enclave.ecall"; "enclave.ecall=explode"; "=crash";
+      "enclave.ecall=crash@0"; "enclave.ecall=fail%2.0";
+      "enclave.ecall=crash[5ms..2ms]"; "enclave.ecall=crash@2x0";
+      "backing.read=delay:900ns"; "seed=" ]
+
+let test_chaos_to_plan_rebases_windows () =
+  (* [100..200] relative, armed with t0 = 1000: fires only in
+     [1100, 1200) of machine time *)
+  let spec = chaos_ok "seed=rb;site=drop%1.0[100..200]" in
+  let plan = Chaos.to_plan ~t0:1000 spec in
+  let now = ref 0 in
+  Fault.arm ~now:(fun () -> !now) plan;
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      now := 150;
+      Alcotest.(check bool) "relative time not rebased" true
+        (Fault.consult "site" = None);
+      now := 1150;
+      Alcotest.(check bool) "inside rebased window" true
+        (Fault.consult "site" = Some Fault.Drop);
+      now := 1200;
+      Alcotest.(check bool) "rebased window closes" true
+        (Fault.consult "site" = None))
 
 let qc = QCheck_alcotest.to_alcotest
 
@@ -180,7 +336,24 @@ let suite =
       Alcotest.test_case "time order" `Quick test_eventq_order;
       Alcotest.test_case "ties are fifo" `Quick test_eventq_ties_fifo;
       Alcotest.test_case "drain_until" `Quick test_eventq_drain_until;
+      Alcotest.test_case "cancel before fire" `Quick
+        test_eventq_cancel_before_fire;
+      Alcotest.test_case "cancel after fire is a no-op" `Quick
+        test_eventq_cancel_after_fire;
+      Alcotest.test_case "cancel keeps fifo ties" `Quick
+        test_eventq_cancel_keeps_fifo_ties;
       qc prop_eventq_sorted;
+    ]);
+    ("fault", [
+      Alcotest.test_case "activation window" `Quick test_fault_window;
+      Alcotest.test_case "window re-arm determinism" `Quick
+        test_fault_window_rearm_determinism;
+    ]);
+    ("chaos", [
+      Alcotest.test_case "parse/render round-trip" `Quick test_chaos_roundtrip;
+      Alcotest.test_case "parse errors" `Quick test_chaos_parse_errors;
+      Alcotest.test_case "to_plan rebases windows" `Quick
+        test_chaos_to_plan_rebases_windows;
     ]);
   ]
 
